@@ -1,0 +1,76 @@
+// Command bwtable prints the §4.5 analytic bandwidth model: Table 1
+// (minimal iteration interval and per-node bottleneck bandwidth versus
+// ranker population) plus the formula 4.1–4.4 cost comparison.
+//
+//	bwtable                     # the paper's Table 1
+//	bwtable -n 1000,50000      # custom populations
+//	bwtable -pages 1e10        # a bigger web
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"p2prank/internal/bwmodel"
+	"p2prank/internal/metrics"
+)
+
+func main() {
+	var (
+		ns        = flag.String("n", "1000,10000,100000", "comma-separated ranker populations")
+		pages     = flag.Float64("pages", 3e9, "web pages W (paper: 3 billion)")
+		linkBytes = flag.Float64("l", 100, "bytes per link record l")
+		lookup    = flag.Float64("r", 48, "bytes per lookup message r")
+		neighbors = flag.Float64("g", 32, "avg neighbors per node g")
+		bisection = flag.Float64("bisection", 100e6, "usable bisection bandwidth, bytes/s")
+	)
+	flag.Parse()
+
+	base := bwmodel.Params{
+		W: *pages, L: *linkBytes, R: *lookup, G: *neighbors, BisectionBps: *bisection,
+	}
+	var populations []float64
+	for _, part := range strings.Split(*ns, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad -n entry %q: %w", part, err))
+		}
+		populations = append(populations, v)
+	}
+	rows, err := bwmodel.Table1For(base, populations)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("Table 1: minimal iteration interval and node bottleneck bandwidth")
+	fmt.Printf("(W=%.3g pages, l=%.0fB, bisection budget %.0f MB/s)\n\n", *pages, *linkBytes, *bisection/1e6)
+	fmt.Print(bwmodel.RenderTable1(rows))
+
+	fmt.Println("\nFormulas 4.1–4.4: per-iteration cost of the two transmission schemes")
+	t := metrics.NewTable("N", "h", "D_it (GB)", "D_dt (GB)", "S_it (msgs)", "S_dt (msgs)")
+	for _, n := range populations {
+		p := base
+		p.N = n
+		p.H = bwmodel.PastryHops(n)
+		t.AddRow(
+			fmt.Sprintf("%.0f", n),
+			fmt.Sprintf("%.1f", p.H),
+			fmt.Sprintf("%.1f", p.IndirectDataBytes()/1e9),
+			fmt.Sprintf("%.1f", p.DirectDataBytes()/1e9),
+			fmt.Sprintf("%.3g", p.IndirectMessages()),
+			fmt.Sprintf("%.3g", p.DirectMessages()),
+		)
+	}
+	fmt.Print(t.String())
+	p := base
+	p.N = populations[0]
+	p.H = bwmodel.PastryHops(p.N)
+	fmt.Printf("\nmessage-count crossover: indirect wins for N > %.1f\n", p.MessageCrossoverN())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bwtable:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,167 @@
+// Command dprnode runs page rankers as real TCP peers.
+//
+// Demo mode starts a whole cluster in one process and reports
+// convergence against centralized PageRank:
+//
+//	dprnode -demo -pages 5000 -k 4
+//
+// Distributed mode runs one ranker per process; every process loads the
+// same crawl and derives the same partition, so only addresses need
+// coordinating:
+//
+//	dprnode -graph crawl.bin -k 3 -index 0 -listen :7000 \
+//	        -peers 1=host1:7000,2=host2:7000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"p2prank/internal/core"
+	"p2prank/internal/engine"
+	"p2prank/internal/netpeer"
+	"p2prank/internal/partition"
+	"p2prank/internal/ranker"
+)
+
+func main() {
+	var (
+		demo      = flag.Bool("demo", false, "run a whole cluster in-process on localhost")
+		pages     = flag.Int("pages", 5000, "crawl size for -demo")
+		graphPath = flag.String("graph", "", "crawl file (required without -demo)")
+		k         = flag.Int("k", 4, "number of rankers")
+		index     = flag.Int("index", 0, "this ranker's index (0..k-1)")
+		listen    = flag.String("listen", "127.0.0.1:0", "listen address")
+		peersFlag = flag.String("peers", "", "peer addresses as idx=host:port, comma separated")
+		alg       = flag.String("alg", "dpr1", "algorithm: dpr1|dpr2")
+		target    = flag.Float64("target", 1e-6, "demo: stop at this relative error")
+		seed      = flag.Uint64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	algorithm := ranker.DPR1
+	if strings.EqualFold(*alg, "dpr2") {
+		algorithm = ranker.DPR2
+	} else if !strings.EqualFold(*alg, "dpr1") {
+		fatal(fmt.Errorf("unknown algorithm %q", *alg))
+	}
+
+	if *demo {
+		runDemo(*pages, *k, algorithm, *target, *seed)
+		return
+	}
+	runPeer(*graphPath, *k, *index, *listen, *peersFlag, algorithm, *seed)
+}
+
+func runDemo(pages, k int, alg ranker.Algorithm, target float64, seed uint64) {
+	g, err := core.GenerateCrawl(pages, seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("demo: %d pages, %d rankers (%v), real TCP on localhost\n", pages, k, alg)
+	cl, err := netpeer.StartCluster(g, netpeer.ClusterConfig{
+		K: k, Alg: alg, MeanWait: 20 * time.Millisecond, Seed: seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer cl.Close()
+	start := time.Now()
+	for {
+		re := cl.RelErr()
+		fmt.Printf("t=%6.2fs relative error %.3e\n", time.Since(start).Seconds(), re)
+		if re <= target {
+			break
+		}
+		if time.Since(start) > 2*time.Minute {
+			fatal(fmt.Errorf("did not reach %v within 2 minutes", target))
+		}
+		time.Sleep(300 * time.Millisecond)
+	}
+	ranks := cl.Assemble()
+	fmt.Printf("converged to relative error ≤ %v in %.2fs\n", target, time.Since(start).Seconds())
+	fmt.Println("top pages:")
+	for _, p := range core.TopPages(ranks, 5) {
+		fmt.Printf("  %-40s rank %.4f\n", g.URL(int32(p)), ranks[p])
+	}
+}
+
+func runPeer(graphPath string, k, index int, listen, peersFlag string, alg ranker.Algorithm, seed uint64) {
+	if graphPath == "" {
+		fatal(fmt.Errorf("-graph is required (or use -demo)"))
+	}
+	if index < 0 || index >= k {
+		fatal(fmt.Errorf("index %d out of range for k=%d", index, k))
+	}
+	g, err := core.LoadCrawl(graphPath)
+	if err != nil {
+		fatal(err)
+	}
+	// The same deterministic ranker IDs the engine uses, so independent
+	// processes agree on the partition.
+	ov, err := engine.BuildOverlay(engine.Pastry, k)
+	if err != nil {
+		fatal(err)
+	}
+	assign, err := partition.Assign(g, ov, partition.BySite, seed)
+	if err != nil {
+		fatal(err)
+	}
+	groups, err := ranker.BuildGroups(g, assign, 0.85)
+	if err != nil {
+		fatal(err)
+	}
+	peer, err := netpeer.Listen(listen, netpeer.Config{
+		Group:    groups[index],
+		Alg:      alg,
+		MeanWait: 50 * time.Millisecond,
+		Seed:     seed + uint64(index)*7919,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer peer.Close()
+	if peersFlag != "" {
+		for _, part := range strings.Split(peersFlag, ",") {
+			kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+			if len(kv) != 2 {
+				fatal(fmt.Errorf("bad -peers entry %q", part))
+			}
+			idx, err := strconv.Atoi(kv[0])
+			if err != nil {
+				fatal(fmt.Errorf("bad -peers index %q: %w", kv[0], err))
+			}
+			peer.SetPeer(int32(idx), kv[1])
+		}
+	}
+	peer.Start()
+	fmt.Printf("ranker %d/%d listening on %s (%d pages, %v)\n",
+		index, k, peer.Addr(), groups[index].N(), alg)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	tick := time.NewTicker(5 * time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-sig:
+			fmt.Println("shutting down")
+			return
+		case <-tick.C:
+			r := peer.Ranks()
+			fmt.Printf("loops=%d chunks_sent=%d local_rank_sum=%.3f\n",
+				peer.Loops(), peer.ChunksSent(), r.Sum())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dprnode:", err)
+	os.Exit(1)
+}

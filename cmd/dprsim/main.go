@@ -1,0 +1,157 @@
+// Command dprsim runs the paper's simulated experiments and prints
+// their tables or CSV curves.
+//
+// Experiments:
+//
+//	dprsim -exp fig6                # relative error over time (K=1000)
+//	dprsim -exp fig7                # monotone average rank (K=100)
+//	dprsim -exp fig8                # iterations vs ranker count
+//	dprsim -exp transmission        # direct vs indirect measured traffic
+//	dprsim -exp bandwidth           # convergence vs node uplink bandwidth
+//	dprsim -exp cut                 # §4.1 partition comparison
+//	dprsim -exp hops                # overlay hop counts vs N
+//
+// Scale the workload with -pages / -sites; write curves as CSV with
+// -csv FILE.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"p2prank/internal/engine"
+	"p2prank/internal/experiments"
+	"p2prank/internal/metrics"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "fig6", "experiment: fig6|fig7|fig8|transmission|bandwidth|cut|hops")
+		pages   = flag.Int("pages", 20000, "crawl size")
+		sites   = flag.Int("sites", 100, "site count (the paper's dataset has 100)")
+		seed    = flag.Uint64("seed", 1, "experiment seed")
+		k       = flag.Int("k", 0, "ranker count (0 = the figure's paper value)")
+		ks      = flag.String("ks", "", "comma-separated ranker counts for sweeps (fig8/transmission/hops)")
+		maxTime = flag.Float64("maxtime", 90, "virtual-time horizon for fig6/fig7")
+		csvPath = flag.String("csv", "", "write curves as CSV to this file")
+	)
+	flag.Parse()
+
+	w := experiments.Workload{Pages: *pages, Sites: *sites, Seed: *seed}
+	switch *exp {
+	case "fig6":
+		kk := pick(*k, 1000)
+		res, err := experiments.Fig6(w, kk, *maxTime)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Figure 6: DPR1 relative error (%%) over time, K=%d\n", kk)
+		emitCurves(res, *csvPath)
+	case "fig7":
+		kk := pick(*k, 100)
+		res, err := experiments.Fig7(w, kk, *maxTime)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Figure 7: DPR1 average rank over time (monotone), K=%d\n", kk)
+		emitCurves(res, *csvPath)
+	case "fig8":
+		counts := parseKs(*ks, []int{2, 10, 100, 1000})
+		rows, err := experiments.Fig8(w, counts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Figure 8: iterations to relative error 0.01% (p=1, T1=T2=15)")
+		fmt.Print(experiments.RenderFig8(rows))
+	case "transmission":
+		counts := parseKs(*ks, []int{8, 16, 32, 64})
+		rows, err := experiments.Transmission(w, counts, 30)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("§4.4: measured per-iteration traffic vs formulas 4.1–4.4")
+		fmt.Print(experiments.RenderTransmission(rows))
+	case "bandwidth":
+		kk := pick(*k, 16)
+		rows, err := experiments.ConvergenceVsBandwidth(w, kk,
+			[]float64{0, 100000, 20000, 2000, 200}, *maxTime*10)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("§4.5 measured: convergence vs per-node uplink bandwidth, K=%d\n", kk)
+		fmt.Print(experiments.RenderBandwidth(rows))
+	case "cut":
+		kk := pick(*k, 32)
+		rows, err := experiments.PartitionCut(w, kk)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("§4.1: partition cut at K=%d\n%s", kk, experiments.RenderCut(rows))
+	case "hops":
+		counts := parseKs(*ks, []int{100, 1000, 10000})
+		for _, kind := range []engine.OverlayKind{engine.Pastry, engine.Chord} {
+			rows, err := experiments.OverlayHops(kind, counts, 1000, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			t := metrics.NewTable("overlay", "N", "measured hops", "paper model")
+			for _, r := range rows {
+				t.AddRow(kind, r.N, fmt.Sprintf("%.2f", r.Hops), fmt.Sprintf("%.2f", r.PaperH))
+			}
+			fmt.Print(t.String())
+		}
+	default:
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+}
+
+func pick(flagVal, paperVal int) int {
+	if flagVal > 0 {
+		return flagVal
+	}
+	return paperVal
+}
+
+func parseKs(s string, def []int) []int {
+	if s == "" {
+		return def
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fatal(fmt.Errorf("bad -ks entry %q: %w", part, err))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func emitCurves(res *experiments.FigureResult, csvPath string) {
+	fmt.Printf("workload: %s", res.GraphStats.String())
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := metrics.WriteCSV(f, res.Curves...); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("curves written to %s\n", csvPath)
+		return
+	}
+	if err := metrics.WriteCSV(os.Stdout, res.Curves...); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dprsim:", err)
+	os.Exit(1)
+}

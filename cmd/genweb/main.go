@@ -1,0 +1,84 @@
+// Command genweb generates synthetic crawls with the paper-calibrated
+// statistics, prints their structural stats, and measures partition
+// quality (§4.1).
+//
+// Examples:
+//
+//	genweb -pages 100000 -out crawl.bin
+//	genweb -pages 50000 -stats
+//	genweb -pages 50000 -cut -k 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"p2prank/internal/core"
+	"p2prank/internal/experiments"
+	"p2prank/internal/webgraph"
+)
+
+func main() {
+	var (
+		pages   = flag.Int("pages", 20000, "number of pages to generate")
+		sites   = flag.Int("sites", 0, "number of sites (0 = scale like the paper's dataset)")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		out     = flag.String("out", "", "write the graph to this file (.txt = text format, else binary)")
+		stats   = flag.Bool("stats", false, "print structural statistics")
+		cut     = flag.Bool("cut", false, "print the §4.1 partition-cut comparison")
+		k       = flag.Int("k", 32, "number of rankers for -cut")
+		degree  = flag.Float64("degree", 15, "mean total out-degree")
+		extfrac = flag.Float64("extfrac", 8.0/15.0, "fraction of links leaving the crawl")
+	)
+	flag.Parse()
+
+	cfg := webgraph.DefaultGenConfig(*pages)
+	if *sites > 0 {
+		cfg.Sites = *sites
+	}
+	cfg.Seed = *seed
+	cfg.MeanOutDegree = *degree
+	cfg.ExternalFrac = *extfrac
+	g, err := webgraph.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *stats || (*out == "" && !*cut) {
+		fmt.Print(webgraph.ComputeStats(g).String())
+	}
+	if *cut {
+		rows, err := experiments.PartitionCut(experiments.Workload{
+			Pages: *pages, Sites: cfg.Sites, Seed: *seed,
+		}, *k)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\npartition cut at K=%d rankers:\n%s", *k, experiments.RenderCut(rows))
+	}
+	if *out != "" {
+		if strings.HasSuffix(*out, ".txt") {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			if err := webgraph.WriteText(f, g); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		} else if err := core.SaveCrawl(*out, g); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d pages, %d internal links)\n",
+			*out, g.NumPages(), g.NumInternalLinks())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "genweb:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+// educrawl replays the paper's Figure 6/7 experiment on a synthetic
+// "edu crawl": 100 sites with the Google-programming-contest link
+// statistics. It runs DPR1 under the three loss/speed settings (curves
+// A, B, C) and prints both the relative-error decay (Figure 6) and the
+// monotone average-rank sequence (Figure 7), demonstrating Theorem 4.1
+// live: rank sequences never decrease, even with 30% of Y transmissions
+// lost.
+//
+//	go run ./examples/educrawl
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"p2prank/internal/experiments"
+	"p2prank/internal/metrics"
+)
+
+func main() {
+	w := experiments.Workload{Pages: 20000, Sites: 100, Seed: 7}
+
+	fmt.Println("== Figure 6: relative error (%) of DPR1 vs centralized, K=100 ==")
+	fig6, err := experiments.Fig6(w, 100, 80)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s\n", fig6.GraphStats.String())
+	printEvery(fig6.Curves, 8)
+
+	fmt.Println("\n== Figure 7: average rank of DPR1 (monotone, plateaus ≈0.3), K=100 ==")
+	fig7, err := experiments.Fig7(w, 100, 80)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printEvery(fig7.Curves, 8)
+	for _, c := range fig7.Curves {
+		for i := 1; i < c.Len(); i++ {
+			if c.Values[i] < c.Values[i-1]-1e-12 {
+				log.Fatalf("monotonicity violated on curve %q", c.Name)
+			}
+		}
+	}
+	fmt.Println("\nTheorem 4.1 verified: every curve is monotone non-decreasing.")
+	fmt.Printf("converged average rank (curve A): %.3f — well below 1 because %d of %d links leave the crawl.\n",
+		fig7.Curves[0].Last(),
+		fig7.GraphStats.ExternalLinks,
+		fig7.GraphStats.ExternalLinks+fig7.GraphStats.InternalLinks)
+}
+
+// printEvery prints each curve as CSV, sampled every nth point to keep
+// the terminal output readable.
+func printEvery(curves []*metrics.Series, nth int) {
+	thinned := make([]*metrics.Series, len(curves))
+	for i, c := range curves {
+		t := metrics.NewSeries(c.Name)
+		for j := 0; j < c.Len(); j += nth {
+			t.Add(c.Times[j], c.Values[j])
+		}
+		thinned[i] = t
+	}
+	if err := metrics.WriteCSV(os.Stdout, thinned...); err != nil {
+		log.Fatal(err)
+	}
+}

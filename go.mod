@@ -1,0 +1,3 @@
+module p2prank
+
+go 1.22

@@ -1,0 +1,255 @@
+// Package chord implements the Chord structured overlay (Stoica et al.,
+// SIGCOMM 2001) behind the same surface as package pastry: finger
+// tables, successor lists, and greedy closest-preceding-finger routing
+// with its ~½·log₂(N) hop counts.
+//
+// The paper runs on Pastry but cites Chord, CAN, and Tapestry as equal
+// substrates; this second overlay exists to demonstrate (and test) that
+// the distributed page-ranking layer is overlay-agnostic. As in package
+// pastry, membership changes repair state with an oracle rebuild — the
+// state Chord's stabilization protocol converges to.
+package chord
+
+import (
+	"fmt"
+	"sort"
+
+	"p2prank/internal/nodeid"
+)
+
+// Config parameterizes the overlay.
+type Config struct {
+	// SuccessorListLen is the number of immediate successors each node
+	// tracks (fault tolerance and the last routing step). Default 8.
+	SuccessorListLen int
+}
+
+// DefaultConfig returns Chord's standard parameters.
+func DefaultConfig() Config { return Config{SuccessorListLen: 8} }
+
+func (c *Config) validate() error {
+	if c.SuccessorListLen == 0 {
+		c.SuccessorListLen = 8
+	}
+	if c.SuccessorListLen < 1 {
+		return fmt.Errorf("chord: SuccessorListLen %d must be positive", c.SuccessorListLen)
+	}
+	return nil
+}
+
+type state struct {
+	// fingers[k] is the node index of successor(id + 2^k), deduplicated
+	// to -1 when equal to the previous finger.
+	fingers []int
+	// succs is the successor list, nearest first.
+	succs []int
+	pred  int
+}
+
+// Overlay is a Chord ring over a fixed membership.
+type Overlay struct {
+	cfg    Config
+	ids    []nodeid.ID
+	alive  []bool
+	nodes  []state
+	sorted []int
+	nLive  int
+}
+
+// New builds a Chord overlay over the given node IDs, all live.
+func New(ids []nodeid.ID, cfg Config) (*Overlay, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("chord: no nodes")
+	}
+	seen := make(map[nodeid.ID]bool, len(ids))
+	for _, id := range ids {
+		if seen[id] {
+			return nil, fmt.Errorf("chord: duplicate node ID %s", id)
+		}
+		seen[id] = true
+	}
+	o := &Overlay{
+		cfg:   cfg,
+		ids:   append([]nodeid.ID(nil), ids...),
+		alive: make([]bool, len(ids)),
+	}
+	for i := range o.alive {
+		o.alive[i] = true
+	}
+	o.rebuild()
+	return o, nil
+}
+
+// NumNodes returns the total membership, live or dead.
+func (o *Overlay) NumNodes() int { return len(o.ids) }
+
+// NumLive returns the number of live nodes.
+func (o *Overlay) NumLive() int { return o.nLive }
+
+// NodeID returns node i's ring identifier.
+func (o *Overlay) NodeID(i int) nodeid.ID { return o.ids[i] }
+
+// Alive reports whether node i is live.
+func (o *Overlay) Alive(i int) bool { return o.alive[i] }
+
+// Fail marks node i dead and repairs routing state.
+func (o *Overlay) Fail(i int) error {
+	if !o.alive[i] {
+		return nil
+	}
+	if o.nLive == 1 {
+		return fmt.Errorf("chord: cannot fail the last live node")
+	}
+	o.alive[i] = false
+	o.rebuild()
+	return nil
+}
+
+// Recover marks node i live again and repairs routing state.
+func (o *Overlay) Recover(i int) {
+	if o.alive[i] {
+		return
+	}
+	o.alive[i] = true
+	o.rebuild()
+}
+
+// Join adds a new node with the given ID and returns its index.
+func (o *Overlay) Join(id nodeid.ID) (int, error) {
+	for _, existing := range o.ids {
+		if existing == id {
+			return 0, fmt.Errorf("chord: duplicate node ID %s", id)
+		}
+	}
+	o.ids = append(o.ids, id)
+	o.alive = append(o.alive, true)
+	o.rebuild()
+	return len(o.ids) - 1, nil
+}
+
+func (o *Overlay) rebuild() {
+	o.sorted = o.sorted[:0]
+	for i, a := range o.alive {
+		if a {
+			o.sorted = append(o.sorted, i)
+		}
+	}
+	o.nLive = len(o.sorted)
+	sort.Slice(o.sorted, func(a, b int) bool {
+		return o.ids[o.sorted[a]].Cmp(o.ids[o.sorted[b]]) < 0
+	})
+	if cap(o.nodes) < len(o.ids) {
+		o.nodes = make([]state, len(o.ids))
+	}
+	o.nodes = o.nodes[:len(o.ids)]
+	for i := range o.nodes {
+		o.nodes[i] = state{pred: -1}
+	}
+	n := o.nLive
+	succN := o.cfg.SuccessorListLen
+	if succN > n-1 {
+		succN = n - 1
+	}
+	for pos, idx := range o.sorted {
+		st := &o.nodes[idx]
+		st.pred = o.sorted[(pos-1+n)%n]
+		st.succs = make([]int, 0, succN)
+		for k := 1; k <= succN; k++ {
+			st.succs = append(st.succs, o.sorted[(pos+k)%n])
+		}
+		st.fingers = make([]int, nodeid.Bits)
+		prev := -1
+		for k := 0; k < nodeid.Bits; k++ {
+			target := o.ids[idx].AddPow2(k)
+			f := o.successorOf(target)
+			if f == prev || f == idx {
+				st.fingers[k] = -1
+				continue
+			}
+			st.fingers[k] = f
+			prev = f
+		}
+	}
+}
+
+// successorOf returns the first live node clockwise from key (the node
+// whose ID is ≥ key, wrapping).
+func (o *Overlay) successorOf(key nodeid.ID) int {
+	n := o.nLive
+	pos := sort.Search(n, func(i int) bool {
+		return o.ids[o.sorted[i]].Cmp(key) >= 0
+	})
+	return o.sorted[pos%n]
+}
+
+// Owner returns the live node responsible for key: Chord assigns a key
+// to its successor.
+func (o *Overlay) Owner(key nodeid.ID) int { return o.successorOf(key) }
+
+// NextHop implements Chord's greedy routing: if self owns the key stop;
+// if the key falls between self and a successor-list entry jump straight
+// to it; otherwise forward to the closest preceding finger.
+func (o *Overlay) NextHop(i int, key nodeid.ID) int {
+	if !o.alive[i] {
+		panic(fmt.Sprintf("chord: NextHop from dead node %d", i))
+	}
+	st := &o.nodes[i]
+	self := o.ids[i]
+	if o.nLive == 1 {
+		return i
+	}
+	// Self owns key when key ∈ (pred, self].
+	if nodeid.BetweenIncl(key, o.ids[st.pred], self) {
+		return i
+	}
+	// Successor-list shortcut: first list entry at or past the key.
+	prev := self
+	for _, s := range st.succs {
+		if nodeid.BetweenIncl(key, prev, o.ids[s]) {
+			return s
+		}
+		prev = o.ids[s]
+	}
+	// Closest preceding finger: highest finger strictly inside
+	// (self, key).
+	for k := len(st.fingers) - 1; k >= 0; k-- {
+		f := st.fingers[k]
+		if f < 0 || !o.alive[f] {
+			continue
+		}
+		if nodeid.Between(o.ids[f], self, key) {
+			return f
+		}
+	}
+	// Fall back to the immediate successor; it is always closer on the
+	// ring.
+	return st.succs[0]
+}
+
+// Neighbors returns node i's overlay links: predecessor, successor
+// list, and fingers, live, deduplicated, and sorted.
+func (o *Overlay) Neighbors(i int) []int {
+	st := &o.nodes[i]
+	set := make(map[int]struct{}, len(st.succs)+len(st.fingers)+1)
+	add := func(c int) {
+		if c >= 0 && c != i && o.alive[c] {
+			set[c] = struct{}{}
+		}
+	}
+	add(st.pred)
+	for _, c := range st.succs {
+		add(c)
+	}
+	for _, c := range st.fingers {
+		add(c)
+	}
+	out := make([]int, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,59 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"p2prank/internal/core"
+)
+
+// ExampleRankDistributed ranks a small synthetic crawl with eight
+// asynchronous page rankers and verifies the result against
+// centralized PageRank.
+func ExampleRankDistributed() {
+	graph, err := core.GenerateCrawl(3000, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := core.RankDistributed(core.Config{
+		Graph:        graph,
+		K:            8,
+		Alg:          core.DPR1,
+		T1:           0,
+		T2:           6,
+		MaxTime:      500,
+		TargetRelErr: 1e-8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	star, err := core.RankCentralized(graph)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("converged: %v\n", res.ConvergedAt >= 0)
+	fmt.Printf("agrees with centralized: %v\n", core.RelativeError(res.Final, star) < 1e-7)
+	// Output:
+	// converged: true
+	// agrees with centralized: true
+}
+
+// ExampleTopPages lists the best-ranked pages of a crawl.
+func ExampleTopPages() {
+	graph, err := core.GenerateCrawl(2000, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ranks, err := core.RankCentralized(graph)
+	if err != nil {
+		log.Fatal(err)
+	}
+	top := core.TopPages(ranks, 3)
+	for i, p := range top {
+		fmt.Printf("%d. %s\n", i+1, graph.URL(int32(p)))
+	}
+	// Output:
+	// 1. http://site000.edu/p0.html
+	// 2. http://site000.edu/p106.html
+	// 3. http://site002.edu/p0.html
+}

@@ -1,0 +1,466 @@
+// Package engine orchestrates a full distributed page-ranking
+// experiment: it builds the overlay, partitions the crawl, wires K
+// asynchronous rankers to a transport fabric over the simulated
+// network, runs them against the centralized reference vector, and
+// records the time series behind the paper's Figures 6–8.
+package engine
+
+import (
+	"fmt"
+
+	"p2prank/internal/chord"
+	"p2prank/internal/nodeid"
+	"p2prank/internal/overlay"
+	"p2prank/internal/pagerank"
+	"p2prank/internal/partition"
+	"p2prank/internal/pastry"
+	"p2prank/internal/ranker"
+	"p2prank/internal/simnet"
+	"p2prank/internal/transport"
+	"p2prank/internal/vecmath"
+	"p2prank/internal/webgraph"
+	"p2prank/internal/xrand"
+)
+
+// OverlayKind selects the structured overlay implementation.
+type OverlayKind int
+
+const (
+	// Pastry is the overlay the paper runs on.
+	Pastry OverlayKind = iota
+	// Chord demonstrates overlay-independence of the ranking layer.
+	Chord
+)
+
+// String returns the overlay name.
+func (k OverlayKind) String() string {
+	switch k {
+	case Pastry:
+		return "pastry"
+	case Chord:
+		return "chord"
+	}
+	return fmt.Sprintf("OverlayKind(%d)", int(k))
+}
+
+// Config describes one experiment. Zero values select the defaults
+// noted per field; Graph, K, and MaxTime are required.
+type Config struct {
+	// Graph is the crawl to rank.
+	Graph *webgraph.Graph
+	// K is the number of page rankers.
+	K int
+	// Alg selects DPR1 or DPR2.
+	Alg ranker.Algorithm
+	// Alpha is the real-link rank fraction (default 0.85).
+	Alpha float64
+	// InnerEpsilon is DPR1's inner termination threshold
+	// (default 1e-10).
+	InnerEpsilon float64
+	// SendProb is the paper's p: the probability a Y vector reaches a
+	// destination group each loop (default 1).
+	SendProb float64
+	// T1, T2 bound the per-ranker mean waiting time: each ranker draws
+	// its mean uniformly from [T1, T2] and waits Exp(mean) between
+	// loops. Defaults to T1 = T2 = 15 (the Figure 8 setting). Means
+	// are clamped to at least MinMeanWait to keep event counts finite.
+	T1, T2 float64
+	// Strategy selects the page-partitioning strategy (default BySite).
+	Strategy partition.Strategy
+	// Transport selects direct or indirect transmission (default
+	// Indirect, the paper's scalable scheme).
+	Transport transport.Kind
+	// Overlay selects Pastry or Chord (default Pastry).
+	Overlay OverlayKind
+	// Seed drives all randomness (default 1).
+	Seed uint64
+	// Net configures the simulated network (zero → DefaultNetConfig).
+	Net simnet.NetConfig
+	// Size configures wire sizes (zero → DefaultSizeModel).
+	Size transport.SizeModel
+	// Codec optionally encodes score chunks on the wire (see
+	// internal/codec): message sizes then reflect the real encoding,
+	// and lossy codecs genuinely perturb the exchanged scores. Nil
+	// keeps the paper's analytic l-bytes-per-link accounting.
+	Codec transport.ChunkCodec
+	// SampleEvery is the sampling interval for the time series
+	// (default 5 time units).
+	SampleEvery float64
+	// MaxTime is the virtual-time horizon; the run always stops here.
+	MaxTime float64
+	// TargetRelErr stops the run early once the global relative error
+	// against centralized PageRank drops to this threshold (0 = run to
+	// MaxTime). Figure 8 uses 1e-4 (0.01%).
+	TargetRelErr float64
+	// Disruptions take rankers offline for windows of virtual time —
+	// the paper's §4.2 asynchrony model taken to its extreme ("sleep
+	// for some time, suspend itself as its wish, or even shutdown").
+	// While down, a ranker's host drops all traffic and its loops
+	// no-op; on recovery it resumes from its pre-outage state.
+	Disruptions []Disruption
+}
+
+// Disruption is one ranker outage window.
+type Disruption struct {
+	// Ranker is the index of the ranker to take down.
+	Ranker int
+	// From and To bound the outage in virtual time (From < To).
+	From, To float64
+}
+
+// MinMeanWait is the lower clamp for a ranker's mean waiting time. A
+// zero mean would schedule unboundedly many loops at one instant.
+const MinMeanWait = 0.1
+
+func (c *Config) validate() error {
+	if c.Graph == nil {
+		return fmt.Errorf("engine: Graph is required")
+	}
+	if c.K <= 0 {
+		return fmt.Errorf("engine: K = %d, must be positive", c.K)
+	}
+	if c.MaxTime <= 0 {
+		return fmt.Errorf("engine: MaxTime = %v, must be positive", c.MaxTime)
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.85
+	}
+	if c.InnerEpsilon == 0 {
+		c.InnerEpsilon = 1e-10
+	}
+	if c.SendProb == 0 {
+		c.SendProb = 1
+	}
+	if c.T1 == 0 && c.T2 == 0 {
+		c.T1, c.T2 = 15, 15
+	}
+	if c.T1 < 0 || c.T2 < c.T1 {
+		return fmt.Errorf("engine: wait range [%v, %v] invalid", c.T1, c.T2)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Net == (simnet.NetConfig{}) {
+		c.Net = simnet.DefaultNetConfig()
+	}
+	if c.Size == (transport.SizeModel{}) {
+		c.Size = transport.DefaultSizeModel()
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = 5
+	}
+	if c.SampleEvery < 0 {
+		return fmt.Errorf("engine: negative SampleEvery %v", c.SampleEvery)
+	}
+	if c.TargetRelErr < 0 {
+		return fmt.Errorf("engine: negative TargetRelErr %v", c.TargetRelErr)
+	}
+	for i, d := range c.Disruptions {
+		if d.Ranker < 0 || d.Ranker >= c.K {
+			return fmt.Errorf("engine: disruption %d targets ranker %d of %d", i, d.Ranker, c.K)
+		}
+		if d.From < 0 || d.To <= d.From {
+			return fmt.Errorf("engine: disruption %d window [%v, %v) invalid", i, d.From, d.To)
+		}
+		if d.To > c.MaxTime {
+			return fmt.Errorf("engine: disruption %d ends at %v, beyond MaxTime %v", i, d.To, c.MaxTime)
+		}
+	}
+	return nil
+}
+
+// Sample is one point of the experiment time series.
+type Sample struct {
+	// Time is the virtual time of the sample.
+	Time float64
+	// RelErr is ‖R − R*‖₁/‖R*‖₁ against centralized PageRank.
+	RelErr float64
+	// AvgRank is the mean page rank (the Figure 7 metric).
+	AvgRank float64
+	// MeanLoops is the mean main-loop count across rankers.
+	MeanLoops float64
+}
+
+// Result is the outcome of one experiment run.
+type Result struct {
+	// Samples is the recorded time series, one entry per SampleEvery.
+	Samples []Sample
+	// Final is the assembled global rank vector at the end of the run.
+	Final vecmath.Vec
+	// Reference is the centralized PageRank fixed point R*.
+	Reference vecmath.Vec
+	// RelErr is the final relative error.
+	RelErr float64
+	// ConvergedAt is the virtual time TargetRelErr was reached, or -1.
+	ConvergedAt float64
+	// LoopsAtConvergence is the mean ranker loop count when the target
+	// was reached (or at MaxTime when it was not) — the Figure 8
+	// "number of iterations" metric.
+	LoopsAtConvergence float64
+	// NetStats are network-level counters for the whole run.
+	NetStats simnet.Stats
+	// TransportStats are transport-level counters for the whole run.
+	TransportStats transport.Stats
+	// AvgHops is the overlay's measured mean lookup hop count.
+	AvgHops float64
+	// AvgNeighbors is the overlay's mean neighbor count (g in S_it=gN).
+	AvgNeighbors float64
+	// Cut describes the partition quality.
+	Cut partition.CutStats
+	// PagesPerRanker is each ranker's page-group size. Under by-site
+	// partitioning with few sites, some rankers own nothing.
+	PagesPerRanker []int
+}
+
+// cluster is the assembled machinery of one run.
+type cluster struct {
+	cfg     Config
+	sim     *simnet.Simulator
+	net     *simnet.Network
+	ov      overlay.Network
+	fab     *transport.Fabric
+	assign  *partition.Assignment
+	rankers []*ranker.Ranker
+}
+
+// BuildOverlay constructs the requested overlay over k ranker IDs
+// (hashed from stable names, as a DHT would).
+func BuildOverlay(kind OverlayKind, k int) (overlay.Network, error) {
+	ids := make([]nodeid.ID, k)
+	for i := range ids {
+		ids[i] = nodeid.Hash(fmt.Sprintf("p2prank-ranker-%d", i))
+	}
+	switch kind {
+	case Pastry:
+		return pastry.New(ids, pastry.DefaultConfig())
+	case Chord:
+		return chord.New(ids, chord.DefaultConfig())
+	}
+	return nil, fmt.Errorf("engine: unknown overlay kind %d", int(kind))
+}
+
+func build(cfg Config) (*cluster, error) {
+	sim := simnet.New(cfg.Seed)
+	net, err := simnet.NewNetwork(sim, cfg.Net)
+	if err != nil {
+		return nil, err
+	}
+	ov, err := BuildOverlay(cfg.Overlay, cfg.K)
+	if err != nil {
+		return nil, err
+	}
+	fab, err := transport.NewFabric(net, ov, cfg.Transport, cfg.Size)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Codec != nil {
+		if err := fab.SetCodec(cfg.Codec); err != nil {
+			return nil, err
+		}
+	}
+	assign, err := partition.Assign(cfg.Graph, ov, cfg.Strategy, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	groups, err := ranker.BuildGroups(cfg.Graph, assign, cfg.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	root := xrand.New(cfg.Seed ^ 0x9e3779b97f4a7c15)
+	rankers := make([]*ranker.Ranker, cfg.K)
+	for i := 0; i < cfg.K; i++ {
+		mean := cfg.T1 + root.Float64()*(cfg.T2-cfg.T1)
+		if mean < MinMeanWait {
+			mean = MinMeanWait
+		}
+		rcfg := ranker.Config{
+			Alg:          cfg.Alg,
+			Alpha:        cfg.Alpha,
+			InnerEpsilon: cfg.InnerEpsilon,
+			SendProb:     cfg.SendProb,
+			MeanWait:     mean,
+		}
+		rk, err := ranker.New(groups[i], rcfg, sim, fab, root.Fork())
+		if err != nil {
+			return nil, err
+		}
+		if err := fab.Register(i, rk.Deliver); err != nil {
+			return nil, err
+		}
+		rankers[i] = rk
+	}
+	return &cluster{
+		cfg: cfg, sim: sim, net: net, ov: ov, fab: fab,
+		assign: assign, rankers: rankers,
+	}, nil
+}
+
+// assemble copies every ranker's local ranks into a global vector.
+func (cl *cluster) assemble(dst vecmath.Vec) {
+	for _, rk := range cl.rankers {
+		r := rk.Ranks()
+		for li, p := range rk.Group().Pages {
+			dst[p] = r[li]
+		}
+	}
+}
+
+func (cl *cluster) meanLoops() float64 {
+	var sum int64
+	for _, rk := range cl.rankers {
+		sum += rk.Loops()
+	}
+	return float64(sum) / float64(len(cl.rankers))
+}
+
+// Run executes one experiment, ranking from R0 = 0.
+func Run(cfg Config) (*Result, error) {
+	return run(cfg, nil)
+}
+
+// run executes one experiment, optionally warm-starting every ranker
+// from the global vector initial (page-indexed; nil means R0 = 0).
+func run(cfg Config, initial vecmath.Vec) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if initial != nil && len(initial) != cfg.Graph.NumPages() {
+		return nil, fmt.Errorf("engine: initial ranks have length %d, want %d",
+			len(initial), cfg.Graph.NumPages())
+	}
+	ref, err := pagerank.Open(cfg.Graph, pagerank.Options{
+		Alpha:   cfg.Alpha,
+		Epsilon: 1e-12,
+		MaxIter: 100000,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("engine: centralized reference: %w", err)
+	}
+	cl, err := build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if initial != nil {
+		for _, rk := range cl.rankers {
+			local := vecmath.NewVec(rk.Group().N())
+			for li, p := range rk.Group().Pages {
+				local[li] = initial[p]
+			}
+			if err := rk.SetInitialRanks(local); err != nil {
+				return nil, err
+			}
+		}
+	}
+	res := &Result{
+		Reference:   ref.Ranks,
+		ConvergedAt: -1,
+		Cut:         partition.Cut(cfg.Graph, cl.assign),
+	}
+	res.PagesPerRanker = make([]int, cfg.K)
+	for i, ps := range cl.assign.Pages {
+		res.PagesPerRanker[i] = len(ps)
+	}
+	hops, err := overlay.AvgHops(cl.ov, 500, xrand.New(cfg.Seed^0xabcdef))
+	if err != nil {
+		return nil, err
+	}
+	res.AvgHops = hops
+	totalN := 0
+	for i := 0; i < cl.ov.NumNodes(); i++ {
+		totalN += len(cl.ov.Neighbors(i))
+	}
+	res.AvgNeighbors = float64(totalN) / float64(cl.ov.NumNodes())
+
+	for _, rk := range cl.rankers {
+		rk.Start()
+	}
+	for _, d := range cfg.Disruptions {
+		d := d
+		cl.sim.At(d.From, func() {
+			cl.net.SetDown(cl.fab.Addr(d.Ranker), true)
+			cl.rankers[d.Ranker].Suspend()
+		})
+		cl.sim.At(d.To, func() {
+			cl.net.SetDown(cl.fab.Addr(d.Ranker), false)
+			cl.rankers[d.Ranker].Resume()
+		})
+	}
+	global := vecmath.NewVec(cfg.Graph.NumPages())
+	stopAll := func() {
+		for _, rk := range cl.rankers {
+			rk.Stop()
+		}
+	}
+	var sampleAt func(t float64)
+	sampleAt = func(t float64) {
+		cl.sim.At(t, func() {
+			cl.assemble(global)
+			s := Sample{
+				Time:      t,
+				RelErr:    vecmath.RelErr1(global, ref.Ranks),
+				AvgRank:   global.Mean(),
+				MeanLoops: cl.meanLoops(),
+			}
+			res.Samples = append(res.Samples, s)
+			if cfg.TargetRelErr > 0 && s.RelErr <= cfg.TargetRelErr && res.ConvergedAt < 0 {
+				res.ConvergedAt = t
+				res.LoopsAtConvergence = s.MeanLoops
+				stopAll()
+				return
+			}
+			if t+cfg.SampleEvery <= cfg.MaxTime {
+				sampleAt(t + cfg.SampleEvery)
+			} else {
+				stopAll()
+			}
+		})
+	}
+	if cfg.SampleEvery <= cfg.MaxTime {
+		sampleAt(cfg.SampleEvery)
+	} else {
+		cl.sim.At(cfg.MaxTime, stopAll)
+	}
+	cl.sim.Run(0)
+
+	cl.assemble(global)
+	res.Final = global.Clone()
+	res.RelErr = vecmath.RelErr1(res.Final, ref.Ranks)
+	if res.ConvergedAt < 0 {
+		res.LoopsAtConvergence = cl.meanLoops()
+	}
+	res.NetStats = cl.net.TotalStats()
+	res.TransportStats = cl.fab.Stats()
+	return res, nil
+}
+
+// CPRIterations returns the number of centralized power-iteration steps
+// (starting from R0 = 0, like the distributed algorithms) needed to
+// bring the relative error against the fixed point below target. This
+// is the CPR curve of Figure 8.
+func CPRIterations(g *webgraph.Graph, alpha, target float64) (int, error) {
+	if target <= 0 {
+		return 0, fmt.Errorf("engine: target must be positive, got %v", target)
+	}
+	star, err := pagerank.Open(g, pagerank.Options{Alpha: alpha, Epsilon: 1e-12, MaxIter: 100000})
+	if err != nil {
+		return 0, err
+	}
+	a, err := pagerank.BuildTransition(g, alpha)
+	if err != nil {
+		return 0, err
+	}
+	n := g.NumPages()
+	r := vecmath.NewVec(n)
+	next := vecmath.NewVec(n)
+	for it := 1; ; it++ {
+		a.MulVec(next, r)
+		next.AddConst(1 - alpha) // βE with E = 1
+		r, next = next, r
+		if vecmath.RelErr1(r, star.Ranks) <= target {
+			return it, nil
+		}
+		if it > 100000 {
+			return 0, fmt.Errorf("engine: CPR did not reach %v", target)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package engine
+
+import (
+	"os"
+	"testing"
+
+	"p2prank/internal/ranker"
+	"p2prank/internal/webgraph"
+)
+
+// TestPaperScale runs the experiment at the paper's actual scale: a
+// 1M-page, 100-site crawl with 15M links (7M internal) ranked by 1000
+// asynchronous page rankers — the Figure 6 configuration. It takes a
+// few minutes and a few GB of memory, so it is opt-in:
+//
+//	P2PRANK_PAPERSCALE=1 go test ./internal/engine -run TestPaperScale -v -timeout 30m
+func TestPaperScale(t *testing.T) {
+	if os.Getenv("P2PRANK_PAPERSCALE") == "" {
+		t.Skip("set P2PRANK_PAPERSCALE=1 to run the 1M-page experiment")
+	}
+	cfg := webgraph.DefaultGenConfig(1_000_000)
+	g, err := webgraph.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := webgraph.ComputeStats(g)
+	t.Logf("crawl: %d pages, %d sites, %d internal + %d external links",
+		stats.Pages, stats.Sites, stats.InternalLinks, stats.ExternalLinks)
+	if stats.Pages != 1_000_000 || stats.Sites != 100 {
+		t.Fatalf("wrong scale: %+v", stats)
+	}
+	res, err := Run(Config{
+		Graph:        g,
+		K:            1000,
+		Alg:          ranker.DPR1,
+		T1:           0,
+		T2:           6,
+		MaxTime:      300,
+		SampleEvery:  5,
+		TargetRelErr: 1e-4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ConvergedAt < 0 {
+		t.Fatalf("did not reach 0.01%% relative error (final %v)", res.RelErr)
+	}
+	t.Logf("converged at t=%v after %.1f loops/ranker; avg rank %.3f; %d messages, %.1f GB",
+		res.ConvergedAt, res.LoopsAtConvergence,
+		res.Final.Mean(),
+		res.NetStats.MessagesSent, float64(res.NetStats.BytesSent)/1e9)
+	avg := res.Final.Mean()
+	if avg < 0.2 || avg > 0.4 {
+		t.Fatalf("average rank %v outside the paper's ≈0.3 band", avg)
+	}
+}

@@ -1,0 +1,461 @@
+// Package experiments packages the paper's evaluation section as
+// runnable presets: one function per figure/table that builds the
+// workload, sweeps the parameters, and returns the series or rows the
+// paper plots. cmd/dprsim and the top-level benchmark harness both
+// consume these, so the numbers printed by either always come from the
+// same code.
+//
+// Scale note: the paper ranks ~1M real pages (Google programming
+// contest crawl, 100 .edu sites) on a simulator. The presets default to
+// a generator-calibrated crawl a few tens of thousands of pages large —
+// the same site count and link statistics, sized to run in seconds.
+// Pass a bigger Pages to approach the paper's scale.
+package experiments
+
+import (
+	"fmt"
+
+	"p2prank/internal/bwmodel"
+	"p2prank/internal/engine"
+	"p2prank/internal/metrics"
+	"p2prank/internal/overlay"
+	"p2prank/internal/partition"
+	"p2prank/internal/ranker"
+	"p2prank/internal/simnet"
+	"p2prank/internal/transport"
+	"p2prank/internal/webgraph"
+	"p2prank/internal/xrand"
+)
+
+// Workload describes the synthetic crawl a preset runs on.
+type Workload struct {
+	// Pages is the crawl size (default 20000).
+	Pages int
+	// Sites is the number of sites (default 100, the paper's count).
+	Sites int
+	// Seed drives generation and the experiment (default 1).
+	Seed uint64
+}
+
+func (w *Workload) defaults() {
+	if w.Pages == 0 {
+		w.Pages = 20000
+	}
+	if w.Sites == 0 {
+		w.Sites = 100
+	}
+	if w.Seed == 0 {
+		w.Seed = 1
+	}
+}
+
+// Generate builds the workload's crawl.
+func (w Workload) Generate() (*webgraph.Graph, error) {
+	w.defaults()
+	cfg := webgraph.DefaultGenConfig(w.Pages)
+	if w.Sites <= w.Pages {
+		cfg.Sites = w.Sites
+	}
+	cfg.Seed = w.Seed
+	return webgraph.Generate(cfg)
+}
+
+// curveParams are the three (p, T1, T2) settings of Figures 6 and 7.
+var curveParams = []struct {
+	name     string
+	sendProb float64
+	t1, t2   float64
+}{
+	{"A (p=1, T1=0, T2=6)", 1.0, 0, 6},
+	{"B (p=0.7, T1=0, T2=6)", 0.7, 0, 6},
+	{"C (p=0.7, T1=0, T2=15)", 0.7, 0, 15},
+}
+
+// FigureResult is a set of named curves over virtual time.
+type FigureResult struct {
+	// Curves holds one series per paper curve (A, B, C).
+	Curves []*metrics.Series
+	// Graph statistics for the caption.
+	GraphStats webgraph.Stats
+}
+
+// Fig6 reproduces Figure 6: relative error of DPR1 against centralized
+// PageRank over time, at K rankers (paper: 1000), for the three
+// loss/speed settings.
+func Fig6(w Workload, k int, maxTime float64) (*FigureResult, error) {
+	return errorOverTime(w, k, maxTime, func(s *engine.Sample) float64 {
+		return s.RelErr * 100 // the paper plots percent
+	}, "relative error (%)")
+}
+
+// Fig7 reproduces Figure 7: the monotone average-rank sequence of DPR1
+// at K rankers (paper: 100). The converged level sits near 0.25–0.3
+// because 8/15 of links leave the dataset.
+func Fig7(w Workload, k int, maxTime float64) (*FigureResult, error) {
+	return errorOverTime(w, k, maxTime, func(s *engine.Sample) float64 {
+		return s.AvgRank
+	}, "average rank")
+}
+
+func errorOverTime(w Workload, k int, maxTime float64, metric func(*engine.Sample) float64, _ string) (*FigureResult, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("experiments: k = %d, must be positive", k)
+	}
+	if maxTime <= 0 {
+		return nil, fmt.Errorf("experiments: maxTime = %v, must be positive", maxTime)
+	}
+	w.defaults()
+	g, err := w.Generate()
+	if err != nil {
+		return nil, err
+	}
+	res := &FigureResult{GraphStats: webgraph.ComputeStats(g)}
+	for _, cp := range curveParams {
+		cfg := engine.Config{
+			Graph:       g,
+			K:           k,
+			Alg:         ranker.DPR1,
+			SendProb:    cp.sendProb,
+			T1:          cp.t1,
+			T2:          cp.t2,
+			Seed:        w.Seed,
+			SampleEvery: 1,
+			MaxTime:     maxTime,
+			Transport:   transport.Indirect,
+			Strategy:    partition.BySite,
+		}
+		run, err := engine.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: curve %q: %w", cp.name, err)
+		}
+		s := metrics.NewSeries(cp.name)
+		for i := range run.Samples {
+			s.Add(run.Samples[i].Time, metric(&run.Samples[i]))
+		}
+		res.Curves = append(res.Curves, s)
+	}
+	return res, nil
+}
+
+// Fig8Row is one point of Figure 8: iterations to reach the threshold
+// relative error for each algorithm at a ranker population.
+type Fig8Row struct {
+	K    int
+	DPR1 float64
+	DPR2 float64
+	CPR  float64
+}
+
+// Fig8 reproduces Figure 8: the number of iterations each algorithm
+// needs to reach relative error 0.01%, versus the number of page
+// rankers (paper: 2..10000; p=1, T1=T2=15). Pages are partitioned by
+// site hash, the paper's recommended strategy; note that a 100-site
+// crawl occupies at most 100 rankers, which is also why the paper's
+// curve is flat from K=100 to K=10000.
+func Fig8(w Workload, ks []int) ([]Fig8Row, error) {
+	if len(ks) == 0 {
+		return nil, fmt.Errorf("experiments: no ranker counts")
+	}
+	w.defaults()
+	g, err := w.Generate()
+	if err != nil {
+		return nil, err
+	}
+	const target = 1e-4 // the paper's 0.01%
+	cpr, err := engine.CPRIterations(g, 0.85, target)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig8Row, 0, len(ks))
+	for _, k := range ks {
+		if k <= 0 {
+			return nil, fmt.Errorf("experiments: k = %d, must be positive", k)
+		}
+		row := Fig8Row{K: k, CPR: float64(cpr)}
+		for _, alg := range []ranker.Algorithm{ranker.DPR1, ranker.DPR2} {
+			cfg := engine.Config{
+				Graph:        g,
+				K:            k,
+				Alg:          alg,
+				T1:           15,
+				T2:           15,
+				Seed:         w.Seed,
+				SampleEvery:  5,
+				MaxTime:      6000,
+				TargetRelErr: target,
+				Strategy:     partition.BySite,
+				Transport:    transport.Indirect,
+			}
+			run, err := engine.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig8 K=%d %v: %w", k, alg, err)
+			}
+			if run.ConvergedAt < 0 {
+				return nil, fmt.Errorf("experiments: fig8 K=%d %v did not converge (rel err %v)",
+					k, alg, run.RelErr)
+			}
+			switch alg {
+			case ranker.DPR1:
+				row.DPR1 = run.LoopsAtConvergence
+			case ranker.DPR2:
+				row.DPR2 = run.LoopsAtConvergence
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFig8 formats Figure 8 rows as a table.
+func RenderFig8(rows []Fig8Row) string {
+	t := metrics.NewTable("# of Page Rankers", "DPR1", "DPR2", "CPR")
+	for _, r := range rows {
+		t.AddRow(r.K, fmt.Sprintf("%.1f", r.DPR1), fmt.Sprintf("%.1f", r.DPR2), fmt.Sprintf("%.0f", r.CPR))
+	}
+	return t.String()
+}
+
+// TransmissionRow compares measured per-iteration traffic of the two
+// transmission schemes against the closed-form model (formulas
+// 4.1–4.4) at one ranker population.
+type TransmissionRow struct {
+	K int
+	// Measured per-iteration means.
+	DirectMsgs, IndirectMsgs   float64
+	DirectBytes, IndirectBytes float64
+	// Model predictions with the measured h and g plugged in.
+	ModelDirectMsgs, ModelIndirectMsgs float64
+	AvgHops, AvgNeighbors              float64
+}
+
+// Transmission measures both transports at each ranker population and
+// returns rows pairing measurement with the §4.4 model. Pages are
+// partitioned by URL hash so all ranker pairs communicate, the regime
+// formulas 4.1–4.4 assume.
+func Transmission(w Workload, ks []int, timePerRun float64) ([]TransmissionRow, error) {
+	if len(ks) == 0 {
+		return nil, fmt.Errorf("experiments: no ranker counts")
+	}
+	if timePerRun <= 0 {
+		return nil, fmt.Errorf("experiments: timePerRun must be positive")
+	}
+	w.defaults()
+	g, err := w.Generate()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]TransmissionRow, 0, len(ks))
+	for _, k := range ks {
+		row := TransmissionRow{K: k}
+		for _, kind := range []transport.Kind{transport.Direct, transport.Indirect} {
+			cfg := engine.Config{
+				Graph:       g,
+				K:           k,
+				Alg:         ranker.DPR1,
+				T1:          3,
+				T2:          3,
+				Seed:        w.Seed,
+				SampleEvery: timePerRun, // one sample at the end
+				MaxTime:     timePerRun,
+				Strategy:    partition.ByPage,
+				Transport:   kind,
+			}
+			run, err := engine.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: transmission K=%d %v: %w", k, kind, err)
+			}
+			iters := run.LoopsAtConvergence
+			if iters == 0 {
+				iters = 1
+			}
+			msgs := float64(run.NetStats.MessagesSent) / iters
+			bytes := float64(run.NetStats.BytesSent) / iters
+			switch kind {
+			case transport.Direct:
+				row.DirectMsgs, row.DirectBytes = msgs, bytes
+			case transport.Indirect:
+				row.IndirectMsgs, row.IndirectBytes = msgs, bytes
+				row.AvgHops, row.AvgNeighbors = run.AvgHops, run.AvgNeighbors
+			}
+		}
+		p := bwmodel.Params{
+			W: float64(w.Pages), N: float64(k),
+			H: row.AvgHops, L: 100, R: 48, G: row.AvgNeighbors,
+		}
+		row.ModelDirectMsgs = p.DirectMessages()
+		row.ModelIndirectMsgs = p.IndirectMessages()
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTransmission formats transmission rows as a table.
+func RenderTransmission(rows []TransmissionRow) string {
+	t := metrics.NewTable("K", "direct msgs/iter", "indirect msgs/iter",
+		"model S_dt", "model S_it", "direct B/iter", "indirect B/iter")
+	for _, r := range rows {
+		t.AddRow(r.K,
+			fmt.Sprintf("%.0f", r.DirectMsgs), fmt.Sprintf("%.0f", r.IndirectMsgs),
+			fmt.Sprintf("%.0f", r.ModelDirectMsgs), fmt.Sprintf("%.0f", r.ModelIndirectMsgs),
+			fmt.Sprintf("%.0f", r.DirectBytes), fmt.Sprintf("%.0f", r.IndirectBytes))
+	}
+	return t.String()
+}
+
+// CutRow is the §4.1 partition comparison at one strategy.
+type CutRow struct {
+	Strategy partition.Strategy
+	CutFrac  float64
+	MaxPages int
+	MinPages int
+}
+
+// PartitionCut measures the fraction of internal links crossing ranker
+// boundaries under each partitioning strategy — the evidence behind
+// §4.1's recommendation of hash-by-site.
+func PartitionCut(w Workload, k int) ([]CutRow, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("experiments: k = %d, must be positive", k)
+	}
+	w.defaults()
+	g, err := w.Generate()
+	if err != nil {
+		return nil, err
+	}
+	ov, err := engine.BuildOverlay(engine.Pastry, k)
+	if err != nil {
+		return nil, err
+	}
+	var rows []CutRow
+	for _, strat := range []partition.Strategy{partition.BySite, partition.ByPage, partition.Random} {
+		a, err := partition.Assign(g, ov, strat, w.Seed)
+		if err != nil {
+			return nil, err
+		}
+		c := partition.Cut(g, a)
+		rows = append(rows, CutRow{Strategy: strat, CutFrac: c.CutFrac(), MaxPages: c.MaxPages, MinPages: c.MinPages})
+	}
+	return rows, nil
+}
+
+// RenderCut formats partition-cut rows.
+func RenderCut(rows []CutRow) string {
+	t := metrics.NewTable("strategy", "cut fraction", "max pages/ranker", "min pages/ranker")
+	for _, r := range rows {
+		t.AddRow(r.Strategy, fmt.Sprintf("%.4f", r.CutFrac), r.MaxPages, r.MinPages)
+	}
+	return t.String()
+}
+
+// HopsRow pairs an overlay population with its measured mean lookup
+// hops — the h(N) inputs of Table 1.
+type HopsRow struct {
+	N       int
+	Hops    float64
+	PaperH  float64
+	Overlay engine.OverlayKind
+}
+
+// OverlayHops measures mean lookup hop counts at each population.
+func OverlayHops(kind engine.OverlayKind, ns []int, samples int, seed uint64) ([]HopsRow, error) {
+	if samples <= 0 {
+		return nil, fmt.Errorf("experiments: samples must be positive")
+	}
+	rng := xrand.New(seed)
+	rows := make([]HopsRow, 0, len(ns))
+	for _, n := range ns {
+		ov, err := engine.BuildOverlay(kind, n)
+		if err != nil {
+			return nil, err
+		}
+		h, err := overlay.AvgHops(ov, samples, rng)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, HopsRow{N: n, Hops: h, PaperH: bwmodel.PastryHops(float64(n)), Overlay: kind})
+	}
+	return rows, nil
+}
+
+// BandwidthRow records convergence under one per-node bandwidth budget
+// — the measured counterpart of §4.5's constraint 4.7.
+type BandwidthRow struct {
+	// Bandwidth is the per-node uplink in bytes per virtual time unit
+	// (0 = unlimited).
+	Bandwidth float64
+	// ConvergedAt is the virtual time the target error was reached, or
+	// -1 when the horizon expired first.
+	ConvergedAt float64
+	// FinalRelErr is the relative error at the end of the run.
+	FinalRelErr float64
+}
+
+// ConvergenceVsBandwidth reruns the same DPR1 workload under shrinking
+// per-node uplink budgets. The paper's §4.5 argues analytically that
+// bandwidth bounds the iteration interval and hence convergence time;
+// here the simulator serializes every message through the sender's
+// uplink, so the effect is measured instead of modeled.
+func ConvergenceVsBandwidth(w Workload, k int, bws []float64, maxTime float64) ([]BandwidthRow, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("experiments: k = %d, must be positive", k)
+	}
+	if len(bws) == 0 {
+		return nil, fmt.Errorf("experiments: no bandwidth values")
+	}
+	w.defaults()
+	g, err := w.Generate()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]BandwidthRow, 0, len(bws))
+	for _, bw := range bws {
+		if bw < 0 {
+			return nil, fmt.Errorf("experiments: negative bandwidth %v", bw)
+		}
+		cfg := engine.Config{
+			Graph:        g,
+			K:            k,
+			Alg:          ranker.DPR1,
+			T1:           3,
+			T2:           3,
+			Seed:         w.Seed,
+			SampleEvery:  1,
+			MaxTime:      maxTime,
+			TargetRelErr: 1e-4,
+			Strategy:     partition.BySite,
+			Transport:    transport.Indirect,
+			Net: simnet.NetConfig{
+				MinLatency:    0.05,
+				MaxLatency:    0.15,
+				NodeBandwidth: bw,
+			},
+		}
+		run, err := engine.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: bandwidth %v: %w", bw, err)
+		}
+		rows = append(rows, BandwidthRow{
+			Bandwidth:   bw,
+			ConvergedAt: run.ConvergedAt,
+			FinalRelErr: run.RelErr,
+		})
+	}
+	return rows, nil
+}
+
+// RenderBandwidth formats bandwidth-sweep rows.
+func RenderBandwidth(rows []BandwidthRow) string {
+	t := metrics.NewTable("node bandwidth (B/unit)", "converged at", "final rel err")
+	for _, r := range rows {
+		conv := "never"
+		if r.ConvergedAt >= 0 {
+			conv = fmt.Sprintf("%.0f", r.ConvergedAt)
+		}
+		bw := "unlimited"
+		if r.Bandwidth > 0 {
+			bw = fmt.Sprintf("%.0f", r.Bandwidth)
+		}
+		t.AddRow(bw, conv, fmt.Sprintf("%.2e", r.FinalRelErr))
+	}
+	return t.String()
+}

@@ -1,0 +1,174 @@
+package hits
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"p2prank/internal/webgraph"
+)
+
+func buildGraph(t *testing.T, pages int, links [][2]int32) *webgraph.Graph {
+	t.Helper()
+	var b webgraph.Builder
+	s := b.AddSite("a.edu")
+	for i := 0; i < pages; i++ {
+		b.AddPage(s)
+	}
+	for _, l := range links {
+		if err := b.AddLink(l[0], l[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestStarAuthority(t *testing.T) {
+	// Pages 1..4 all point to page 0: page 0 is the sole authority,
+	// pages 1..4 are equal hubs, page 0 is no hub.
+	g := buildGraph(t, 5, [][2]int32{{1, 0}, {2, 0}, {3, 0}, {4, 0}})
+	res, err := Compute(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Authorities[0]-1) > 1e-9 {
+		t.Fatalf("authority(0) = %v, want 1", res.Authorities[0])
+	}
+	for i := 1; i < 5; i++ {
+		if res.Authorities[i] > 1e-9 {
+			t.Fatalf("authority(%d) = %v, want 0", i, res.Authorities[i])
+		}
+		if math.Abs(res.Hubs[i]-0.5) > 1e-9 {
+			t.Fatalf("hub(%d) = %v, want 0.5", i, res.Hubs[i])
+		}
+	}
+	if res.Hubs[0] > 1e-9 {
+		t.Fatalf("hub(0) = %v, want 0", res.Hubs[0])
+	}
+}
+
+func TestBipartiteCore(t *testing.T) {
+	// Hubs {0,1} each point to authorities {2,3,4}; the classic
+	// complete bipartite core. Hubs equal, authorities equal.
+	var links [][2]int32
+	for _, h := range []int32{0, 1} {
+		for _, a := range []int32{2, 3, 4} {
+			links = append(links, [2]int32{h, a})
+		}
+	}
+	g := buildGraph(t, 5, links)
+	res, err := Compute(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Hubs[0]-res.Hubs[1]) > 1e-12 {
+		t.Fatal("equal hubs scored differently")
+	}
+	if math.Abs(res.Authorities[2]-res.Authorities[4]) > 1e-12 {
+		t.Fatal("equal authorities scored differently")
+	}
+	// 2 hubs at 1/√2, 3 authorities at 1/√3.
+	if math.Abs(res.Hubs[0]-1/math.Sqrt(2)) > 1e-9 {
+		t.Fatalf("hub = %v, want 1/√2", res.Hubs[0])
+	}
+	if math.Abs(res.Authorities[2]-1/math.Sqrt(3)) > 1e-9 {
+		t.Fatalf("authority = %v, want 1/√3", res.Authorities[2])
+	}
+}
+
+func TestUnitNorms(t *testing.T) {
+	cfg := webgraph.DefaultGenConfig(3000)
+	g, err := webgraph.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compute(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2 := func(x []float64) float64 {
+		s := 0.0
+		for _, v := range x {
+			s += v * v
+		}
+		return math.Sqrt(s)
+	}
+	if math.Abs(l2(res.Hubs)-1) > 1e-9 || math.Abs(l2(res.Authorities)-1) > 1e-9 {
+		t.Fatalf("norms: hubs %v, authorities %v", l2(res.Hubs), l2(res.Authorities))
+	}
+	if res.Hubs.Min() < 0 || res.Authorities.Min() < 0 {
+		t.Fatal("negative scores")
+	}
+}
+
+func TestEmptyAndLinklessGraphs(t *testing.T) {
+	var b webgraph.Builder
+	empty := b.Build()
+	res, err := Compute(empty, DefaultOptions())
+	if err != nil || !res.Converged {
+		t.Fatalf("empty graph: %v", err)
+	}
+	linkless := buildGraph(t, 3, nil)
+	res, err = Compute(linkless, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No links: all scores collapse to zero after one round.
+	if res.Authorities.Norm1() > 1e-12 || res.Hubs.Norm1() > 1e-12 {
+		t.Fatalf("linkless scores: %v / %v", res.Hubs, res.Authorities)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	g := buildGraph(t, 2, [][2]int32{{0, 1}})
+	if _, err := Compute(g, Options{Epsilon: 0}); err == nil {
+		t.Error("zero epsilon accepted")
+	}
+	if _, err := Compute(g, Options{Epsilon: 1e-9, MaxIter: -1}); err == nil {
+		t.Error("negative MaxIter accepted")
+	}
+}
+
+func TestNotConverged(t *testing.T) {
+	cfg := webgraph.DefaultGenConfig(2000)
+	g, err := webgraph.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Compute(g, Options{Epsilon: 1e-300, MaxIter: 2})
+	if !errors.Is(err, ErrNotConverged) {
+		t.Fatalf("err = %v, want ErrNotConverged", err)
+	}
+}
+
+func TestMutualReinforcement(t *testing.T) {
+	// Page 5 points at the popular authority 0 AND at an unpopular
+	// page; page 6 points only at the unpopular page. Page 5 must be
+	// the better hub.
+	g := buildGraph(t, 7, [][2]int32{
+		{1, 0}, {2, 0}, {3, 0},
+		{5, 0}, {5, 4},
+		{6, 4},
+	})
+	res, err := Compute(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hubs[5] <= res.Hubs[6] {
+		t.Fatalf("hub(5)=%v not above hub(6)=%v", res.Hubs[5], res.Hubs[6])
+	}
+}
+
+func BenchmarkHITS5k(b *testing.B) {
+	cfg := webgraph.DefaultGenConfig(5000)
+	g, err := webgraph.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compute(g, DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

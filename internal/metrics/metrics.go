@@ -1,0 +1,143 @@
+// Package metrics holds the small result-recording utilities the
+// experiment harness shares: named time series (the curves of Figures
+// 6–8) and fixed-width tables (Table 1), with CSV and plain-text
+// rendering.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Series is one named curve: parallel time and value slices.
+type Series struct {
+	Name   string
+	Times  []float64
+	Values []float64
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Add appends one point.
+func (s *Series) Add(t, v float64) {
+	s.Times = append(s.Times, t)
+	s.Values = append(s.Values, v)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.Times) }
+
+// Last returns the final value, or 0 for an empty series.
+func (s *Series) Last() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	return s.Values[len(s.Values)-1]
+}
+
+// WriteCSV renders series sharing a time axis as CSV: a time column
+// followed by one column per series. Series may have different lengths;
+// missing cells are left empty. The time column comes from the longest
+// series.
+func WriteCSV(w io.Writer, series ...*Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("metrics: no series")
+	}
+	longest := series[0]
+	for _, s := range series[1:] {
+		if s.Len() > longest.Len() {
+			longest = s
+		}
+	}
+	header := make([]string, 0, len(series)+1)
+	header = append(header, "time")
+	for _, s := range series {
+		header = append(header, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for i := 0; i < longest.Len(); i++ {
+		row := make([]string, 0, len(series)+1)
+		row = append(row, formatFloat(longest.Times[i]))
+		for _, s := range series {
+			if i < s.Len() {
+				row = append(row, formatFloat(s.Values[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatFloat(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.6f", v), "0"), ".")
+}
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; cells are stringified with %v. Rows shorter or
+// longer than the header are padded or truncated at render time.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprintf("%v", c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	cols := len(t.header)
+	width := make([]int, cols)
+	for i, h := range t.header {
+		width[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i := 0; i < cols && i < len(row); i++ {
+			if len(row[i]) > width[i] {
+				width[i] = len(row[i])
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	sep := make([]string, cols)
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

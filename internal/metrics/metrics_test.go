@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeriesAddLenLast(t *testing.T) {
+	s := NewSeries("err")
+	if s.Len() != 0 || s.Last() != 0 {
+		t.Fatal("empty series not zero")
+	}
+	s.Add(1, 0.5)
+	s.Add(2, 0.25)
+	if s.Len() != 2 || s.Last() != 0.25 {
+		t.Fatalf("len=%d last=%v", s.Len(), s.Last())
+	}
+	if s.Times[0] != 1 || s.Values[1] != 0.25 {
+		t.Fatal("points stored wrong")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	a := NewSeries("a")
+	a.Add(1, 0.5)
+	a.Add(2, 0.125)
+	b := NewSeries("b")
+	b.Add(1, 3)
+	var sb strings.Builder
+	if err := WriteCSV(&sb, a, b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "time,a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "1,0.5,3" {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	// Shorter series b leaves an empty cell.
+	if lines[2] != "2,0.125," {
+		t.Fatalf("row 2 = %q", lines[2])
+	}
+}
+
+func TestWriteCSVNoSeries(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteCSV(&sb); err == nil {
+		t.Fatal("empty series list accepted")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("N", "Time", "Bandwidth")
+	tb.AddRow(1000, "7500s", "100KB/s")
+	tb.AddRow(100000, "12000s", "1KB/s")
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "Bandwidth") || !strings.Contains(lines[3], "100000") {
+		t.Fatalf("table content wrong:\n%s", out)
+	}
+	// Columns align: all lines equal length once trailing padding is
+	// stripped consistently.
+	for i := 1; i < len(lines); i++ {
+		if len(strings.TrimRight(lines[i], " ")) > len(lines[0]) {
+			t.Fatalf("misaligned line %d:\n%s", i, out)
+		}
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("only")
+	out := tb.String()
+	if !strings.Contains(out, "only") {
+		t.Fatalf("short row missing:\n%s", out)
+	}
+}

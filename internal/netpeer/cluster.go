@@ -1,0 +1,171 @@
+package netpeer
+
+import (
+	"fmt"
+	"time"
+
+	"p2prank/internal/nodeid"
+	"p2prank/internal/pagerank"
+	"p2prank/internal/partition"
+	"p2prank/internal/pastry"
+	"p2prank/internal/ranker"
+	"p2prank/internal/transport"
+	"p2prank/internal/vecmath"
+	"p2prank/internal/webgraph"
+)
+
+// ClusterConfig parameterizes StartCluster.
+type ClusterConfig struct {
+	// K is the number of peers.
+	K int
+	// Alg selects DPR1 or DPR2.
+	Alg ranker.Algorithm
+	// Alpha is the rank-transmission fraction (default 0.85).
+	Alpha float64
+	// Strategy is the partitioning strategy (default BySite).
+	Strategy partition.Strategy
+	// MeanWait is each peer's mean loop pause (default 30ms).
+	MeanWait time.Duration
+	// SendProb is the per-destination loss parameter p (default 1).
+	SendProb float64
+	// Indirect switches the cluster to §4.4 indirect transmission:
+	// score frames hop along the Pastry overlay through intermediate
+	// peers instead of going point-to-point.
+	Indirect bool
+	// Codec optionally replaces gob framing with a compact wire codec
+	// shared by all peers (see internal/codec).
+	Codec transport.ChunkCodec
+	// Seed makes partitioning and waits reproducible (default 1).
+	Seed uint64
+}
+
+// Cluster is a set of live peers ranking one crawl on localhost.
+type Cluster struct {
+	// Peers holds the live peers, indexed by group.
+	Peers []*Peer
+	// Assignment is the page partition the peers rank under.
+	Assignment *partition.Assignment
+	// Reference is the centralized fixed point R*.
+	Reference vecmath.Vec
+
+	graph *webgraph.Graph
+}
+
+// StartCluster computes the centralized reference, partitions g over K
+// groups, starts one TCP peer per group on 127.0.0.1, interconnects
+// them, and starts their ranking loops.
+func StartCluster(g *webgraph.Graph, cfg ClusterConfig) (*Cluster, error) {
+	if g == nil {
+		return nil, fmt.Errorf("netpeer: nil graph")
+	}
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("netpeer: K = %d, must be positive", cfg.K)
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 0.85
+	}
+	if cfg.MeanWait == 0 {
+		cfg.MeanWait = 30 * time.Millisecond
+	}
+	if cfg.SendProb == 0 {
+		cfg.SendProb = 1
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	ref, err := pagerank.Open(g, pagerank.Options{Alpha: cfg.Alpha, Epsilon: 1e-12, MaxIter: 100000})
+	if err != nil {
+		return nil, fmt.Errorf("netpeer: centralized reference: %w", err)
+	}
+	ids := make([]nodeid.ID, cfg.K)
+	for i := range ids {
+		ids[i] = nodeid.Hash(fmt.Sprintf("p2prank-ranker-%d", i))
+	}
+	ov, err := pastry.New(ids, pastry.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	assign, err := partition.Assign(g, ov, cfg.Strategy, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	groups, err := ranker.BuildGroups(g, assign, cfg.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	cl := &Cluster{Assignment: assign, Reference: ref.Ranks, graph: g}
+	for i := 0; i < cfg.K; i++ {
+		pcfg := Config{
+			Group:    groups[i],
+			Alg:      cfg.Alg,
+			Alpha:    cfg.Alpha,
+			SendProb: cfg.SendProb,
+			MeanWait: cfg.MeanWait,
+			Seed:     cfg.Seed + uint64(i)*7919,
+			Codec:    cfg.Codec,
+		}
+		if cfg.Indirect {
+			pcfg.Overlay = ov
+		}
+		peer, err := Listen("127.0.0.1:0", pcfg)
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		cl.Peers = append(cl.Peers, peer)
+	}
+	for _, p := range cl.Peers {
+		for j, q := range cl.Peers {
+			if p != q {
+				p.SetPeer(int32(j), q.Addr())
+			}
+		}
+	}
+	for _, p := range cl.Peers {
+		p.Start()
+	}
+	return cl, nil
+}
+
+// Assemble snapshots every peer's local ranks into one global vector.
+func (cl *Cluster) Assemble() vecmath.Vec {
+	out := vecmath.NewVec(cl.graph.NumPages())
+	for i, p := range cl.Peers {
+		r := p.Ranks()
+		for li, page := range cl.Assignment.Pages[i] {
+			out[page] = r[li]
+		}
+	}
+	return out
+}
+
+// RelErr returns the current relative error against the centralized
+// reference.
+func (cl *Cluster) RelErr() float64 {
+	return vecmath.RelErr1(cl.Assemble(), cl.Reference)
+}
+
+// WaitConverged polls until the relative error drops to target or the
+// timeout expires.
+func (cl *Cluster) WaitConverged(target float64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if re := cl.RelErr(); re <= target {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("netpeer: not converged to %v within %v (rel err %v)",
+				target, timeout, cl.RelErr())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// Close shuts every peer down.
+func (cl *Cluster) Close() {
+	for _, p := range cl.Peers {
+		if p != nil {
+			p.Close()
+		}
+	}
+}

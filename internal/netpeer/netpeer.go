@@ -1,0 +1,447 @@
+// Package netpeer runs page rankers as real network peers: each peer
+// listens on a TCP socket, executes its asynchronous DPR loop in its own
+// goroutine on wall-clock time, and exchanges score vectors with the
+// other rankers over length-delimited gob frames.
+//
+// The simulator (internal/engine) is where the paper's measurements
+// come from; netpeer exists to demonstrate that the same algorithms run
+// unchanged over real sockets, real concurrency, and real partial
+// failure (a peer can be stopped and the rest keep converging). Peers
+// default to direct transmission — with a static in-process cluster
+// every peer knows every address, the regime the paper says direct
+// transmission suits (small N) — and optionally to indirect
+// transmission, forwarding score frames hop-by-hop along a structured
+// overlay exactly as §4.4 describes, batching chunks that share a next
+// hop into one frame.
+package netpeer
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"p2prank/internal/overlay"
+	"p2prank/internal/pagerank"
+	"p2prank/internal/ranker"
+	"p2prank/internal/transport"
+	"p2prank/internal/vecmath"
+	"p2prank/internal/xrand"
+)
+
+// Config parameterizes one peer.
+type Config struct {
+	// Group is the peer's page group (from ranker.BuildGroups).
+	Group *ranker.Group
+	// Alg selects DPR1 or DPR2.
+	Alg ranker.Algorithm
+	// Alpha is the real-link rank fraction (default 0.85).
+	Alpha float64
+	// InnerEpsilon is DPR1's inner threshold (default 1e-10).
+	InnerEpsilon float64
+	// SendProb is the paper's p, applied per destination per loop
+	// (default 1).
+	SendProb float64
+	// MeanWait is the mean of the exponentially distributed pause
+	// between loops (default 50ms).
+	MeanWait time.Duration
+	// Seed drives the peer's private randomness (default 1).
+	Seed uint64
+	// Overlay, when non-nil, switches the peer to indirect
+	// transmission: frames hop along overlay routes (NextHop over
+	// ranker indices) instead of going straight to their destination.
+	// All peers of a cluster must share the same overlay construction.
+	Overlay overlay.Network
+	// Codec, when non-nil, replaces gob framing with length-prefixed
+	// codec encodings (see internal/codec) — compact, and lossy codecs
+	// genuinely quantize the exchanged scores. All peers of a cluster
+	// must use the same codec.
+	Codec transport.ChunkCodec
+}
+
+func (c *Config) validate() error {
+	if c.Group == nil {
+		return errors.New("netpeer: Group is required")
+	}
+	if c.Alg != ranker.DPR1 && c.Alg != ranker.DPR2 {
+		return fmt.Errorf("netpeer: unknown algorithm %d", int(c.Alg))
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.85
+	}
+	if c.Alpha <= 0 || c.Alpha >= 1 {
+		return fmt.Errorf("netpeer: alpha = %v out of range", c.Alpha)
+	}
+	if c.InnerEpsilon == 0 {
+		c.InnerEpsilon = 1e-10
+	}
+	if c.InnerEpsilon < 0 {
+		return fmt.Errorf("netpeer: negative InnerEpsilon")
+	}
+	if c.SendProb == 0 {
+		c.SendProb = 1
+	}
+	if c.SendProb < 0 || c.SendProb > 1 {
+		return fmt.Errorf("netpeer: SendProb %v out of range", c.SendProb)
+	}
+	if c.MeanWait == 0 {
+		c.MeanWait = 50 * time.Millisecond
+	}
+	if c.MeanWait < 0 {
+		return fmt.Errorf("netpeer: negative MeanWait")
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return nil
+}
+
+// frame is the single wire message: a batch of score chunks.
+type frame struct {
+	Chunks []transport.ScoreChunk
+}
+
+// Peer is one live page ranker.
+type Peer struct {
+	cfg Config
+	ln  net.Listener
+
+	mu     sync.Mutex
+	r      vecmath.Vec
+	x      vecmath.Vec
+	latest map[int32]transport.ScoreChunk
+	peers  map[int32]string
+
+	connMu   sync.Mutex
+	conns    map[int32]*peerConn
+	accepted map[net.Conn]struct{}
+
+	loops   atomic.Int64
+	sent    atomic.Int64
+	relayed atomic.Int64
+	started atomic.Bool
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	rng     *xrand.Rand // loop goroutine only
+	wire    wireFormat
+}
+
+type peerConn struct {
+	c net.Conn
+	// wmu serializes writeFrame calls: the rank loop and forwarding
+	// readLoops may send on the same connection concurrently, and
+	// frame writers are not goroutine-safe.
+	wmu sync.Mutex
+	w   frameWriter
+}
+
+func (pc *peerConn) write(f frame) error {
+	pc.wmu.Lock()
+	defer pc.wmu.Unlock()
+	return pc.w.writeFrame(f)
+}
+
+// Listen creates a peer bound to addr ("127.0.0.1:0" picks a free
+// port) and starts accepting score traffic. Call SetPeer to teach it
+// the other rankers' addresses, then Start to begin ranking.
+func Listen(addr string, cfg Config) (*Peer, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netpeer: listen: %w", err)
+	}
+	p := &Peer{
+		cfg:      cfg,
+		ln:       ln,
+		r:        vecmath.NewVec(cfg.Group.N()),
+		x:        vecmath.NewVec(cfg.Group.N()),
+		latest:   make(map[int32]transport.ScoreChunk),
+		peers:    make(map[int32]string),
+		conns:    make(map[int32]*peerConn),
+		accepted: make(map[net.Conn]struct{}),
+		stop:     make(chan struct{}),
+		rng:      xrand.New(cfg.Seed),
+		wire:     gobWire{},
+	}
+	if cfg.Codec != nil {
+		p.wire = codecWire{codec: cfg.Codec}
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the peer's listen address.
+func (p *Peer) Addr() string { return p.ln.Addr().String() }
+
+// Group returns the peer's ranker index.
+func (p *Peer) Group() int { return p.cfg.Group.Index }
+
+// SetPeer registers the address of another ranker's group.
+func (p *Peer) SetPeer(group int32, addr string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.peers[group] = addr
+}
+
+// Loops returns the number of main-loop iterations executed.
+func (p *Peer) Loops() int64 { return p.loops.Load() }
+
+// ChunksSent returns the number of score chunks shipped.
+func (p *Peer) ChunksSent() int64 { return p.sent.Load() }
+
+// ChunksRelayed returns the number of chunks this peer forwarded on
+// behalf of others (indirect transmission only).
+func (p *Peer) ChunksRelayed() int64 { return p.relayed.Load() }
+
+// Ranks returns a snapshot of the peer's current local rank vector.
+func (p *Peer) Ranks() vecmath.Vec {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.r.Clone()
+}
+
+// Start launches the ranking loop. It is idempotent.
+func (p *Peer) Start() {
+	if p.started.Swap(true) {
+		return
+	}
+	p.wg.Add(1)
+	go p.rankLoop()
+}
+
+// Close stops the loop, the listener, and all connections, then waits
+// for the peer's goroutines to exit.
+func (p *Peer) Close() error {
+	select {
+	case <-p.stop:
+	default:
+		close(p.stop)
+	}
+	err := p.ln.Close()
+	p.connMu.Lock()
+	for _, pc := range p.conns {
+		pc.c.Close()
+	}
+	p.conns = make(map[int32]*peerConn)
+	// Inbound connections block their readLoops in Decode until the
+	// remote side closes; close them here so Close never deadlocks on
+	// peers that outlive us.
+	for c := range p.accepted {
+		c.Close()
+	}
+	p.connMu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Peer) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.connMu.Lock()
+		p.accepted[conn] = struct{}{}
+		p.connMu.Unlock()
+		p.wg.Add(1)
+		go p.readLoop(conn)
+	}
+}
+
+func (p *Peer) readLoop(conn net.Conn) {
+	defer p.wg.Done()
+	defer func() {
+		conn.Close()
+		p.connMu.Lock()
+		delete(p.accepted, conn)
+		p.connMu.Unlock()
+	}()
+	dec := p.wire.newReader(conn)
+	for {
+		f, err := dec.readFrame()
+		if err != nil {
+			return // connection closed or corrupt; peer will resend
+		}
+		var forward []transport.ScoreChunk
+		p.mu.Lock()
+		for _, c := range f.Chunks {
+			if int(c.DstGroup) != p.cfg.Group.Index {
+				if p.cfg.Overlay != nil {
+					forward = append(forward, c)
+				}
+				// Without an overlay a misrouted chunk is dropped.
+				continue
+			}
+			if prev, ok := p.latest[c.SrcGroup]; !ok || c.Round > prev.Round {
+				p.latest[c.SrcGroup] = c
+			}
+		}
+		p.mu.Unlock()
+		if len(forward) > 0 {
+			// Unpack-and-recombine of Figure 4: forwarded chunks that
+			// share a next hop ride one frame.
+			p.relayed.Add(int64(len(forward)))
+			p.dispatch(forward)
+		}
+	}
+}
+
+func (p *Peer) rankLoop() {
+	defer p.wg.Done()
+	for {
+		wait := time.Duration(p.rng.Exp(float64(p.cfg.MeanWait)))
+		select {
+		case <-p.stop:
+			return
+		case <-time.After(wait):
+		}
+		p.dispatch(p.step())
+	}
+}
+
+// dispatch ships chunks toward their destination groups: one frame per
+// destination with direct transmission, one frame per next overlay hop
+// with indirect transmission.
+func (p *Peer) dispatch(chunks []transport.ScoreChunk) {
+	if len(chunks) == 0 {
+		return
+	}
+	if p.cfg.Overlay == nil {
+		for _, c := range chunks {
+			p.sendFrame(c.DstGroup, []transport.ScoreChunk{c})
+		}
+		return
+	}
+	self := p.cfg.Group.Index
+	byHop := make(map[int32][]transport.ScoreChunk)
+	for _, c := range chunks {
+		next := p.cfg.Overlay.NextHop(self, p.cfg.Overlay.NodeID(int(c.DstGroup)))
+		if next == self {
+			// The overlay says the chunk is already home; with static
+			// membership this cannot happen for a foreign DstGroup.
+			continue
+		}
+		byHop[int32(next)] = append(byHop[int32(next)], c)
+	}
+	for hop, cs := range byHop {
+		p.sendFrame(hop, cs)
+	}
+}
+
+// step runs one DPR loop body under the state lock and returns the Y
+// chunks to publish.
+func (p *Peer) step() []transport.ScoreChunk {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	grp := p.cfg.Group
+	// Refresh X from the newest chunk per source, in stable order.
+	p.x.Zero()
+	for _, src := range sortedKeys(p.latest) {
+		for _, e := range p.latest[src].Entries {
+			p.x[e.DstLocal] += e.Value
+		}
+	}
+	switch p.cfg.Alg {
+	case ranker.DPR1:
+		res, err := grp.Sys.Solve(p.r, p.x, pagerank.Options{
+			Alpha:   p.cfg.Alpha,
+			Epsilon: p.cfg.InnerEpsilon,
+			MaxIter: 10000,
+		})
+		if err != nil {
+			// ‖A‖∞ < 1 guarantees inner convergence; this is a
+			// configuration error worth crashing the peer for.
+			panic(fmt.Sprintf("netpeer %d: inner solve: %v", grp.Index, err))
+		}
+		p.r = res.Ranks
+	case ranker.DPR2:
+		next := vecmath.NewVec(grp.N())
+		grp.Sys.Step(next, p.r, p.x)
+		p.r = next
+	}
+	round := p.loops.Add(1)
+	var out []transport.ScoreChunk
+	for _, dst := range grp.EffDsts {
+		if p.cfg.SendProb < 1 && p.rng.Float64() >= p.cfg.SendProb {
+			continue
+		}
+		chunk := transport.ScoreChunk{
+			SrcGroup: int32(grp.Index),
+			DstGroup: dst,
+			Round:    round,
+		}
+		for _, e := range grp.Eff[dst] {
+			v := float64(e.Links) * p.cfg.Alpha * p.r[e.LocalSrc] / float64(grp.Deg[e.LocalSrc])
+			chunk.Links += int64(e.Links)
+			n := len(chunk.Entries)
+			if n > 0 && chunk.Entries[n-1].DstLocal == e.DstLocal {
+				chunk.Entries[n-1].Value += v
+			} else {
+				chunk.Entries = append(chunk.Entries, transport.ScoreEntry{DstLocal: e.DstLocal, Value: v})
+			}
+		}
+		out = append(out, chunk)
+	}
+	return out
+}
+
+// sendFrame ships a batch of chunks to the peer of the given group,
+// dialing lazily and dropping the frame on any network error (the
+// algorithms tolerate loss; the next loop resends fresher scores).
+func (p *Peer) sendFrame(group int32, chunks []transport.ScoreChunk) {
+	p.mu.Lock()
+	addr, ok := p.peers[group]
+	p.mu.Unlock()
+	if !ok {
+		return // destination not known yet
+	}
+	pc, err := p.conn(group, addr)
+	if err != nil {
+		return
+	}
+	if err := pc.write(frame{Chunks: chunks}); err != nil {
+		// Drop the broken connection; the next send re-dials.
+		p.connMu.Lock()
+		if cur, ok := p.conns[group]; ok && cur == pc {
+			cur.c.Close()
+			delete(p.conns, group)
+		}
+		p.connMu.Unlock()
+		return
+	}
+	p.sent.Add(int64(len(chunks)))
+}
+
+func (p *Peer) conn(group int32, addr string) (*peerConn, error) {
+	p.connMu.Lock()
+	defer p.connMu.Unlock()
+	if pc, ok := p.conns[group]; ok {
+		return pc, nil
+	}
+	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	pc := &peerConn{c: c, w: p.wire.newWriter(c)}
+	p.conns[group] = pc
+	return pc, nil
+}
+
+func sortedKeys(m map[int32]transport.ScoreChunk) []int32 {
+	keys := make([]int32, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

@@ -1,0 +1,279 @@
+package netpeer
+
+import (
+	"testing"
+	"time"
+
+	"p2prank/internal/codec"
+	"p2prank/internal/ranker"
+	"p2prank/internal/transport"
+	"p2prank/internal/vecmath"
+	"p2prank/internal/webgraph"
+)
+
+func genGraph(t testing.TB, pages int, seed uint64) *webgraph.Graph {
+	t.Helper()
+	cfg := webgraph.DefaultGenConfig(pages)
+	cfg.Seed = seed
+	g, err := webgraph.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestClusterConvergesDPR1(t *testing.T) {
+	g := genGraph(t, 1200, 1)
+	cl, err := StartCluster(g, ClusterConfig{K: 4, Alg: ranker.DPR1, MeanWait: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.WaitConverged(1e-6, 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterConvergesDPR2(t *testing.T) {
+	g := genGraph(t, 1200, 1)
+	cl, err := StartCluster(g, ClusterConfig{K: 4, Alg: ranker.DPR2, MeanWait: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.WaitConverged(1e-5, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterSurvivesPeerLoss(t *testing.T) {
+	g := genGraph(t, 1000, 3)
+	cl, err := StartCluster(g, ClusterConfig{K: 4, Alg: ranker.DPR1, MeanWait: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// Let the cluster make progress, then kill one peer. The others
+	// must keep running and their rank vectors keep growing (their
+	// sends to the dead peer fail silently, as the algorithm allows).
+	time.Sleep(200 * time.Millisecond)
+	dead := cl.Peers[2]
+	dead.Close()
+	loopsBefore := make([]int64, len(cl.Peers))
+	for i, p := range cl.Peers {
+		loopsBefore[i] = p.Loops()
+	}
+	time.Sleep(300 * time.Millisecond)
+	for i, p := range cl.Peers {
+		if i == 2 {
+			continue
+		}
+		if p.Loops() <= loopsBefore[i] {
+			t.Fatalf("peer %d stalled after peer 2 died", i)
+		}
+	}
+}
+
+func TestClusterWithLossConverges(t *testing.T) {
+	g := genGraph(t, 1000, 5)
+	cl, err := StartCluster(g, ClusterConfig{
+		K: 4, Alg: ranker.DPR1, MeanWait: 8 * time.Millisecond, SendProb: 0.7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.WaitConverged(1e-5, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeerMonotoneUnderRealAsync(t *testing.T) {
+	g := genGraph(t, 800, 7)
+	cl, err := StartCluster(g, ClusterConfig{K: 3, Alg: ranker.DPR1, MeanWait: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	prev := cl.Assemble()
+	for i := 0; i < 15; i++ {
+		time.Sleep(40 * time.Millisecond)
+		cur := cl.Assemble()
+		if !vecmath.Dominates(cur, prev, 1e-9) {
+			t.Fatal("Theorem 4.1 violated over real TCP: ranks decreased")
+		}
+		prev = cur
+	}
+	// And bounded by the centralized fixed point (Theorem 4.2).
+	if !vecmath.Dominates(cl.Reference, prev, 1e-9) {
+		t.Fatal("Theorem 4.2 violated over real TCP: ranks exceeded R*")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := genGraph(t, 300, 9)
+	if _, err := StartCluster(g, ClusterConfig{K: 0}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := StartCluster(nil, ClusterConfig{K: 2}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := Listen("127.0.0.1:0", Config{}); err == nil {
+		t.Error("nil group accepted")
+	}
+	cl, err := StartCluster(g, ClusterConfig{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	grp := cl.Peers[0]
+	_ = grp
+	bad := []Config{
+		{Group: nil},
+	}
+	for i, cfg := range bad {
+		if _, err := Listen("127.0.0.1:0", cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestPeerAccessors(t *testing.T) {
+	g := genGraph(t, 500, 11)
+	cl, err := StartCluster(g, ClusterConfig{K: 3, MeanWait: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	p := cl.Peers[1]
+	if p.Group() != 1 {
+		t.Fatalf("Group() = %d", p.Group())
+	}
+	if p.Addr() == "" {
+		t.Fatal("empty address")
+	}
+	time.Sleep(150 * time.Millisecond)
+	if p.Loops() == 0 {
+		t.Fatal("no loops ran")
+	}
+	total := int64(0)
+	for _, q := range cl.Peers {
+		total += q.ChunksSent()
+	}
+	if total == 0 {
+		t.Fatal("no chunks exchanged")
+	}
+	// Snapshot isolation: mutating the returned vector must not touch
+	// peer state.
+	r := p.Ranks()
+	if len(r) > 0 {
+		r[0] = 1e9
+		if p.Ranks()[0] == 1e9 {
+			t.Fatal("Ranks() returned live state")
+		}
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	g := genGraph(t, 300, 13)
+	cl, err := StartCluster(g, ClusterConfig{K: 2, MeanWait: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	cl.Close() // second close must not panic or hang
+}
+
+func TestStartIdempotent(t *testing.T) {
+	g := genGraph(t, 300, 15)
+	cl, err := StartCluster(g, ClusterConfig{K: 2, MeanWait: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.Peers[0].Start() // second start is a no-op
+	time.Sleep(50 * time.Millisecond)
+}
+
+func TestIndirectClusterConverges(t *testing.T) {
+	cfg := webgraph.DefaultGenConfig(1500)
+	cfg.Sites = 30 // spread traffic across many ranker pairs
+	cfg.Seed = 17
+	g, err := webgraph.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := StartCluster(g, ClusterConfig{
+		K: 40, Alg: ranker.DPR1, MeanWait: 10 * time.Millisecond, Indirect: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.WaitConverged(1e-5, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// With 40 peers the Pastry leaf set (16) no longer spans the ring,
+	// so some routes take ≥2 hops and somebody must have relayed
+	// foreign chunks.
+	var relayed int64
+	for _, p := range cl.Peers {
+		relayed += p.ChunksRelayed()
+	}
+	if relayed == 0 {
+		t.Fatal("indirect cluster never relayed a chunk")
+	}
+}
+
+func TestDirectClusterNeverRelays(t *testing.T) {
+	g := genGraph(t, 800, 19)
+	cl, err := StartCluster(g, ClusterConfig{K: 4, Alg: ranker.DPR1, MeanWait: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	time.Sleep(300 * time.Millisecond)
+	for i, p := range cl.Peers {
+		if p.ChunksRelayed() != 0 {
+			t.Fatalf("direct peer %d relayed %d chunks", i, p.ChunksRelayed())
+		}
+	}
+}
+
+func TestCodecWireCluster(t *testing.T) {
+	g := genGraph(t, 1000, 21)
+	for _, cd := range []transport.ChunkCodec{codec.Plain{}, codec.Delta{}, codec.NewQuantized(20)} {
+		cl, err := StartCluster(g, ClusterConfig{
+			K: 4, Alg: ranker.DPR1, MeanWait: 8 * time.Millisecond, Codec: cd,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", cd.Name(), err)
+		}
+		if err := cl.WaitConverged(1e-4, 30*time.Second); err != nil {
+			cl.Close()
+			t.Fatalf("%s: %v", cd.Name(), err)
+		}
+		cl.Close()
+	}
+}
+
+func TestCodecWireIndirectCluster(t *testing.T) {
+	cfg := webgraph.DefaultGenConfig(1200)
+	cfg.Sites = 25
+	cfg.Seed = 23
+	g, err := webgraph.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := StartCluster(g, ClusterConfig{
+		K: 32, Alg: ranker.DPR1, MeanWait: 10 * time.Millisecond,
+		Indirect: true, Codec: codec.Delta{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.WaitConverged(1e-4, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}

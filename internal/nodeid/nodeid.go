@@ -1,0 +1,160 @@
+// Package nodeid implements the 128-bit circular identifier space shared
+// by the Pastry and Chord overlays: hashing of node names and page keys,
+// digit extraction for prefix routing (Pastry), ring arithmetic and
+// interval tests (Chord), and distance comparisons.
+package nodeid
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// Bits is the width of an ID in bits.
+const Bits = 128
+
+// ID is a 128-bit identifier on the ring, stored as two big-endian
+// words: Hi holds bits 127..64 and Lo bits 63..0. IDs are comparable
+// with == and usable as map keys.
+type ID struct {
+	Hi, Lo uint64
+}
+
+// FromBytes builds an ID from the first 16 bytes of b, big-endian. It
+// panics if b is shorter than 16 bytes.
+func FromBytes(b []byte) ID {
+	return ID{
+		Hi: binary.BigEndian.Uint64(b[0:8]),
+		Lo: binary.BigEndian.Uint64(b[8:16]),
+	}
+}
+
+// Hash derives an ID from an arbitrary name (node address, page URL,
+// site hostname) with SHA-1, as Pastry and Chord both prescribe.
+func Hash(name string) ID {
+	sum := sha1.Sum([]byte(name))
+	return FromBytes(sum[:])
+}
+
+// String renders the ID as 32 hex digits.
+func (x ID) String() string {
+	return fmt.Sprintf("%016x%016x", x.Hi, x.Lo)
+}
+
+// Cmp returns -1, 0, or +1 as x is below, equal to, or above y in plain
+// (non-circular) integer order.
+func (x ID) Cmp(y ID) int {
+	switch {
+	case x.Hi < y.Hi:
+		return -1
+	case x.Hi > y.Hi:
+		return 1
+	case x.Lo < y.Lo:
+		return -1
+	case x.Lo > y.Lo:
+		return 1
+	}
+	return 0
+}
+
+// Add returns x + y mod 2^128.
+func (x ID) Add(y ID) ID {
+	lo, carry := bits.Add64(x.Lo, y.Lo, 0)
+	hi, _ := bits.Add64(x.Hi, y.Hi, carry)
+	return ID{Hi: hi, Lo: lo}
+}
+
+// Sub returns x − y mod 2^128 (the clockwise distance from y to x).
+func (x ID) Sub(y ID) ID {
+	lo, borrow := bits.Sub64(x.Lo, y.Lo, 0)
+	hi, _ := bits.Sub64(x.Hi, y.Hi, borrow)
+	return ID{Hi: hi, Lo: lo}
+}
+
+// AddPow2 returns x + 2^k mod 2^128. It panics unless 0 ≤ k < Bits.
+// Chord uses it to compute finger targets.
+func (x ID) AddPow2(k int) ID {
+	if k < 0 || k >= Bits {
+		panic(fmt.Sprintf("nodeid: AddPow2 exponent %d out of range", k))
+	}
+	var p ID
+	if k < 64 {
+		p.Lo = 1 << uint(k)
+	} else {
+		p.Hi = 1 << uint(k-64)
+	}
+	return x.Add(p)
+}
+
+// Distance returns the clockwise ring distance from x to y: the amount
+// to add to x to reach y.
+func Distance(x, y ID) ID { return y.Sub(x) }
+
+// AbsDist returns min(clockwise, counter-clockwise) distance between x
+// and y — the metric Pastry's leaf set uses to pick the numerically
+// closest node.
+func AbsDist(x, y ID) ID {
+	d1 := y.Sub(x)
+	d2 := x.Sub(y)
+	if d1.Cmp(d2) <= 0 {
+		return d1
+	}
+	return d2
+}
+
+// Between reports whether m lies in the open ring interval (a, b),
+// walking clockwise from a to b. When a == b the interval covers the
+// whole ring minus {a}.
+func Between(m, a, b ID) bool {
+	if a == b {
+		return m != a
+	}
+	return m.Sub(a).Cmp(b.Sub(a)) < 0 && m != a
+}
+
+// BetweenIncl reports whether m lies in the half-open interval (a, b]
+// clockwise. Chord's successor test.
+func BetweenIncl(m, a, b ID) bool {
+	if a == b {
+		return true
+	}
+	d := m.Sub(a)
+	return d.Cmp(b.Sub(a)) <= 0 && d.Cmp(ID{}) > 0
+}
+
+// Digit returns the i-th base-2^b digit of x counting from the most
+// significant end, as Pastry's prefix routing reads IDs. It panics if b
+// does not divide 128 evenly into digit positions or i is out of range.
+func (x ID) Digit(i, b int) int {
+	nDigits := Bits / b
+	if b <= 0 || Bits%b != 0 {
+		panic(fmt.Sprintf("nodeid: digit width %d does not divide %d", b, Bits))
+	}
+	if i < 0 || i >= nDigits {
+		panic(fmt.Sprintf("nodeid: digit index %d out of range (%d digits)", i, nDigits))
+	}
+	shift := Bits - (i+1)*b
+	var word uint64
+	if shift >= 64 {
+		word = x.Hi >> uint(shift-64)
+	} else if shift+b <= 64 {
+		word = x.Lo >> uint(shift)
+	} else {
+		// Digit straddles the word boundary.
+		word = x.Hi<<uint(64-shift) | x.Lo>>uint(shift)
+	}
+	return int(word & ((1 << uint(b)) - 1))
+}
+
+// CommonPrefixLen returns the number of leading base-2^b digits shared
+// by x and y.
+func CommonPrefixLen(x, y ID, b int) int {
+	nDigits := Bits / b
+	for i := 0; i < nDigits; i++ {
+		if x.Digit(i, b) != y.Digit(i, b) {
+			return i
+		}
+	}
+	return nDigits
+}

@@ -1,0 +1,114 @@
+package pagerank
+
+import (
+	"fmt"
+
+	"p2prank/internal/vecmath"
+)
+
+// GroupSystem is the open-system equation of one page group
+// (Algorithm 2): R = A·R + βE + X. A is the transposed intra-group
+// transition matrix (row v gathers α/d(u) over inner links u→v), BetaE
+// is the precomputed virtual-link source βE, and X is the afferent rank
+// vector refreshed from other groups by the distributed loop.
+type GroupSystem struct {
+	A     *vecmath.CSR
+	BetaE vecmath.Vec
+}
+
+// NewGroupSystem builds a GroupSystem from local links. n is the number
+// of pages in the group, links are (src,dst) pairs in local indices,
+// deg[u] is the TOTAL out-degree of local page u (inner + efferent +
+// external), e is the E vector restricted to the group (nil for the
+// paper's E(v)=1), and alpha is the real-link rank fraction.
+func NewGroupSystem(n int, links [][2]int32, deg []int32, e vecmath.Vec, alpha float64) (*GroupSystem, error) {
+	if alpha <= 0 || alpha >= 1 {
+		return nil, fmt.Errorf("pagerank: alpha = %v, must be in (0,1)", alpha)
+	}
+	if len(deg) != n {
+		return nil, fmt.Errorf("pagerank: deg has length %d, want %d", len(deg), n)
+	}
+	entries := make([]vecmath.Entry, 0, len(links))
+	for _, l := range links {
+		u, v := l[0], l[1]
+		if u < 0 || int(u) >= n || v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("pagerank: link (%d,%d) out of range for %d pages", u, v, n)
+		}
+		if deg[u] <= 0 {
+			return nil, fmt.Errorf("pagerank: page %d has links but degree %d", u, deg[u])
+		}
+		entries = append(entries, vecmath.Entry{Row: int(v), Col: int(u), Val: alpha / float64(deg[u])})
+	}
+	a, err := vecmath.NewCSR(n, n, entries)
+	if err != nil {
+		return nil, err
+	}
+	if e == nil {
+		e = vecmath.Const(n, 1)
+	}
+	if len(e) != n {
+		return nil, fmt.Errorf("pagerank: E has length %d, want %d", len(e), n)
+	}
+	be := e.Clone()
+	be.Scale(1 - alpha)
+	return &GroupSystem{A: a, BetaE: be}, nil
+}
+
+// N returns the number of pages in the group.
+func (s *GroupSystem) N() int { return len(s.BetaE) }
+
+// NormA returns ‖A‖∞, the contraction factor certifying convergence
+// (Theorem 3.2 gives ρ(A) ≤ ‖A‖∞ ≤ α < 1).
+func (s *GroupSystem) NormA() float64 { return s.A.NormInf() }
+
+// Step performs one Jacobi step dst = A·r + βE + x. This is the body of
+// DPR2's loop. dst must not alias r. A nil x means X = 0.
+func (s *GroupSystem) Step(dst, r, x vecmath.Vec) {
+	s.A.MulVec(dst, r)
+	dst.Add(s.BetaE)
+	if x != nil {
+		dst.Add(x)
+	}
+}
+
+// Solve runs Algorithm 2 (GroupPageRank): iterate Step from r0 until
+// ‖R_{i+1} − R_i‖₁ ≤ opt.Epsilon. This is the inner loop of DPR1. The
+// returned Result owns a fresh rank vector; r0 is not modified.
+func (s *GroupSystem) Solve(r0, x vecmath.Vec, opt Options) (Result, error) {
+	if err := opt.validate(); err != nil {
+		return Result{}, err
+	}
+	n := s.N()
+	if len(r0) != n {
+		return Result{}, fmt.Errorf("pagerank: r0 has length %d, want %d", len(r0), n)
+	}
+	if x != nil && len(x) != n {
+		return Result{}, fmt.Errorf("pagerank: x has length %d, want %d", len(x), n)
+	}
+	r := r0.Clone()
+	next := vecmath.NewVec(n)
+	res := Result{}
+	if n == 0 {
+		res.Converged = true
+		res.Ranks = r
+		return res, nil
+	}
+	for it := 0; it < opt.MaxIter; it++ {
+		s.Step(next, r, x)
+		delta := vecmath.Diff1(next, r)
+		r, next = next, r
+		res.Iterations = it + 1
+		if opt.TrackResiduals {
+			res.Residuals = append(res.Residuals, delta)
+		}
+		if delta <= opt.Epsilon {
+			res.Converged = true
+			break
+		}
+	}
+	res.Ranks = r
+	if !res.Converged {
+		return res, fmt.Errorf("%w after %d iterations", ErrNotConverged, res.Iterations)
+	}
+	return res, nil
+}

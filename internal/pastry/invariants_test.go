@@ -1,0 +1,112 @@
+package pastry
+
+import (
+	"sort"
+	"testing"
+
+	"p2prank/internal/nodeid"
+)
+
+// Structural invariants of the Pastry state, checked directly rather
+// than through routing behaviour.
+
+// Every routing-table entry at row ℓ, column d must share exactly the
+// node's first ℓ digits and have digit d at position ℓ.
+func TestRoutingTableEntryInvariant(t *testing.T) {
+	o := newOverlay(t, 150)
+	b := o.cfg.B
+	for i := 0; i < o.NumNodes(); i++ {
+		st := &o.nodes[i]
+		if st.table == nil {
+			continue
+		}
+		self := o.NodeID(i)
+		for row := 0; row < o.rows; row++ {
+			for d := 0; d < o.fanout; d++ {
+				e := st.table[row*o.fanout+d]
+				if e < 0 {
+					continue
+				}
+				eid := o.NodeID(e)
+				if got := nodeid.CommonPrefixLen(self, eid, b); got < row {
+					t.Fatalf("node %d row %d col %d: entry shares only %d digits", i, row, d, got)
+				}
+				if got := eid.Digit(row, b); got != d {
+					t.Fatalf("node %d row %d col %d: entry digit %d", i, row, d, got)
+				}
+			}
+		}
+	}
+}
+
+// Leaf sets must hold exactly the nearest ring neighbors on each side.
+func TestLeafSetInvariant(t *testing.T) {
+	o := newOverlay(t, 120)
+	// Reconstruct the sorted ring.
+	ring := make([]int, o.NumNodes())
+	for i := range ring {
+		ring[i] = i
+	}
+	sort.Slice(ring, func(a, b int) bool {
+		return o.NodeID(ring[a]).Cmp(o.NodeID(ring[b])) < 0
+	})
+	pos := make(map[int]int)
+	for p, idx := range ring {
+		pos[idx] = p
+	}
+	n := len(ring)
+	half := o.cfg.LeafSize / 2
+	for i := 0; i < o.NumNodes(); i++ {
+		want := map[int]bool{}
+		for k := 1; k <= half; k++ {
+			want[ring[(pos[i]+k)%n]] = true
+			want[ring[(pos[i]-k+n)%n]] = true
+		}
+		got := map[int]bool{}
+		for _, l := range o.nodes[i].leaves {
+			got[l] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("node %d leaf set size %d, want %d", i, len(got), len(want))
+		}
+		for l := range want {
+			if !got[l] {
+				t.Fatalf("node %d leaf set missing ring neighbor %d", i, l)
+			}
+		}
+	}
+}
+
+// Routing makes monotone progress: along any route, the prefix match
+// with the key never decreases, and when it stays equal the numeric
+// distance shrinks.
+func TestRouteProgressInvariant(t *testing.T) {
+	o := newOverlay(t, 200)
+	b := o.cfg.B
+	for _, key := range randKeys(100, 77) {
+		cur := 3
+		for hop := 0; hop < 64; hop++ {
+			next := o.NextHop(cur, key)
+			if next == cur {
+				break
+			}
+			curPfx := nodeid.CommonPrefixLen(o.NodeID(cur), key, b)
+			nextPfx := nodeid.CommonPrefixLen(o.NodeID(next), key, b)
+			if nextPfx < curPfx {
+				// Allowed only via the leaf-set rule, which must then
+				// deliver the final owner.
+				if o.NextHop(next, key) != next {
+					t.Fatalf("key %s: prefix regressed %d->%d without terminating", key, curPfx, nextPfx)
+				}
+			}
+			if nextPfx == curPfx {
+				dc := nodeid.AbsDist(o.NodeID(cur), key)
+				dn := nodeid.AbsDist(o.NodeID(next), key)
+				if dn.Cmp(dc) >= 0 {
+					t.Fatalf("key %s: no numeric progress at hop %d", key, hop)
+				}
+			}
+			cur = next
+		}
+	}
+}

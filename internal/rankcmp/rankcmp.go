@@ -1,0 +1,150 @@
+// Package rankcmp compares two rankings of the same page set. The
+// paper's metric is the L1 relative error against centralized
+// PageRank, but a search engine ultimately cares about ordering: these
+// metrics quantify how much of the *ranking* survives approximations
+// such as lossy score compression (internal/codec) or early
+// termination.
+package rankcmp
+
+import (
+	"fmt"
+	"sort"
+
+	"p2prank/internal/vecmath"
+)
+
+// order returns page indices sorted by descending score, ties broken by
+// ascending index so every score vector induces a strict total order.
+func order(x vecmath.Vec) []int32 {
+	idx := make([]int32, len(x))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if x[idx[a]] != x[idx[b]] {
+			return x[idx[a]] > x[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	return idx
+}
+
+// KendallTau returns the Kendall τ-a correlation of the orderings
+// induced by a and b: 1 for identical orderings, −1 for exactly
+// reversed, ≈0 for unrelated. Ties are broken by page index in both
+// orderings (consistently, so tied blocks do not register as
+// discordance). Runs in O(n log n) by counting inversions with a merge
+// sort. Vectors must have equal, non-trivial length.
+func KendallTau(a, b vecmath.Vec) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("rankcmp: length mismatch %d != %d", len(a), len(b))
+	}
+	n := len(a)
+	if n < 2 {
+		return 0, fmt.Errorf("rankcmp: need at least 2 pages, got %d", n)
+	}
+	// Position of each page in b's ordering.
+	posB := make([]int32, n)
+	for rank, p := range order(b) {
+		posB[p] = int32(rank)
+	}
+	// Walk a's ordering and collect b-positions; discordant pairs are
+	// exactly the inversions of this sequence.
+	seq := make([]int32, n)
+	for rank, p := range order(a) {
+		seq[rank] = posB[p]
+	}
+	inv := countInversions(seq)
+	pairs := int64(n) * int64(n-1) / 2
+	return 1 - 4*float64(inv)/(2*float64(pairs)), nil
+}
+
+// countInversions counts pairs i<j with seq[i] > seq[j] via merge sort.
+func countInversions(seq []int32) int64 {
+	buf := make([]int32, len(seq))
+	return mergeCount(seq, buf)
+}
+
+func mergeCount(s, buf []int32) int64 {
+	n := len(s)
+	if n < 2 {
+		return 0
+	}
+	mid := n / 2
+	inv := mergeCount(s[:mid], buf[:mid]) + mergeCount(s[mid:], buf[mid:])
+	// Merge while counting cross inversions.
+	i, j, k := 0, mid, 0
+	for i < mid && j < n {
+		if s[i] <= s[j] {
+			buf[k] = s[i]
+			i++
+		} else {
+			buf[k] = s[j]
+			j++
+			inv += int64(mid - i)
+		}
+		k++
+	}
+	copy(buf[k:], s[i:mid])
+	copy(buf[k+mid-i:], s[j:])
+	copy(s, buf[:n])
+	return inv
+}
+
+// Spearman returns the Spearman rank correlation: the Pearson
+// correlation of the two position vectors (index tie-break, as for
+// KendallTau).
+func Spearman(a, b vecmath.Vec) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("rankcmp: length mismatch %d != %d", len(a), len(b))
+	}
+	n := len(a)
+	if n < 2 {
+		return 0, fmt.Errorf("rankcmp: need at least 2 pages, got %d", n)
+	}
+	posA := make([]float64, n)
+	posB := make([]float64, n)
+	for rank, p := range order(a) {
+		posA[p] = float64(rank)
+	}
+	for rank, p := range order(b) {
+		posB[p] = float64(rank)
+	}
+	// ρ = 1 − 6Σd²/(n(n²−1)) for distinct ranks.
+	var sumD2 float64
+	for i := 0; i < n; i++ {
+		d := posA[i] - posB[i]
+		sumD2 += d * d
+	}
+	nn := float64(n)
+	return 1 - 6*sumD2/(nn*(nn*nn-1)), nil
+}
+
+// TopKOverlap returns |top-k(a) ∩ top-k(b)| / k: the fraction of a's
+// k highest-ranked pages that also rank in b's top k. k is clamped to
+// the vector length.
+func TopKOverlap(a, b vecmath.Vec, k int) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("rankcmp: length mismatch %d != %d", len(a), len(b))
+	}
+	if k <= 0 {
+		return 0, fmt.Errorf("rankcmp: k = %d, must be positive", k)
+	}
+	if k > len(a) {
+		k = len(a)
+	}
+	if k == 0 {
+		return 0, fmt.Errorf("rankcmp: empty vectors")
+	}
+	inB := make(map[int32]bool, k)
+	for _, p := range order(b)[:k] {
+		inB[p] = true
+	}
+	hit := 0
+	for _, p := range order(a)[:k] {
+		if inB[p] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(k), nil
+}

@@ -1,0 +1,214 @@
+package rankcmp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"p2prank/internal/vecmath"
+	"p2prank/internal/xrand"
+)
+
+func randVec(r *xrand.Rand, n int) vecmath.Vec {
+	v := vecmath.NewVec(n)
+	for i := range v {
+		v[i] = r.Float64()
+	}
+	return v
+}
+
+func TestKendallIdentical(t *testing.T) {
+	a := vecmath.Vec{3, 1, 2, 5}
+	tau, err := KendallTau(a, a.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau != 1 {
+		t.Fatalf("tau = %v, want 1", tau)
+	}
+}
+
+func TestKendallReversed(t *testing.T) {
+	a := vecmath.Vec{1, 2, 3, 4, 5}
+	b := vecmath.Vec{5, 4, 3, 2, 1}
+	tau, err := KendallTau(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau != -1 {
+		t.Fatalf("tau = %v, want -1", tau)
+	}
+}
+
+func TestKendallSingleSwap(t *testing.T) {
+	// Orders 0123 vs 0132: one discordant pair of 6 → τ = 1 − 2/6·2 = 2/3.
+	a := vecmath.Vec{4, 3, 2, 1}
+	b := vecmath.Vec{4, 3, 1, 2}
+	tau, err := KendallTau(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tau-2.0/3.0) > 1e-12 {
+		t.Fatalf("tau = %v, want 2/3", tau)
+	}
+}
+
+func TestKendallRandomNearZero(t *testing.T) {
+	r := xrand.New(5)
+	a := randVec(r, 3000)
+	b := randVec(r, 3000)
+	tau, err := KendallTau(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tau) > 0.05 {
+		t.Fatalf("independent rankings gave tau = %v", tau)
+	}
+}
+
+func TestKendallSymmetricProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 2 + r.Intn(100)
+		a, b := randVec(r, n), randVec(r, n)
+		t1, err1 := KendallTau(a, b)
+		t2, err2 := KendallTau(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(t1-t2) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKendallBoundsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 2 + r.Intn(60)
+		tau, err := KendallTau(randVec(r, n), randVec(r, n))
+		return err == nil && tau >= -1-1e-12 && tau <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpearmanKnownValues(t *testing.T) {
+	a := vecmath.Vec{1, 2, 3, 4}
+	rho, err := Spearman(a, a.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho != 1 {
+		t.Fatalf("rho = %v, want 1", rho)
+	}
+	b := vecmath.Vec{4, 3, 2, 1}
+	rho, err = Spearman(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho != -1 {
+		t.Fatalf("rho = %v, want -1", rho)
+	}
+}
+
+func TestSpearmanDominatesKendallMagnitude(t *testing.T) {
+	// For mildly perturbed rankings both are near 1.
+	r := xrand.New(9)
+	a := randVec(r, 500)
+	b := a.Clone()
+	for i := range b {
+		b[i] += r.Float64() * 0.01
+	}
+	tau, err := KendallTau(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho, err := Spearman(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau < 0.9 || rho < 0.9 {
+		t.Fatalf("small perturbation dropped correlations: tau=%v rho=%v", tau, rho)
+	}
+}
+
+func TestTopKOverlap(t *testing.T) {
+	a := vecmath.Vec{10, 9, 8, 1, 2}
+	b := vecmath.Vec{10, 9, 1, 8, 2}
+	ov, err := TopKOverlap(a, b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// top3(a) = {0,1,2}; top3(b) = {0,1,3} → overlap 2/3.
+	if math.Abs(ov-2.0/3.0) > 1e-12 {
+		t.Fatalf("overlap = %v, want 2/3", ov)
+	}
+	// k beyond length clamps and overlaps fully.
+	ov, err = TopKOverlap(a, a.Clone(), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov != 1 {
+		t.Fatalf("clamped overlap = %v", ov)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	a := vecmath.Vec{1, 2}
+	short := vecmath.Vec{1}
+	if _, err := KendallTau(a, short); err == nil {
+		t.Error("length mismatch accepted by KendallTau")
+	}
+	if _, err := Spearman(a, short); err == nil {
+		t.Error("length mismatch accepted by Spearman")
+	}
+	if _, err := TopKOverlap(a, short, 1); err == nil {
+		t.Error("length mismatch accepted by TopKOverlap")
+	}
+	if _, err := KendallTau(short, short); err == nil {
+		t.Error("single-element vector accepted")
+	}
+	if _, err := TopKOverlap(a, a, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestCountInversionsAgainstBruteForce(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := r.Intn(50)
+		seq := make([]int32, n)
+		for i := range seq {
+			seq[i] = int32(r.Intn(20))
+		}
+		var brute int64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if seq[i] > seq[j] {
+					brute++
+				}
+			}
+		}
+		cp := make([]int32, n)
+		copy(cp, seq)
+		return countInversions(cp) == brute
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkKendallTau10k(b *testing.B) {
+	r := xrand.New(1)
+	x := randVec(r, 10000)
+	y := randVec(r, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KendallTau(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package ranker implements the page-ranker node: the per-group state
+// and the asynchronous DPR1/DPR2 loops of §4.2. Each ranker owns one
+// page group, solves the open-system equation R = AR + βE + X over it,
+// and exchanges afferent/efferent rank with other rankers through a
+// transport fabric.
+package ranker
+
+import (
+	"fmt"
+	"sort"
+
+	"p2prank/internal/pagerank"
+	"p2prank/internal/partition"
+	"p2prank/internal/webgraph"
+)
+
+// EffEntry is an aggregated efferent edge: local page LocalSrc has Links
+// parallel links to the page DstLocal of another group. At send time it
+// contributes Links·α·R(LocalSrc)/d(LocalSrc) to that page's afferent
+// rank.
+type EffEntry struct {
+	LocalSrc int32
+	DstLocal int32
+	Links    int32
+}
+
+// Group is one ranker's slice of the web graph: its pages, the
+// intra-group link system, and its efferent links grouped by
+// destination ranker.
+type Group struct {
+	// Index is the ranker this group belongs to.
+	Index int
+	// Pages holds the group's global page IDs in ascending order;
+	// local index i refers to Pages[i].
+	Pages []int32
+	// Deg is the total out-degree d(u) per local page.
+	Deg []int32
+	// Sys is the open-system solver over the group's inner links.
+	Sys *pagerank.GroupSystem
+	// Eff maps destination ranker index to the aggregated efferent
+	// entries toward it, sorted by (DstLocal, LocalSrc).
+	Eff map[int32][]EffEntry
+	// EffDsts lists Eff's keys in ascending order. Loops iterate it
+	// instead of the map so runs are bit-for-bit reproducible.
+	EffDsts []int32
+	// EffLinks is the total number of efferent link records, the
+	// quantity the paper's l-bytes-per-link cost model charges.
+	EffLinks int64
+}
+
+// N returns the number of pages in the group.
+func (g *Group) N() int { return len(g.Pages) }
+
+// BuildGroups slices the graph into one Group per ranker according to
+// the assignment. alpha is the real-link rank fraction of §3.
+func BuildGroups(g *webgraph.Graph, a *partition.Assignment, alpha float64) ([]*Group, error) {
+	if alpha <= 0 || alpha >= 1 {
+		return nil, fmt.Errorf("ranker: alpha = %v, must be in (0,1)", alpha)
+	}
+	groups := make([]*Group, a.K)
+	type effKey struct {
+		dstGroup           int32
+		localSrc, dstLocal int32
+	}
+	inner := make([][][2]int32, a.K)
+	effCount := make([]map[effKey]int32, a.K)
+	for i := 0; i < a.K; i++ {
+		effCount[i] = make(map[effKey]int32)
+	}
+	for p := 0; p < g.NumPages(); p++ {
+		u := int32(p)
+		gu := a.GroupOf[u]
+		for _, v := range g.InternalOut(u) {
+			gv := a.GroupOf[v]
+			if gu == gv {
+				inner[gu] = append(inner[gu], [2]int32{a.LocalIdx[u], a.LocalIdx[v]})
+			} else {
+				effCount[gu][effKey{gv, a.LocalIdx[u], a.LocalIdx[v]}]++
+			}
+		}
+	}
+	for i := 0; i < a.K; i++ {
+		pages := a.Pages[i]
+		deg := make([]int32, len(pages))
+		for li, p := range pages {
+			deg[li] = int32(g.OutDegree(p))
+		}
+		sys, err := pagerank.NewGroupSystem(len(pages), inner[i], deg, nil, alpha)
+		if err != nil {
+			return nil, fmt.Errorf("ranker: group %d: %w", i, err)
+		}
+		grp := &Group{
+			Index: i,
+			Pages: pages,
+			Deg:   deg,
+			Sys:   sys,
+			Eff:   make(map[int32][]EffEntry),
+		}
+		for key, links := range effCount[i] {
+			grp.Eff[key.dstGroup] = append(grp.Eff[key.dstGroup], EffEntry{
+				LocalSrc: key.localSrc,
+				DstLocal: key.dstLocal,
+				Links:    links,
+			})
+			grp.EffLinks += int64(links)
+		}
+		for dst, entries := range grp.Eff {
+			grp.EffDsts = append(grp.EffDsts, dst)
+			sort.Slice(entries, func(x, y int) bool {
+				if entries[x].DstLocal != entries[y].DstLocal {
+					return entries[x].DstLocal < entries[y].DstLocal
+				}
+				return entries[x].LocalSrc < entries[y].LocalSrc
+			})
+		}
+		sort.Slice(grp.EffDsts, func(x, y int) bool { return grp.EffDsts[x] < grp.EffDsts[y] })
+		groups[i] = grp
+	}
+	return groups, nil
+}

@@ -1,0 +1,94 @@
+package ranker
+
+import (
+	"testing"
+)
+
+func TestSuspendResume(t *testing.T) {
+	g := genGraph(t, 800, 51)
+	sim, rankers, _ := cluster(t, g, 4, baseConfig(DPR1), 51)
+	for _, rk := range rankers {
+		rk.Start()
+	}
+	sim.RunUntil(30)
+	rk := rankers[0]
+	before := rk.Loops()
+	if before == 0 {
+		t.Fatal("no loops before suspension")
+	}
+	rk.Suspend()
+	sim.RunUntil(90)
+	if rk.Loops() != before {
+		t.Fatalf("suspended ranker looped: %d -> %d", before, rk.Loops())
+	}
+	// Other rankers keep going.
+	if rankers[1].Loops() <= before {
+		t.Fatal("peers stalled during suspension")
+	}
+	rk.Resume()
+	sim.RunUntil(150)
+	if rk.Loops() <= before {
+		t.Fatal("resumed ranker never looped again")
+	}
+	for _, r := range rankers {
+		r.Stop()
+	}
+}
+
+func TestResumeWithoutSuspendIsNoop(t *testing.T) {
+	g := genGraph(t, 400, 53)
+	sim, rankers, _ := cluster(t, g, 4, baseConfig(DPR2), 53)
+	rk := rankers[0]
+	rk.Start()
+	rk.Resume() // not suspended: must not double-schedule
+	sim.RunUntil(30)
+	// MeanWait=3 over 30 units → ~10 loops; double-scheduling would
+	// give ~20. Allow generous slack for Exp variance.
+	if l := rk.Loops(); l > 22 {
+		t.Fatalf("suspicious loop count %d after spurious Resume", l)
+	}
+	rk.Stop()
+}
+
+func TestSuspendBeforeStart(t *testing.T) {
+	g := genGraph(t, 400, 55)
+	sim, rankers, _ := cluster(t, g, 4, baseConfig(DPR1), 55)
+	rk := rankers[0]
+	rk.Suspend()
+	rk.Start()
+	sim.RunUntil(40)
+	if rk.Loops() != 0 {
+		t.Fatalf("ranker suspended before Start still looped %d times", rk.Loops())
+	}
+	rk.Resume()
+	sim.RunUntil(80)
+	if rk.Loops() == 0 {
+		t.Fatal("ranker never recovered")
+	}
+	rk.Stop()
+}
+
+func TestSetInitialRanksValidation(t *testing.T) {
+	g := genGraph(t, 400, 57)
+	sim, rankers, _ := cluster(t, g, 2, baseConfig(DPR1), 57)
+	rk := rankers[0]
+	if err := rk.SetInitialRanks(make([]float64, 3)); err == nil {
+		t.Error("wrong-length initial ranks accepted")
+	}
+	warm := make([]float64, rk.Group().N())
+	for i := range warm {
+		warm[i] = 0.5
+	}
+	if err := rk.SetInitialRanks(warm); err != nil {
+		t.Fatal(err)
+	}
+	if rk.Ranks()[0] != 0.5 {
+		t.Fatal("initial ranks not applied")
+	}
+	rk.Start()
+	if err := rk.SetInitialRanks(warm); err == nil {
+		t.Error("SetInitialRanks after Start accepted")
+	}
+	sim.RunUntil(5)
+	rk.Stop()
+}

@@ -1,0 +1,261 @@
+// Package search implements the application the paper's introduction
+// motivates: a distributed search engine over the DHT, where page
+// ranking "is not only needed as in its centralized counterpart for
+// improving query results, but should be performed distributedly".
+//
+// It follows the P2P web-search architecture of the paper's reference
+// [17] (Li et al., "On the Feasibility of Peer-to-Peer Web Indexing and
+// Search"): the inverted index is partitioned by term — the overlay
+// owner of hash(term) stores that term's posting list — while pages
+// (and their ranks) live on the rankers chosen by the §4.1 page
+// partition. Queries resolve each term to its owner, intersect posting
+// lists, and order results by the distributed PageRank scores.
+//
+// Page text is synthesized: each page deterministically draws terms
+// from a Zipf-skewed vocabulary, seeded by its stable URL, so the index
+// is reproducible and recrawl-stable without storing documents.
+package search
+
+import (
+	"fmt"
+	"sort"
+
+	"p2prank/internal/nodeid"
+	"p2prank/internal/overlay"
+	"p2prank/internal/partition"
+	"p2prank/internal/vecmath"
+	"p2prank/internal/webgraph"
+	"p2prank/internal/xrand"
+)
+
+// Config parameterizes the synthetic text model and index.
+type Config struct {
+	// Vocabulary is the number of distinct terms (default 5000).
+	Vocabulary int
+	// TermsPerPage is how many distinct terms each page contains
+	// (default 12).
+	TermsPerPage int
+	// Skew is the Zipf exponent of term popularity (default 1.0 —
+	// natural-language-like).
+	Skew float64
+}
+
+// DefaultConfig returns the standard text model.
+func DefaultConfig() Config {
+	return Config{Vocabulary: 5000, TermsPerPage: 12, Skew: 1.0}
+}
+
+func (c *Config) validate() error {
+	if c.Vocabulary == 0 {
+		c.Vocabulary = 5000
+	}
+	if c.TermsPerPage == 0 {
+		c.TermsPerPage = 12
+	}
+	if c.Skew == 0 {
+		c.Skew = 1.0
+	}
+	if c.Vocabulary < 1 || c.TermsPerPage < 1 {
+		return fmt.Errorf("search: vocabulary %d / terms-per-page %d must be positive",
+			c.Vocabulary, c.TermsPerPage)
+	}
+	if c.TermsPerPage > c.Vocabulary {
+		return fmt.Errorf("search: TermsPerPage %d exceeds vocabulary %d",
+			c.TermsPerPage, c.Vocabulary)
+	}
+	if c.Skew < 0 {
+		return fmt.Errorf("search: negative skew %v", c.Skew)
+	}
+	return nil
+}
+
+// TermName renders term t as its canonical string.
+func TermName(t int32) string { return fmt.Sprintf("term%05d", t) }
+
+// TermsOf returns page p's distinct terms, ascending. The draw is a
+// pure function of the page's URL (stable across recrawls) and cfg.
+func TermsOf(g *webgraph.Graph, p int32, cfg Config) ([]int32, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	id := nodeid.Hash(g.URL(p))
+	rng := xrand.New(id.Lo ^ id.Hi)
+	z := xrand.NewZipf(rng, cfg.Vocabulary, cfg.Skew)
+	seen := make(map[int32]bool, cfg.TermsPerPage)
+	out := make([]int32, 0, cfg.TermsPerPage)
+	for len(out) < cfg.TermsPerPage {
+		t := int32(z.Sample())
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Posting is one entry of a term's posting list: a page and its rank.
+type Posting struct {
+	Page  int32
+	Score float64
+}
+
+// Index is the term-partitioned inverted index plus the rank vector.
+type Index struct {
+	cfg    Config
+	ov     overlay.Network
+	ranks  vecmath.Vec
+	g      *webgraph.Graph
+	assign *partition.Assignment
+	// termOwner[t] is the ranker storing term t's posting list.
+	termOwner []int32
+	// postings[t] is sorted by Score descending (ties: page index).
+	postings [][]Posting
+	// PostingsMoved counts postings whose page lives on a different
+	// ranker than the term owner — the index-construction traffic the
+	// feasibility analysis of [17] is about.
+	PostingsMoved int64
+	// PostingsTotal counts all postings.
+	PostingsTotal int64
+}
+
+// Build constructs the index from a ranked crawl. ranks must be the
+// page-indexed rank vector (distributed or centralized); assign is the
+// page partition; ov places terms on rankers.
+func Build(g *webgraph.Graph, ranks vecmath.Vec, ov overlay.Network, assign *partition.Assignment, cfg Config) (*Index, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(ranks) != g.NumPages() {
+		return nil, fmt.Errorf("search: ranks have length %d, want %d", len(ranks), g.NumPages())
+	}
+	if assign != nil && len(assign.GroupOf) != g.NumPages() {
+		return nil, fmt.Errorf("search: assignment covers %d pages, want %d",
+			len(assign.GroupOf), g.NumPages())
+	}
+	ix := &Index{
+		cfg:       cfg,
+		ov:        ov,
+		ranks:     ranks,
+		g:         g,
+		assign:    assign,
+		termOwner: make([]int32, cfg.Vocabulary),
+		postings:  make([][]Posting, cfg.Vocabulary),
+	}
+	for t := 0; t < cfg.Vocabulary; t++ {
+		ix.termOwner[t] = int32(ov.Owner(nodeid.Hash(TermName(int32(t)))))
+	}
+	for p := 0; p < g.NumPages(); p++ {
+		terms, err := TermsOf(g, int32(p), cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range terms {
+			ix.postings[t] = append(ix.postings[t], Posting{Page: int32(p), Score: ranks[p]})
+			ix.PostingsTotal++
+			if assign != nil && assign.GroupOf[p] != ix.termOwner[t] {
+				ix.PostingsMoved++
+			}
+		}
+	}
+	for t := range ix.postings {
+		ps := ix.postings[t]
+		sort.Slice(ps, func(i, j int) bool {
+			if ps[i].Score != ps[j].Score {
+				return ps[i].Score > ps[j].Score
+			}
+			return ps[i].Page < ps[j].Page
+		})
+	}
+	return ix, nil
+}
+
+// TermOwner returns the ranker storing term t's posting list.
+func (ix *Index) TermOwner(t int32) (int32, error) {
+	if t < 0 || int(t) >= ix.cfg.Vocabulary {
+		return 0, fmt.Errorf("search: term %d outside vocabulary %d", t, ix.cfg.Vocabulary)
+	}
+	return ix.termOwner[t], nil
+}
+
+// PostingList returns term t's postings, best first. The slice aliases
+// index storage and must not be modified.
+func (ix *Index) PostingList(t int32) ([]Posting, error) {
+	if t < 0 || int(t) >= ix.cfg.Vocabulary {
+		return nil, fmt.Errorf("search: term %d outside vocabulary %d", t, ix.cfg.Vocabulary)
+	}
+	return ix.postings[t], nil
+}
+
+// Query returns the top-k pages containing ALL the given terms, ordered
+// by rank. It intersects posting lists smallest-first, the standard
+// conjunctive-query plan.
+func (ix *Index) Query(terms []int32, k int) ([]Posting, error) {
+	if len(terms) == 0 {
+		return nil, fmt.Errorf("search: empty query")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("search: k = %d, must be positive", k)
+	}
+	lists := make([][]Posting, len(terms))
+	for i, t := range terms {
+		ps, err := ix.PostingList(t)
+		if err != nil {
+			return nil, err
+		}
+		lists[i] = ps
+	}
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	if len(lists[0]) == 0 {
+		return nil, nil
+	}
+	// Membership sets for all but the smallest list.
+	member := make([]map[int32]bool, len(lists)-1)
+	for i, ps := range lists[1:] {
+		m := make(map[int32]bool, len(ps))
+		for _, e := range ps {
+			m[e.Page] = true
+		}
+		member[i] = m
+	}
+	var out []Posting
+	for _, e := range lists[0] { // already best-first
+		inAll := true
+		for _, m := range member {
+			if !m[e.Page] {
+				inAll = false
+				break
+			}
+		}
+		if inAll {
+			out = append(out, e)
+			if len(out) == k {
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// QueryCost estimates the overlay traffic of resolving a query from
+// the given ranker: the lookup hops to each distinct term owner plus
+// one response per owner.
+func (ix *Index) QueryCost(from int, terms []int32) (lookupHops, responses int, err error) {
+	owners := make(map[int32]bool)
+	for _, t := range terms {
+		o, err := ix.TermOwner(t)
+		if err != nil {
+			return 0, 0, err
+		}
+		owners[o] = true
+	}
+	for o := range owners {
+		h, err := overlay.Hops(ix.ov, from, ix.ov.NodeID(int(o)))
+		if err != nil {
+			return 0, 0, err
+		}
+		lookupHops += h
+		responses++
+	}
+	return lookupHops, responses, nil
+}

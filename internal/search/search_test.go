@@ -1,0 +1,324 @@
+package search
+
+import (
+	"fmt"
+	"testing"
+
+	"p2prank/internal/nodeid"
+	"p2prank/internal/pagerank"
+	"p2prank/internal/partition"
+	"p2prank/internal/pastry"
+	"p2prank/internal/vecmath"
+	"p2prank/internal/webgraph"
+)
+
+type fixture struct {
+	g      *webgraph.Graph
+	ranks  vecmath.Vec
+	ov     *pastry.Overlay
+	assign *partition.Assignment
+	ix     *Index
+}
+
+func newFixture(t testing.TB, pages, k int) *fixture {
+	t.Helper()
+	cfg := webgraph.DefaultGenConfig(pages)
+	cfg.Seed = 3
+	g, err := webgraph.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pagerank.Open(g, pagerank.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]nodeid.ID, k)
+	for i := range ids {
+		ids[i] = nodeid.Hash(fmt.Sprintf("ranker-%d", i))
+	}
+	ov, err := pastry.New(ids, pastry.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, err := partition.Assign(g, ov, partition.BySite, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := DefaultConfig()
+	scfg.Vocabulary = 500
+	scfg.TermsPerPage = 8
+	ix, err := Build(g, res.Ranks, ov, assign, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{g: g, ranks: res.Ranks, ov: ov, assign: assign, ix: ix}
+}
+
+func TestTermsOfDeterministicAndSorted(t *testing.T) {
+	f := newFixture(t, 1000, 8)
+	cfg := DefaultConfig()
+	for p := int32(0); p < 50; p++ {
+		t1, err := TermsOf(f.g, p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t2, err := TermsOf(f.g, p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(t1) != cfg.TermsPerPage {
+			t.Fatalf("page %d has %d terms", p, len(t1))
+		}
+		for i := range t1 {
+			if t1[i] != t2[i] {
+				t.Fatalf("page %d terms not deterministic", p)
+			}
+			if i > 0 && t1[i-1] >= t1[i] {
+				t.Fatalf("page %d terms unsorted or duplicated: %v", p, t1)
+			}
+		}
+	}
+}
+
+func TestTermPopularityskewed(t *testing.T) {
+	f := newFixture(t, 3000, 8)
+	// Term 0 (Zipf rank 1) must have a far longer posting list than a
+	// mid-vocabulary term.
+	p0, err := f.ix.PostingList(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := f.ix.PostingList(250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p0) <= len(pm)*3 {
+		t.Fatalf("no popularity skew: |term0|=%d |term250|=%d", len(p0), len(pm))
+	}
+}
+
+func TestPostingsComplete(t *testing.T) {
+	f := newFixture(t, 800, 8)
+	cfg := DefaultConfig()
+	cfg.Vocabulary = 500
+	cfg.TermsPerPage = 8
+	// Every page must appear in exactly its terms' posting lists.
+	var totalPostings int64
+	for tm := int32(0); int(tm) < 500; tm++ {
+		ps, err := f.ix.PostingList(tm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalPostings += int64(len(ps))
+		for _, e := range ps {
+			terms, err := TermsOf(f.g, e.Page, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			found := false
+			for _, pt := range terms {
+				if pt == tm {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("page %d in posting list of term %d it does not contain", e.Page, tm)
+			}
+			if e.Score != f.ranks[e.Page] {
+				t.Fatalf("posting score %v != rank %v", e.Score, f.ranks[e.Page])
+			}
+		}
+	}
+	if totalPostings != int64(800*8) {
+		t.Fatalf("total postings %d, want %d", totalPostings, 800*8)
+	}
+	if f.ix.PostingsTotal != totalPostings {
+		t.Fatalf("PostingsTotal %d != %d", f.ix.PostingsTotal, totalPostings)
+	}
+}
+
+func TestPostingListsRankOrdered(t *testing.T) {
+	f := newFixture(t, 1500, 8)
+	for tm := int32(0); tm < 100; tm++ {
+		ps, err := f.ix.PostingList(tm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(ps); i++ {
+			if ps[i].Score > ps[i-1].Score {
+				t.Fatalf("term %d postings out of order", tm)
+			}
+		}
+	}
+}
+
+func TestQueryMatchesBruteForce(t *testing.T) {
+	f := newFixture(t, 1500, 8)
+	cfg := DefaultConfig()
+	cfg.Vocabulary = 500
+	cfg.TermsPerPage = 8
+	queries := [][]int32{{0}, {1, 2}, {0, 1, 2}, {5, 17}}
+	for _, q := range queries {
+		got, err := f.ix.Query(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute force: pages containing all query terms, by rank.
+		var want []Posting
+		for p := 0; p < f.g.NumPages(); p++ {
+			terms, err := TermsOf(f.g, int32(p), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			have := map[int32]bool{}
+			for _, tm := range terms {
+				have[tm] = true
+			}
+			all := true
+			for _, tm := range q {
+				if !have[tm] {
+					all = false
+					break
+				}
+			}
+			if all {
+				want = append(want, Posting{Page: int32(p), Score: f.ranks[p]})
+			}
+		}
+		sortPostings(want)
+		if len(want) > 10 {
+			want = want[:10]
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %v: got %d results, want %d", q, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("query %v result %d: got %+v, want %+v", q, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func sortPostings(ps []Posting) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0; j-- {
+			better := ps[j].Score > ps[j-1].Score ||
+				(ps[j].Score == ps[j-1].Score && ps[j].Page < ps[j-1].Page)
+			if !better {
+				break
+			}
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+func TestQueryEmptyIntersection(t *testing.T) {
+	f := newFixture(t, 500, 8)
+	// A long conjunction of rare terms is almost surely empty.
+	res, err := f.ix.Query([]int32{480, 481, 482, 483, 484}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		// Not impossible, but then every result must contain all terms
+		// — covered by TestQueryMatchesBruteForce. Accept.
+		t.Logf("rare conjunction nonempty: %d results", len(res))
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	f := newFixture(t, 300, 4)
+	if _, err := f.ix.Query(nil, 5); err == nil {
+		t.Error("empty query accepted")
+	}
+	if _, err := f.ix.Query([]int32{0}, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := f.ix.Query([]int32{9999}, 5); err == nil {
+		t.Error("out-of-vocabulary term accepted")
+	}
+	if _, err := f.ix.PostingList(-1); err == nil {
+		t.Error("negative term accepted")
+	}
+	if _, err := f.ix.TermOwner(9999); err == nil {
+		t.Error("out-of-range TermOwner accepted")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	f := newFixture(t, 300, 4)
+	if _, err := Build(f.g, vecmath.Const(5, 1), f.ov, f.assign, DefaultConfig()); err == nil {
+		t.Error("wrong-length ranks accepted")
+	}
+	bad := DefaultConfig()
+	bad.TermsPerPage = 99999
+	if _, err := Build(f.g, f.ranks, f.ov, f.assign, bad); err == nil {
+		t.Error("terms-per-page > vocabulary accepted")
+	}
+	if _, err := TermsOf(f.g, 0, Config{Vocabulary: -1}); err == nil {
+		t.Error("negative vocabulary accepted")
+	}
+}
+
+func TestTermPlacementDeterministicAndSpread(t *testing.T) {
+	f := newFixture(t, 1000, 16)
+	counts := map[int32]int{}
+	for tm := int32(0); tm < 500; tm++ {
+		o1, err := f.ix.TermOwner(tm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[o1]++
+	}
+	if len(counts) < 8 {
+		t.Fatalf("terms spread over only %d of 16 rankers", len(counts))
+	}
+}
+
+func TestPostingsMovedAccounting(t *testing.T) {
+	f := newFixture(t, 1500, 8)
+	if f.ix.PostingsMoved <= 0 || f.ix.PostingsMoved > f.ix.PostingsTotal {
+		t.Fatalf("PostingsMoved = %d of %d", f.ix.PostingsMoved, f.ix.PostingsTotal)
+	}
+	// Term placement ignores page placement, so most postings cross
+	// ranker boundaries (≈ (K−1)/K of them).
+	frac := float64(f.ix.PostingsMoved) / float64(f.ix.PostingsTotal)
+	if frac < 0.5 {
+		t.Fatalf("implausibly low cross-ranker posting fraction %v", frac)
+	}
+}
+
+func TestQueryCost(t *testing.T) {
+	f := newFixture(t, 1000, 16)
+	hops, resp, err := f.ix.QueryCost(0, []int32{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp < 1 || resp > 3 {
+		t.Fatalf("responses = %d", resp)
+	}
+	if hops < 0 {
+		t.Fatalf("hops = %d", hops)
+	}
+	if _, _, err := f.ix.QueryCost(0, []int32{99999}); err == nil {
+		t.Error("bad term accepted")
+	}
+}
+
+func TestTermName(t *testing.T) {
+	if TermName(7) != "term00007" {
+		t.Fatalf("TermName = %q", TermName(7))
+	}
+}
+
+func BenchmarkQuery(b *testing.B) {
+	f := newFixture(b, 5000, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.ix.Query([]int32{0, 1}, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package simnet
+
+import (
+	"fmt"
+
+	"p2prank/internal/xrand"
+)
+
+// NodeAddr is a dense index identifying a simulated host.
+type NodeAddr int32
+
+// Message is what a handler receives: the payload plus the wire size
+// that was charged to the byte counters.
+type Message struct {
+	From, To NodeAddr
+	Payload  any
+	Size     int64
+}
+
+// Handler consumes messages delivered to a node.
+type Handler func(Message)
+
+// NetConfig parameterizes the network layer.
+type NetConfig struct {
+	// MinLatency and MaxLatency bound the uniform per-message delivery
+	// latency, in virtual time units.
+	MinLatency, MaxLatency float64
+	// DropProb is the probability that any message is silently lost in
+	// transit, independent of the application-level loss the rankers
+	// inject.
+	DropProb float64
+	// NodeBandwidth is each node's upstream bottleneck in bytes per
+	// virtual time unit (the paper's §4.5 constraint 4.7). Messages
+	// serialize through the sender's uplink: each occupies it for
+	// size/NodeBandwidth time units and queues behind earlier sends.
+	// 0 means unlimited.
+	NodeBandwidth float64
+}
+
+// DefaultNetConfig returns a mildly jittered, lossless network.
+func DefaultNetConfig() NetConfig {
+	return NetConfig{MinLatency: 0.05, MaxLatency: 0.15}
+}
+
+func (c NetConfig) validate() error {
+	switch {
+	case c.MinLatency < 0:
+		return fmt.Errorf("simnet: negative MinLatency %v", c.MinLatency)
+	case c.MaxLatency < c.MinLatency:
+		return fmt.Errorf("simnet: MaxLatency %v below MinLatency %v", c.MaxLatency, c.MinLatency)
+	case c.DropProb < 0 || c.DropProb > 1:
+		return fmt.Errorf("simnet: DropProb %v outside [0,1]", c.DropProb)
+	case c.NodeBandwidth < 0:
+		return fmt.Errorf("simnet: negative NodeBandwidth %v", c.NodeBandwidth)
+	}
+	return nil
+}
+
+// Stats counts traffic. All fields are cumulative.
+type Stats struct {
+	MessagesSent      int64
+	MessagesDelivered int64
+	MessagesDropped   int64
+	BytesSent         int64
+	BytesDelivered    int64
+}
+
+type node struct {
+	handler Handler
+	down    bool
+	in, out Stats
+	// uplinkFree is the virtual time the node's uplink finishes its
+	// queued transmissions (bandwidth-limited networks only).
+	uplinkFree float64
+}
+
+// Network delivers messages between registered nodes with configurable
+// latency and loss, charging every send to byte and message counters.
+type Network struct {
+	sim   *Simulator
+	cfg   NetConfig
+	rng   *xrand.Rand
+	nodes []*node
+	total Stats
+}
+
+// NewNetwork builds a Network on sim. The network forks its own random
+// stream from the simulator's.
+func NewNetwork(sim *Simulator, cfg NetConfig) (*Network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Network{sim: sim, cfg: cfg, rng: sim.Rand().Fork()}, nil
+}
+
+// Sim returns the simulator the network runs on.
+func (n *Network) Sim() *Simulator { return n.sim }
+
+// AddNode registers a host with the given message handler and returns
+// its address.
+func (n *Network) AddNode(h Handler) NodeAddr {
+	if h == nil {
+		panic("simnet: AddNode with nil handler")
+	}
+	n.nodes = append(n.nodes, &node{handler: h})
+	return NodeAddr(len(n.nodes) - 1)
+}
+
+// NumNodes returns the number of registered hosts.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// SetDown marks a node as failed (true) or recovered (false). Messages
+// to or from a failed node are dropped.
+func (n *Network) SetDown(a NodeAddr, down bool) {
+	n.node(a).down = down
+}
+
+// IsDown reports whether a node is failed.
+func (n *Network) IsDown(a NodeAddr) bool { return n.node(a).down }
+
+func (n *Network) node(a NodeAddr) *node {
+	if a < 0 || int(a) >= len(n.nodes) {
+		panic(fmt.Sprintf("simnet: invalid node address %d", a))
+	}
+	return n.nodes[a]
+}
+
+// Send queues a message of the given wire size from one node to
+// another. It returns false if the message was dropped at send time
+// (source or destination down, or random loss); delivery itself is
+// asynchronous. Sending charges the byte counters whether or not the
+// message survives, mirroring a real sender's upstream usage.
+func (n *Network) Send(from, to NodeAddr, payload any, size int64) bool {
+	if size < 0 {
+		panic(fmt.Sprintf("simnet: negative message size %d", size))
+	}
+	src, dst := n.node(from), n.node(to)
+	src.out.MessagesSent++
+	src.out.BytesSent += size
+	n.total.MessagesSent++
+	n.total.BytesSent += size
+	if src.down || dst.down || (n.cfg.DropProb > 0 && n.rng.Float64() < n.cfg.DropProb) {
+		src.out.MessagesDropped++
+		n.total.MessagesDropped++
+		return false
+	}
+	lat := n.cfg.MinLatency
+	if n.cfg.MaxLatency > n.cfg.MinLatency {
+		lat += n.rng.Float64() * (n.cfg.MaxLatency - n.cfg.MinLatency)
+	}
+	if n.cfg.NodeBandwidth > 0 {
+		// Serialize through the sender's uplink: wait for queued
+		// transmissions, then occupy the link for size/bandwidth.
+		now := n.sim.Now()
+		if src.uplinkFree < now {
+			src.uplinkFree = now
+		}
+		src.uplinkFree += float64(size) / n.cfg.NodeBandwidth
+		lat += src.uplinkFree - now
+	}
+	m := Message{From: from, To: to, Payload: payload, Size: size}
+	n.sim.After(lat, func() {
+		// Re-check liveness at delivery time: the destination may have
+		// failed while the message was in flight.
+		if dst.down {
+			n.total.MessagesDropped++
+			return
+		}
+		dst.in.MessagesDelivered++
+		dst.in.BytesDelivered += size
+		n.total.MessagesDelivered++
+		n.total.BytesDelivered += size
+		dst.handler(m)
+	})
+	return true
+}
+
+// TotalStats returns network-wide counters.
+func (n *Network) TotalStats() Stats { return n.total }
+
+// NodeSent returns the send-side counters of node a.
+func (n *Network) NodeSent(a NodeAddr) Stats { return n.node(a).out }
+
+// NodeReceived returns the delivery-side counters of node a.
+func (n *Network) NodeReceived(a NodeAddr) Stats { return n.node(a).in }
+
+// ResetStats zeroes every counter, keeping topology and liveness. The
+// experiment harness uses it to measure a steady-state window.
+func (n *Network) ResetStats() {
+	n.total = Stats{}
+	for _, nd := range n.nodes {
+		nd.in, nd.out = Stats{}, Stats{}
+	}
+}

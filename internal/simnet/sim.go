@@ -1,0 +1,134 @@
+// Package simnet is a deterministic discrete-event simulator with a
+// message-passing network layer on top. The distributed-PageRank
+// experiments run on it: virtual time stands in for the paper's waiting
+// time units (T1, T2), message loss models the paper's send-failure
+// probability p, and byte/message counters feed the transmission-cost
+// comparison of §4.4.
+//
+// Determinism: events at equal times fire in scheduling order, and all
+// randomness flows from one seed, so an experiment is a pure function of
+// its configuration.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"p2prank/internal/xrand"
+)
+
+// event is a scheduled callback.
+type event struct {
+	at  float64
+	seq uint64 // tie-break so equal-time events fire FIFO
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns the virtual clock and the event queue. Create one with
+// New; it is not safe for concurrent use (the simulation is logically
+// single-threaded, which is what makes it reproducible).
+type Simulator struct {
+	now    float64
+	events eventHeap
+	seq    uint64
+	rng    *xrand.Rand
+	ran    uint64
+}
+
+// New returns a Simulator whose randomness derives from seed.
+func New(seed uint64) *Simulator {
+	return &Simulator{rng: xrand.New(seed)}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Rand returns the simulator's root random stream. Entities that need
+// private streams should Fork it at setup time.
+func (s *Simulator) Rand() *xrand.Rand { return s.rng }
+
+// Pending returns the number of queued events.
+func (s *Simulator) Pending() int { return len(s.events) }
+
+// Processed returns the number of events executed so far.
+func (s *Simulator) Processed() uint64 { return s.ran }
+
+// At schedules fn at absolute virtual time t. Scheduling in the past
+// panics — it would silently reorder causality.
+func (s *Simulator) At(t float64, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("simnet: scheduling at %v before now %v", t, s.now))
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(fmt.Sprintf("simnet: scheduling at non-finite time %v", t))
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d time units from now. Negative d panics.
+func (s *Simulator) After(d float64, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("simnet: negative delay %v", d))
+	}
+	s.At(s.now+d, fn)
+}
+
+// step executes the earliest event. It reports false when the queue is
+// empty.
+func (s *Simulator) step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(*event)
+	s.now = e.at
+	s.ran++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue drains or maxEvents fire
+// (0 = unlimited). It returns the number of events executed.
+func (s *Simulator) Run(maxEvents uint64) uint64 {
+	var n uint64
+	for maxEvents == 0 || n < maxEvents {
+		if !s.step() {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// RunUntil executes events with timestamps ≤ t, then advances the clock
+// to exactly t. Events scheduled later stay queued.
+func (s *Simulator) RunUntil(t float64) {
+	if t < s.now {
+		panic(fmt.Sprintf("simnet: RunUntil(%v) before now %v", t, s.now))
+	}
+	for len(s.events) > 0 && s.events[0].at <= t {
+		s.step()
+	}
+	s.now = t
+}

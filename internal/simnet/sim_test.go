@@ -1,0 +1,144 @@
+package simnet
+
+import (
+	"testing"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.At(3, func() { order = append(order, 3) })
+	s.At(1, func() { order = append(order, 1) })
+	s.At(2, func() { order = append(order, 2) })
+	s.Run(0)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("final time = %v", s.Now())
+	}
+}
+
+func TestEqualTimesFIFO(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { order = append(order, i) })
+	}
+	s.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events reordered: %v", order)
+		}
+	}
+}
+
+func TestAfterNests(t *testing.T) {
+	s := New(1)
+	var times []float64
+	s.After(1, func() {
+		times = append(times, s.Now())
+		s.After(2, func() {
+			times = append(times, s.Now())
+		})
+	})
+	s.Run(0)
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New(1)
+	s.At(5, func() {})
+	s.Run(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	s.At(1, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	s := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative After did not panic")
+		}
+	}()
+	s.After(-1, func() {})
+}
+
+func TestRunMaxEvents(t *testing.T) {
+	s := New(1)
+	count := 0
+	for i := 0; i < 10; i++ {
+		s.At(float64(i), func() { count++ })
+	}
+	if n := s.Run(4); n != 4 || count != 4 {
+		t.Fatalf("Run(4) executed %d events, count=%d", n, count)
+	}
+	if s.Pending() != 6 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+	s.Run(0)
+	if count != 10 || s.Processed() != 10 {
+		t.Fatalf("count=%d processed=%d", count, s.Processed())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(1)
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 10} {
+		at := at
+		s.At(at, func() { fired = append(fired, at) })
+	}
+	s.RunUntil(5)
+	if len(fired) != 3 {
+		t.Fatalf("fired = %v", fired)
+	}
+	if s.Now() != 5 {
+		t.Fatalf("now = %v, want 5", s.Now())
+	}
+	s.Run(0)
+	if len(fired) != 4 {
+		t.Fatalf("remaining event never fired: %v", fired)
+	}
+}
+
+func TestRunUntilPastPanics(t *testing.T) {
+	s := New(1)
+	s.RunUntil(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunUntil into the past did not panic")
+		}
+	}()
+	s.RunUntil(5)
+}
+
+func TestSimulatorDeterminism(t *testing.T) {
+	run := func() []float64 {
+		s := New(42)
+		var times []float64
+		var tick func()
+		tick = func() {
+			times = append(times, s.Now())
+			if len(times) < 20 {
+				s.After(s.Rand().Float64()*3, tick)
+			}
+		}
+		s.After(0, tick)
+		s.Run(0)
+		return times
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at step %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

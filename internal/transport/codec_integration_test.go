@@ -1,0 +1,155 @@
+package transport_test
+
+// Integration of wire codecs with the transport fabric and the engine.
+// Lives in an external test package because internal/codec imports
+// internal/transport.
+
+import (
+	"testing"
+
+	"p2prank/internal/codec"
+	"p2prank/internal/engine"
+	"p2prank/internal/nodeid"
+	"p2prank/internal/pastry"
+	"p2prank/internal/rankcmp"
+	"p2prank/internal/ranker"
+	"p2prank/internal/simnet"
+	"p2prank/internal/transport"
+	"p2prank/internal/vecmath"
+	"p2prank/internal/webgraph"
+)
+
+func codecGraph(t testing.TB) *webgraph.Graph {
+	t.Helper()
+	cfg := webgraph.DefaultGenConfig(2500)
+	cfg.Seed = 5
+	g, err := webgraph.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func runWithCodec(t *testing.T, g *webgraph.Graph, c transport.ChunkCodec, kind transport.Kind) *engine.Result {
+	t.Helper()
+	res, err := engine.Run(engine.Config{
+		Graph: g, K: 8, Alg: ranker.DPR1,
+		T1: 0.5, T2: 3, MaxTime: 300, SampleEvery: 5,
+		Transport: kind,
+		Codec:     c,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestLosslessCodecsPreserveRanks(t *testing.T) {
+	g := codecGraph(t)
+	base := runWithCodec(t, g, nil, transport.Indirect)
+	for _, c := range []transport.ChunkCodec{codec.Plain{}, codec.Delta{}} {
+		res := runWithCodec(t, g, c, transport.Indirect)
+		if d := vecmath.Diff1(res.Final, base.Final); d != 0 {
+			t.Errorf("%s: ranks differ from codec-less run by %v", c.Name(), d)
+		}
+	}
+}
+
+func TestCodecBytesLadder(t *testing.T) {
+	g := codecGraph(t)
+	bytesOf := func(c transport.ChunkCodec) int64 {
+		return runWithCodec(t, g, c, transport.Indirect).NetStats.BytesSent
+	}
+	model := bytesOf(nil)
+	plain := bytesOf(codec.Plain{})
+	delta := bytesOf(codec.Delta{})
+	quant := bytesOf(codec.NewQuantized(16))
+	if plain >= model {
+		t.Errorf("plain encoding (%d B) not below the 100 B/link model (%d B)", plain, model)
+	}
+	if delta >= plain {
+		t.Errorf("delta (%d B) not below plain (%d B)", delta, plain)
+	}
+	if quant >= delta {
+		t.Errorf("quantized (%d B) not below delta (%d B)", quant, delta)
+	}
+}
+
+// A lossy codec still converges: quantization error is injected every
+// exchange, but the α-contraction damps it to a floor set by the
+// mantissa width.
+func TestQuantizedCodecConvergesToFloor(t *testing.T) {
+	g := codecGraph(t)
+	res := runWithCodec(t, g, codec.NewQuantized(20), transport.Indirect)
+	if res.RelErr > 1e-4 {
+		t.Fatalf("quantized-20 run stuck at relative error %v", res.RelErr)
+	}
+	coarse := runWithCodec(t, g, codec.NewQuantized(6), transport.Indirect)
+	if coarse.RelErr > 5e-2 {
+		t.Fatalf("quantized-6 run error %v beyond its expected floor", coarse.RelErr)
+	}
+	if coarse.RelErr < res.RelErr {
+		t.Fatalf("coarser quantization gave a lower floor (%v < %v)", coarse.RelErr, res.RelErr)
+	}
+	// What a search engine cares about survives even 6-bit scores: the
+	// ordering stays almost perfectly correlated with the exact ranks.
+	tau, err := rankcmp.KendallTau(coarse.Final, coarse.Reference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau < 0.95 {
+		t.Fatalf("quantized-6 ordering degraded: Kendall tau %v", tau)
+	}
+	top, err := rankcmp.TopKOverlap(coarse.Final, coarse.Reference, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top < 0.9 {
+		t.Fatalf("quantized-6 top-100 overlap %v", top)
+	}
+}
+
+func TestCodecWithDirectTransport(t *testing.T) {
+	g := codecGraph(t)
+	res := runWithCodec(t, g, codec.Delta{}, transport.Direct)
+	if res.RelErr > 1e-6 {
+		t.Fatalf("direct+delta run error %v", res.RelErr)
+	}
+}
+
+func TestSetCodecOrdering(t *testing.T) {
+	sim := simnet.New(1)
+	net, err := simnet.NewNetwork(sim, simnet.DefaultNetConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []nodeid.ID{nodeid.Hash("a"), nodeid.Hash("b")}
+	ov, err := pastry.New(ids, pastry.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab, err := transport.NewFabric(net, ov, transport.Direct, transport.DefaultSizeModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fab.SetCodec(codec.Delta{}); err != nil {
+		t.Fatalf("pre-traffic SetCodec failed: %v", err)
+	}
+	if fab.Codec() == nil {
+		t.Fatal("codec not installed")
+	}
+	for i := 0; i < 2; i++ {
+		i := i
+		if err := fab.Register(i, func(transport.ScoreChunk) { _ = i }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fab.Send(0, transport.ScoreChunk{SrcGroup: 0, DstGroup: 1, Links: 1,
+		Entries: []transport.ScoreEntry{{DstLocal: 0, Value: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(0)
+	if err := fab.SetCodec(codec.Plain{}); err == nil {
+		t.Fatal("SetCodec after traffic accepted")
+	}
+}

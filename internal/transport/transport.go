@@ -1,0 +1,387 @@
+// Package transport moves updated page scores between page rankers over
+// the simulated network, implementing both communication patterns of
+// §4.4:
+//
+//   - Direct transmission (Figure 3): the sender first resolves the
+//     destination's address with a DHT lookup (h hops of small lookup
+//     messages), then ships the payload in one direct message. Per
+//     iteration this costs ≈(h+1)·N² messages and lW + hrN² bytes.
+//   - Indirect transmission (Figures 4–5): payloads ride the overlay's
+//     neighbor links. Each node packs everything bound for the same next
+//     hop into one package; each relay unpacks, recombines by
+//     destination, and forwards. Per iteration this costs ≈g·N messages
+//     and h·l·W bytes.
+//
+// Wire sizes follow the paper's model (§4.5): one transmitted link
+// record <url_from, url_to, score> costs l = 100 bytes, a lookup message
+// r bytes, plus a fixed per-message header.
+package transport
+
+import (
+	"fmt"
+
+	"p2prank/internal/overlay"
+	"p2prank/internal/simnet"
+)
+
+// Kind selects the communication pattern.
+type Kind int
+
+const (
+	// Direct is lookup-then-send one-to-one transmission.
+	Direct Kind = iota
+	// Indirect routes scores hop-by-hop with per-hop packing.
+	Indirect
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case Direct:
+		return "direct"
+	case Indirect:
+		return "indirect"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ScoreEntry is one page's afferent rank contribution: the destination
+// page (local index within the destination group) and the rank value
+// α·R(u)/d(u) summed over the sender's efferent links to it.
+type ScoreEntry struct {
+	DstLocal int32
+	Value    float64
+}
+
+// ScoreChunk carries one source group's contributions to one
+// destination group. Links counts the efferent link records the chunk
+// represents (the paper charges l bytes per link record, even when
+// several records aggregate into one entry).
+type ScoreChunk struct {
+	SrcGroup int32
+	DstGroup int32
+	Round    int64 // sender's loop counter, for staleness handling
+	Links    int64
+	Entries  []ScoreEntry
+}
+
+// SizeModel converts chunks into wire bytes per §4.5.
+type SizeModel struct {
+	// BytesPerLink is l, the size of one <url_from, url_to, score>
+	// record. The paper derives 100 bytes from 40-byte average URLs.
+	BytesPerLink int64
+	// LookupBytes is r, the size of one lookup message.
+	LookupBytes int64
+	// HeaderBytes is the fixed per-message framing cost.
+	HeaderBytes int64
+}
+
+// DefaultSizeModel returns the paper's constants.
+func DefaultSizeModel() SizeModel {
+	return SizeModel{BytesPerLink: 100, LookupBytes: 48, HeaderBytes: 32}
+}
+
+func (m SizeModel) validate() error {
+	if m.BytesPerLink <= 0 || m.LookupBytes <= 0 || m.HeaderBytes < 0 {
+		return fmt.Errorf("transport: invalid size model %+v", m)
+	}
+	return nil
+}
+
+// chunkBytes is the payload cost of a chunk: one link record per
+// represented efferent link.
+func (m SizeModel) chunkBytes(c ScoreChunk) int64 {
+	return c.Links * m.BytesPerLink
+}
+
+// Stats are transport-level counters, split by message role so the
+// formula 4.1–4.4 comparison can separate lookup overhead from payload.
+type Stats struct {
+	DataMessages   int64
+	DataBytes      int64
+	LookupMessages int64
+	LookupBytes    int64
+	// RelayedChunks counts chunk forwardings performed by intermediate
+	// nodes (indirect transmission only).
+	RelayedChunks int64
+}
+
+// Deliver is the callback a ranker registers to receive score chunks
+// addressed to its group.
+type Deliver func(ScoreChunk)
+
+// ChunkCodec is an optional wire encoding for score chunks (see
+// internal/codec). When a fabric has one, chunks are actually encoded
+// onto the simulated wire and decoded at each hop — so message sizes
+// reflect the real encoding and lossy codecs genuinely perturb the
+// scores the rankers see. The paper's §4.5 leaves compression as future
+// work; this is where it plugs in.
+type ChunkCodec interface {
+	Name() string
+	Encode(dst []byte, c ScoreChunk) []byte
+	Decode(src []byte) (ScoreChunk, error)
+}
+
+// Fabric wires every ranker to the simulated network with the selected
+// transmission pattern. Create with NewFabric, then Register each
+// ranker before any Send.
+type Fabric struct {
+	kind  Kind
+	size  SizeModel
+	net   *simnet.Network
+	ov    overlay.Network
+	addrs []simnet.NodeAddr
+	del   []Deliver
+	// outbox[i] holds chunks queued at node i, keyed by next-hop
+	// ranker index (indirect transmission only).
+	outbox []map[int][]ScoreChunk
+	codec  ChunkCodec
+	stats  Stats
+}
+
+// message payloads exchanged over simnet.
+type dataMsg struct {
+	chunks []ScoreChunk
+	// encoded holds the wire form when the fabric has a codec; chunks
+	// is then nil and the receiver decodes.
+	encoded [][]byte
+}
+type lookupMsg struct{}
+
+// NewFabric builds a transport fabric for the K rankers of the overlay.
+func NewFabric(net *simnet.Network, ov overlay.Network, kind Kind, size SizeModel) (*Fabric, error) {
+	if err := size.validate(); err != nil {
+		return nil, err
+	}
+	if kind != Direct && kind != Indirect {
+		return nil, fmt.Errorf("transport: unknown kind %d", int(kind))
+	}
+	k := ov.NumNodes()
+	f := &Fabric{
+		kind:   kind,
+		size:   size,
+		net:    net,
+		ov:     ov,
+		addrs:  make([]simnet.NodeAddr, k),
+		del:    make([]Deliver, k),
+		outbox: make([]map[int][]ScoreChunk, k),
+	}
+	for i := range f.addrs {
+		f.addrs[i] = simnet.NodeAddr(-1)
+	}
+	return f, nil
+}
+
+// Register attaches ranker i's delivery callback and creates its
+// network presence. It must be called exactly once per ranker.
+func (f *Fabric) Register(i int, d Deliver) error {
+	if i < 0 || i >= len(f.del) {
+		return fmt.Errorf("transport: ranker index %d out of range", i)
+	}
+	if f.del[i] != nil {
+		return fmt.Errorf("transport: ranker %d registered twice", i)
+	}
+	if d == nil {
+		return fmt.Errorf("transport: nil deliver callback")
+	}
+	f.del[i] = d
+	f.outbox[i] = make(map[int][]ScoreChunk)
+	f.addrs[i] = f.net.AddNode(func(m simnet.Message) { f.handle(i, m) })
+	return nil
+}
+
+// Kind returns the fabric's transmission pattern.
+func (f *Fabric) Kind() Kind { return f.kind }
+
+// Addr returns the simulated-network address of ranker i's host. The
+// experiment harness uses it to inject host-level failures.
+func (f *Fabric) Addr(i int) simnet.NodeAddr { return f.addrs[i] }
+
+// SetCodec installs a wire codec. It must be called before any Send;
+// installing one after traffic has flowed is a programming error.
+func (f *Fabric) SetCodec(c ChunkCodec) error {
+	if f.stats != (Stats{}) {
+		return fmt.Errorf("transport: SetCodec after traffic")
+	}
+	f.codec = c
+	return nil
+}
+
+// Codec returns the installed wire codec, or nil.
+func (f *Fabric) Codec() ChunkCodec { return f.codec }
+
+// Stats returns transport-level counters. Network-level byte totals live
+// on the simnet.Network.
+func (f *Fabric) Stats() Stats { return f.stats }
+
+// ResetStats zeroes the transport counters.
+func (f *Fabric) ResetStats() { f.stats = Stats{} }
+
+// Send queues a chunk from ranker `from` toward chunk.DstGroup. With
+// direct transmission the lookup and data messages go out immediately;
+// with indirect transmission the chunk sits in the outbox until Flush.
+// Sending to yourself is a programming error.
+func (f *Fabric) Send(from int, chunk ScoreChunk) error {
+	if f.del[from] == nil {
+		return fmt.Errorf("transport: ranker %d not registered", from)
+	}
+	dst := int(chunk.DstGroup)
+	if dst < 0 || dst >= len(f.del) {
+		return fmt.Errorf("transport: destination group %d out of range", dst)
+	}
+	if dst == from {
+		return fmt.Errorf("transport: ranker %d sending to itself", from)
+	}
+	switch f.kind {
+	case Direct:
+		return f.sendDirect(from, chunk)
+	case Indirect:
+		f.enqueue(from, chunk)
+		return nil
+	}
+	return fmt.Errorf("transport: unknown kind %d", int(f.kind))
+}
+
+// Flush pushes ranker i's queued outbox packages onto the network (one
+// message per next-hop neighbor). It is a no-op for direct transmission
+// and for empty outboxes.
+func (f *Fabric) Flush(from int) error {
+	if f.del[from] == nil {
+		return fmt.Errorf("transport: ranker %d not registered", from)
+	}
+	if f.kind != Indirect {
+		return nil
+	}
+	box := f.outbox[from]
+	if len(box) == 0 {
+		return nil
+	}
+	// Deterministic flush order: ascending next-hop index.
+	hops := make([]int, 0, len(box))
+	for h := range box {
+		hops = append(hops, h)
+	}
+	sortInts(hops)
+	for _, h := range hops {
+		chunks := box[h]
+		delete(box, h)
+		msg, payload := f.pack(chunks)
+		f.stats.DataMessages++
+		f.stats.DataBytes += payload
+		f.net.Send(f.addrs[from], f.addrs[h], msg, payload)
+	}
+	return nil
+}
+
+// pack turns chunks into one wire message and its size: the analytic
+// l-bytes-per-link model without a codec, the real encoded size with
+// one.
+func (f *Fabric) pack(chunks []ScoreChunk) (dataMsg, int64) {
+	payload := f.size.HeaderBytes
+	if f.codec == nil {
+		for _, c := range chunks {
+			payload += f.size.chunkBytes(c)
+		}
+		return dataMsg{chunks: chunks}, payload
+	}
+	encoded := make([][]byte, len(chunks))
+	for i, c := range chunks {
+		encoded[i] = f.codec.Encode(nil, c)
+		payload += int64(len(encoded[i]))
+	}
+	return dataMsg{encoded: encoded}, payload
+}
+
+// unpack recovers the chunks of a message.
+func (f *Fabric) unpack(m dataMsg) []ScoreChunk {
+	if m.chunks != nil {
+		return m.chunks
+	}
+	chunks := make([]ScoreChunk, len(m.encoded))
+	for i, enc := range m.encoded {
+		c, err := f.codec.Decode(enc)
+		if err != nil {
+			// The simulated wire cannot corrupt data; a decode failure
+			// is a codec bug and must not be silently dropped.
+			panic(fmt.Sprintf("transport: codec %s: %v", f.codec.Name(), err))
+		}
+		chunks[i] = c
+	}
+	return chunks
+}
+
+// sendDirect performs lookup-then-send: h small messages along the
+// overlay route (the address resolution of Figure 3B), then one data
+// message straight to the destination.
+func (f *Fabric) sendDirect(from int, chunk ScoreChunk) error {
+	dst := int(chunk.DstGroup)
+	path, err := overlay.Route(f.ov, from, f.ov.NodeID(dst))
+	if err != nil {
+		return fmt.Errorf("transport: lookup route failed: %w", err)
+	}
+	// Lookup messages hop along the path.
+	lsize := f.size.LookupBytes + f.size.HeaderBytes
+	for i := 0; i+1 < len(path); i++ {
+		f.stats.LookupMessages++
+		f.stats.LookupBytes += lsize
+		f.net.Send(f.addrs[path[i]], f.addrs[path[i+1]], lookupMsg{}, lsize)
+	}
+	msg, payload := f.pack([]ScoreChunk{chunk})
+	f.stats.DataMessages++
+	f.stats.DataBytes += payload
+	f.net.Send(f.addrs[from], f.addrs[dst], msg, payload)
+	return nil
+}
+
+// enqueue places a chunk in node i's outbox under its next overlay hop.
+func (f *Fabric) enqueue(i int, chunk ScoreChunk) {
+	next := f.ov.NextHop(i, f.ov.NodeID(int(chunk.DstGroup)))
+	if next == i {
+		// We are the owner-side endpoint; the overlay says the chunk
+		// has arrived (can happen after a membership change).
+		f.del[i](chunk)
+		return
+	}
+	f.outbox[i][next] = append(f.outbox[i][next], chunk)
+}
+
+// handle processes a message arriving at ranker i: lookups are pure
+// overhead; data chunks are delivered locally or repacked toward their
+// next hop and flushed immediately (the unpack/recombine of Figure 4).
+func (f *Fabric) handle(i int, m simnet.Message) {
+	switch payload := m.Payload.(type) {
+	case lookupMsg:
+		// Address-resolution traffic carries no scores.
+	case dataMsg:
+		forwarded := false
+		for _, c := range f.unpack(payload) {
+			if int(c.DstGroup) == i {
+				f.del[i](c)
+				continue
+			}
+			f.stats.RelayedChunks++
+			f.enqueue(i, c)
+			forwarded = true
+		}
+		if forwarded {
+			// Relay promptly so indirect latency stays at h network
+			// hops; chunks arriving in one package toward one next hop
+			// still share one message.
+			if err := f.Flush(i); err != nil {
+				panic(fmt.Sprintf("transport: relay flush: %v", err))
+			}
+		}
+	default:
+		panic(fmt.Sprintf("transport: unknown payload %T", m.Payload))
+	}
+}
+
+// sortInts is a tiny insertion sort; outboxes hold a handful of
+// neighbors, far below sort.Ints's overhead crossover.
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package vecmath
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CSR is a compressed-sparse-row matrix. Row i's entries occupy
+// Cols[RowPtr[i]:RowPtr[i+1]] with values Vals[RowPtr[i]:RowPtr[i+1]].
+//
+// The PageRank solvers use CSR for the (transposed) transition matrix A
+// of §3: A[u][v] = α/d(u) when u links to v. Storing the transpose (rows
+// indexed by destination) makes the Jacobi step R ← AR + f a clean
+// row-gather.
+type CSR struct {
+	NumRows int
+	NumCols int
+	RowPtr  []int64
+	Cols    []int32
+	Vals    []float64
+}
+
+// Entry is one (row, col, value) triple used when building a CSR matrix.
+type Entry struct {
+	Row, Col int
+	Val      float64
+}
+
+// NewCSR assembles a CSR matrix from unordered entries. Duplicate
+// (row, col) entries are summed. It returns an error if any index is out
+// of bounds.
+func NewCSR(rows, cols int, entries []Entry) (*CSR, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("vecmath: negative dimension %dx%d", rows, cols)
+	}
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= rows || e.Col < 0 || e.Col >= cols {
+			return nil, fmt.Errorf("vecmath: entry (%d,%d) out of bounds for %dx%d matrix",
+				e.Row, e.Col, rows, cols)
+		}
+	}
+	sorted := make([]Entry, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Row != sorted[j].Row {
+			return sorted[i].Row < sorted[j].Row
+		}
+		return sorted[i].Col < sorted[j].Col
+	})
+	m := &CSR{
+		NumRows: rows,
+		NumCols: cols,
+		RowPtr:  make([]int64, rows+1),
+	}
+	for i := 0; i < len(sorted); {
+		j := i
+		v := 0.0
+		for j < len(sorted) && sorted[j].Row == sorted[i].Row && sorted[j].Col == sorted[i].Col {
+			v += sorted[j].Val
+			j++
+		}
+		m.Cols = append(m.Cols, int32(sorted[i].Col))
+		m.Vals = append(m.Vals, v)
+		m.RowPtr[sorted[i].Row+1]++
+		i = j
+	}
+	for i := 0; i < rows; i++ {
+		m.RowPtr[i+1] += m.RowPtr[i]
+	}
+	return m, nil
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Vals) }
+
+// Row returns the column indices and values of row i.
+func (m *CSR) Row(i int) ([]int32, []float64) {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	return m.Cols[lo:hi], m.Vals[lo:hi]
+}
+
+// MulVec computes dst = M·x. dst and x must not alias. It panics on
+// dimension mismatch.
+func (m *CSR) MulVec(dst, x Vec) {
+	mustSameLen(len(dst), m.NumRows)
+	mustSameLen(len(x), m.NumCols)
+	for i := 0; i < m.NumRows; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		s := 0.0
+		for k := lo; k < hi; k++ {
+			s += m.Vals[k] * x[m.Cols[k]]
+		}
+		dst[i] = s
+	}
+}
+
+// MulVecAdd computes dst += M·x without zeroing dst first.
+func (m *CSR) MulVecAdd(dst, x Vec) {
+	mustSameLen(len(dst), m.NumRows)
+	mustSameLen(len(x), m.NumCols)
+	for i := 0; i < m.NumRows; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		s := 0.0
+		for k := lo; k < hi; k++ {
+			s += m.Vals[k] * x[m.Cols[k]]
+		}
+		dst[i] += s
+	}
+}
+
+// NormInf returns ‖M‖∞ = max over rows of the L1 norm of the row. By
+// Theorem 3.2 of the paper this bounds the spectral radius ρ(M), which is
+// how Algorithm 2's convergence is certified (‖A‖∞ ≤ α < 1).
+func (m *CSR) NormInf() float64 {
+	max := 0.0
+	for i := 0; i < m.NumRows; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		s := 0.0
+		for k := lo; k < hi; k++ {
+			v := m.Vals[k]
+			if v < 0 {
+				v = -v
+			}
+			s += v
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// Transpose returns Mᵀ.
+func (m *CSR) Transpose() *CSR {
+	t := &CSR{
+		NumRows: m.NumCols,
+		NumCols: m.NumRows,
+		RowPtr:  make([]int64, m.NumCols+1),
+		Cols:    make([]int32, len(m.Cols)),
+		Vals:    make([]float64, len(m.Vals)),
+	}
+	// Count entries per transposed row.
+	for _, c := range m.Cols {
+		t.RowPtr[c+1]++
+	}
+	for i := 0; i < t.NumRows; i++ {
+		t.RowPtr[i+1] += t.RowPtr[i]
+	}
+	next := make([]int64, t.NumRows)
+	copy(next, t.RowPtr[:t.NumRows])
+	for i := 0; i < m.NumRows; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		for k := lo; k < hi; k++ {
+			c := m.Cols[k]
+			pos := next[c]
+			next[c]++
+			t.Cols[pos] = int32(i)
+			t.Vals[pos] = m.Vals[k]
+		}
+	}
+	return t
+}

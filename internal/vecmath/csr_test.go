@@ -1,0 +1,234 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"p2prank/internal/xrand"
+)
+
+func mustCSR(t *testing.T, rows, cols int, entries []Entry) *CSR {
+	t.Helper()
+	m, err := NewCSR(rows, cols, entries)
+	if err != nil {
+		t.Fatalf("NewCSR: %v", err)
+	}
+	return m
+}
+
+func TestCSRBasicMulVec(t *testing.T) {
+	// [ 1 2 ]
+	// [ 0 3 ]
+	m := mustCSR(t, 2, 2, []Entry{
+		{0, 0, 1}, {0, 1, 2}, {1, 1, 3},
+	})
+	dst := NewVec(2)
+	m.MulVec(dst, Vec{10, 100})
+	if dst[0] != 210 || dst[1] != 300 {
+		t.Fatalf("MulVec = %v", dst)
+	}
+}
+
+func TestCSRDuplicatesSummed(t *testing.T) {
+	m := mustCSR(t, 1, 1, []Entry{{0, 0, 1}, {0, 0, 2.5}})
+	if m.NNZ() != 1 {
+		t.Fatalf("NNZ = %d, want 1", m.NNZ())
+	}
+	if m.Vals[0] != 3.5 {
+		t.Fatalf("dup sum = %v", m.Vals[0])
+	}
+}
+
+func TestCSRUnsortedEntries(t *testing.T) {
+	m := mustCSR(t, 3, 3, []Entry{
+		{2, 1, 5}, {0, 2, 1}, {1, 0, 2}, {0, 0, 3},
+	})
+	cols, vals := m.Row(0)
+	if len(cols) != 2 || cols[0] != 0 || cols[1] != 2 || vals[0] != 3 || vals[1] != 1 {
+		t.Fatalf("Row(0) = %v %v", cols, vals)
+	}
+	cols, _ = m.Row(2)
+	if len(cols) != 1 || cols[0] != 1 {
+		t.Fatalf("Row(2) cols = %v", cols)
+	}
+}
+
+func TestCSROutOfBounds(t *testing.T) {
+	for _, e := range []Entry{{-1, 0, 1}, {0, -1, 1}, {2, 0, 1}, {0, 2, 1}} {
+		if _, err := NewCSR(2, 2, []Entry{e}); err == nil {
+			t.Errorf("entry %+v accepted", e)
+		}
+	}
+	if _, err := NewCSR(-1, 2, nil); err == nil {
+		t.Error("negative rows accepted")
+	}
+}
+
+func TestCSREmpty(t *testing.T) {
+	m := mustCSR(t, 3, 3, nil)
+	dst := Const(3, 9)
+	m.MulVec(dst, Vec{1, 1, 1})
+	if dst.Norm1() != 0 {
+		t.Fatalf("empty matrix product = %v", dst)
+	}
+	if m.NormInf() != 0 {
+		t.Fatalf("empty NormInf = %v", m.NormInf())
+	}
+}
+
+func TestCSRMulVecAdd(t *testing.T) {
+	m := mustCSR(t, 2, 2, []Entry{{0, 0, 1}, {1, 1, 1}})
+	dst := Vec{5, 5}
+	m.MulVecAdd(dst, Vec{1, 2})
+	if dst[0] != 6 || dst[1] != 7 {
+		t.Fatalf("MulVecAdd = %v", dst)
+	}
+}
+
+func TestCSRNormInf(t *testing.T) {
+	m := mustCSR(t, 2, 3, []Entry{
+		{0, 0, 1}, {0, 1, -2}, {1, 2, 2.5},
+	})
+	if got := m.NormInf(); got != 3 {
+		t.Fatalf("NormInf = %v, want 3", got)
+	}
+}
+
+func TestCSRTranspose(t *testing.T) {
+	m := mustCSR(t, 2, 3, []Entry{
+		{0, 0, 1}, {0, 2, 2}, {1, 1, 3},
+	})
+	tr := m.Transpose()
+	if tr.NumRows != 3 || tr.NumCols != 2 {
+		t.Fatalf("transpose dims %dx%d", tr.NumRows, tr.NumCols)
+	}
+	// (Mᵀ)ᵀ == M as dense matrices.
+	x := Vec{1, 2}
+	y1 := NewVec(3)
+	// y1 = Mᵀ x
+	tr.MulVec(y1, x)
+	// Check against manual: Mᵀ = [[1,0],[0,3],[2,0]].
+	want := Vec{1, 6, 2}
+	if Diff1(y1, want) > 1e-12 {
+		t.Fatalf("Mᵀx = %v, want %v", y1, want)
+	}
+}
+
+// Property: transpose twice is identity on the matrix-vector product.
+func TestCSRTransposeInvolutionProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		rows, cols := 1+r.Intn(20), 1+r.Intn(20)
+		nnz := r.Intn(60)
+		entries := make([]Entry, nnz)
+		for i := range entries {
+			entries[i] = Entry{r.Intn(rows), r.Intn(cols), r.Float64()*4 - 2}
+		}
+		m, err := NewCSR(rows, cols, entries)
+		if err != nil {
+			return false
+		}
+		tt := m.Transpose().Transpose()
+		x := NewVec(cols)
+		for i := range x {
+			x[i] = r.Float64()
+		}
+		y1, y2 := NewVec(rows), NewVec(rows)
+		m.MulVec(y1, x)
+		tt.MulVec(y2, x)
+		return Diff1(y1, y2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ‖Mx‖∞ ≤ ‖M‖∞ ‖x‖∞ (the bound behind Theorem 3.2's use).
+func TestCSRNormInfBoundProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 1 + r.Intn(20)
+		nnz := r.Intn(80)
+		entries := make([]Entry, nnz)
+		for i := range entries {
+			entries[i] = Entry{r.Intn(n), r.Intn(n), r.Float64()*2 - 1}
+		}
+		m, err := NewCSR(n, n, entries)
+		if err != nil {
+			return false
+		}
+		x := NewVec(n)
+		for i := range x {
+			x[i] = r.Float64()*2 - 1
+		}
+		y := NewVec(n)
+		m.MulVec(y, x)
+		return y.NormInf() <= m.NormInf()*x.NormInf()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MulVec is linear: M(ax+by) == a·Mx + b·My.
+func TestCSRLinearityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 1 + r.Intn(15)
+		entries := make([]Entry, r.Intn(50))
+		for i := range entries {
+			entries[i] = Entry{r.Intn(n), r.Intn(n), r.Float64()}
+		}
+		m, err := NewCSR(n, n, entries)
+		if err != nil {
+			return false
+		}
+		a, b := r.Float64()*3, r.Float64()*3
+		x, y := NewVec(n), NewVec(n)
+		for i := 0; i < n; i++ {
+			x[i], y[i] = r.Float64(), r.Float64()
+		}
+		combo := NewVec(n)
+		for i := range combo {
+			combo[i] = a*x[i] + b*y[i]
+		}
+		left, mx, my := NewVec(n), NewVec(n), NewVec(n)
+		m.MulVec(left, combo)
+		m.MulVec(mx, x)
+		m.MulVec(my, y)
+		for i := range left {
+			if math.Abs(left[i]-(a*mx[i]+b*my[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCSRMulVec(b *testing.B) {
+	r := xrand.New(1)
+	const n = 10000
+	const deg = 15
+	entries := make([]Entry, 0, n*deg)
+	for i := 0; i < n; i++ {
+		for k := 0; k < deg; k++ {
+			entries = append(entries, Entry{i, r.Intn(n), r.Float64()})
+		}
+	}
+	m, err := NewCSR(n, n, entries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x, y := NewVec(n), NewVec(n)
+	for i := range x {
+		x[i] = r.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVec(y, x)
+	}
+}

@@ -1,0 +1,188 @@
+// Package vecmath provides the dense-vector and sparse-matrix primitives
+// used by the PageRank solvers: L1/L∞ norms, element-wise operations, and
+// compressed sparse row (CSR) matrices with matrix-free products.
+//
+// The package is deliberately small and allocation-conscious: the solvers
+// in internal/pagerank and internal/ranker iterate over million-edge
+// graphs, so every operation that can write into a caller-provided
+// destination does.
+package vecmath
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec is a dense float64 vector.
+type Vec []float64
+
+// NewVec returns a zero vector of length n.
+func NewVec(n int) Vec { return make(Vec, n) }
+
+// Const returns a vector of length n with every element set to v.
+func Const(n int, v float64) Vec {
+	x := make(Vec, n)
+	for i := range x {
+		x[i] = v
+	}
+	return x
+}
+
+// Clone returns a copy of x.
+func (x Vec) Clone() Vec {
+	y := make(Vec, len(x))
+	copy(y, x)
+	return y
+}
+
+// Fill sets every element of x to v.
+func (x Vec) Fill(v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// Zero sets every element of x to 0.
+func (x Vec) Zero() { x.Fill(0) }
+
+// Sum returns the sum of the elements of x.
+func (x Vec) Sum() float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of x, or 0 for an empty vector.
+func (x Vec) Mean() float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	return x.Sum() / float64(len(x))
+}
+
+// Norm1 returns the L1 norm ‖x‖₁.
+func (x Vec) Norm1() float64 {
+	s := 0.0
+	for _, v := range x {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// NormInf returns the L∞ norm ‖x‖∞.
+func (x Vec) NormInf() float64 {
+	m := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Scale multiplies every element of x by c in place.
+func (x Vec) Scale(c float64) {
+	for i := range x {
+		x[i] *= c
+	}
+}
+
+// AddConst adds c to every element of x in place.
+func (x Vec) AddConst(c float64) {
+	for i := range x {
+		x[i] += c
+	}
+}
+
+// Add adds y to x element-wise in place. It panics on length mismatch.
+func (x Vec) Add(y Vec) {
+	mustSameLen(len(x), len(y))
+	for i := range x {
+		x[i] += y[i]
+	}
+}
+
+// Axpy computes x += a·y in place. It panics on length mismatch.
+func (x Vec) Axpy(a float64, y Vec) {
+	mustSameLen(len(x), len(y))
+	for i := range x {
+		x[i] += a * y[i]
+	}
+}
+
+// Diff1 returns ‖x−y‖₁. It panics on length mismatch.
+func Diff1(x, y Vec) float64 {
+	mustSameLen(len(x), len(y))
+	s := 0.0
+	for i := range x {
+		s += math.Abs(x[i] - y[i])
+	}
+	return s
+}
+
+// DiffInf returns ‖x−y‖∞. It panics on length mismatch.
+func DiffInf(x, y Vec) float64 {
+	mustSameLen(len(x), len(y))
+	m := 0.0
+	for i := range x {
+		if a := math.Abs(x[i] - y[i]); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// RelErr1 returns ‖x−y‖₁ / ‖y‖₁, the relative-error metric the paper uses
+// to compare distributed ranks against the centralized fixed point. If
+// ‖y‖₁ is zero it returns ‖x‖₁ (absolute error against the zero vector).
+func RelErr1(x, y Vec) float64 {
+	d := Diff1(x, y)
+	n := y.Norm1()
+	if n == 0 {
+		return x.Norm1()
+	}
+	return d / n
+}
+
+// Dominates reports whether x ≥ y element-wise, with slack tol ≥ 0 to
+// absorb floating-point noise (x[i] ≥ y[i] − tol for all i). The paper's
+// Theorem 4.1 states DPR1 rank sequences are monotone in this order.
+func Dominates(x, y Vec, tol float64) bool {
+	mustSameLen(len(x), len(y))
+	for i := range x {
+		if x[i] < y[i]-tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Min returns the smallest element of x, or +Inf for an empty vector.
+func (x Vec) Min() float64 {
+	m := math.Inf(1)
+	for _, v := range x {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of x, or -Inf for an empty vector.
+func (x Vec) Max() float64 {
+	m := math.Inf(-1)
+	for _, v := range x {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func mustSameLen(a, b int) {
+	if a != b {
+		panic(fmt.Sprintf("vecmath: length mismatch %d != %d", a, b))
+	}
+}

@@ -1,0 +1,233 @@
+package webgraph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text format
+//
+// A human-editable line format so small real edge lists can be fed in:
+//
+//	# comment
+//	site <id> <hostname>
+//	page <pageID> <siteID>
+//	link <src> <dst>
+//	ext <pageID> <count>
+//
+// Page and site IDs must be dense and ascending (page 0,1,2,...), which
+// keeps the reader a single pass.
+
+// WriteText writes g in the text format.
+func WriteText(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# p2prank webgraph: %d sites, %d pages, %d internal links\n",
+		g.NumSites(), g.NumPages(), g.NumInternalLinks())
+	for i, host := range g.Sites {
+		fmt.Fprintf(bw, "site %d %s\n", i, host)
+	}
+	for p := 0; p < g.NumPages(); p++ {
+		fmt.Fprintf(bw, "page %d %d\n", p, g.SiteOf[p])
+	}
+	for p := 0; p < g.NumPages(); p++ {
+		for _, d := range g.InternalOut(int32(p)) {
+			fmt.Fprintf(bw, "link %d %d\n", p, d)
+		}
+		if g.ExtOut[p] > 0 {
+			fmt.Fprintf(bw, "ext %d %d\n", p, g.ExtOut[p])
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the text format.
+func ReadText(r io.Reader) (*Graph, error) {
+	var b Builder
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		fail := func(msg string) error {
+			return fmt.Errorf("webgraph: line %d: %s: %q", lineNo, msg, line)
+		}
+		switch fields[0] {
+		case "site":
+			if len(fields) != 3 {
+				return nil, fail("site needs 2 args")
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fail("bad site id")
+			}
+			if got := b.AddSite(fields[2]); int(got) != id {
+				return nil, fail(fmt.Sprintf("site ids must be dense ascending (got %d)", got))
+			}
+		case "page":
+			if len(fields) != 3 {
+				return nil, fail("page needs 2 args")
+			}
+			id, err1 := strconv.Atoi(fields[1])
+			site, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fail("bad page/site id")
+			}
+			if site < 0 || site >= len(b.sites) {
+				return nil, fail("unknown site")
+			}
+			if got := b.AddPage(int32(site)); int(got) != id {
+				return nil, fail(fmt.Sprintf("page ids must be dense ascending (got %d)", got))
+			}
+		case "link":
+			if len(fields) != 3 {
+				return nil, fail("link needs 2 args")
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fail("bad link endpoints")
+			}
+			if err := b.AddLink(int32(u), int32(v)); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+		case "ext":
+			if len(fields) != 3 {
+				return nil, fail("ext needs 2 args")
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			k, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fail("bad ext fields")
+			}
+			if err := b.AddExternalLinks(int32(u), k); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+		default:
+			return nil, fail("unknown directive")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("webgraph: reading text graph: %w", err)
+	}
+	g := b.Build()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Binary format
+//
+// magic "P2PRGRPH" | u32 version | u32 sites | u32 pages | u64 links |
+// site table (u16 len + bytes each) | SiteOf | LocalID | ExtOut |
+// OutPtr | OutDst, all little-endian fixed width.
+
+const (
+	binaryMagic   = "P2PRGRPH"
+	binaryVersion = 1
+)
+
+// WriteBinary writes g in the compact binary format.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	hdr := []uint64{binaryVersion, uint64(g.NumSites()), uint64(g.NumPages()), uint64(len(g.OutDst))}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, host := range g.Sites {
+		if len(host) > 1<<16-1 {
+			return fmt.Errorf("webgraph: hostname too long (%d bytes)", len(host))
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint16(len(host))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(host); err != nil {
+			return err
+		}
+	}
+	for _, arr := range [][]int32{g.SiteOf, g.LocalID, g.ExtOut} {
+		if err := binary.Write(bw, binary.LittleEndian, arr); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.OutPtr); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.OutDst); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the binary format and validates the result.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("webgraph: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("webgraph: bad magic %q", magic)
+	}
+	var version, sites, pages, links uint64
+	for _, p := range []*uint64{&version, &sites, &pages, &links} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("webgraph: reading header: %w", err)
+		}
+	}
+	if version != binaryVersion {
+		return nil, fmt.Errorf("webgraph: unsupported version %d", version)
+	}
+	const maxDim = 1 << 31
+	if sites > maxDim || pages > maxDim || links > 1<<40 {
+		return nil, fmt.Errorf("webgraph: implausible header (sites=%d pages=%d links=%d)", sites, pages, links)
+	}
+	g := &Graph{
+		Sites:   make([]string, sites),
+		SiteOf:  make([]int32, pages),
+		LocalID: make([]int32, pages),
+		ExtOut:  make([]int32, pages),
+		OutPtr:  make([]int64, pages+1),
+		OutDst:  make([]int32, links),
+	}
+	for i := range g.Sites {
+		var n uint16
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return nil, fmt.Errorf("webgraph: reading site table: %w", err)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("webgraph: reading site name: %w", err)
+		}
+		g.Sites[i] = string(buf)
+	}
+	for _, arr := range [][]int32{g.SiteOf, g.LocalID, g.ExtOut} {
+		if err := binary.Read(br, binary.LittleEndian, arr); err != nil {
+			return nil, fmt.Errorf("webgraph: reading page arrays: %w", err)
+		}
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.OutPtr); err != nil {
+		return nil, fmt.Errorf("webgraph: reading OutPtr: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.OutDst); err != nil {
+		return nil, fmt.Errorf("webgraph: reading OutDst: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,200 @@
+package webgraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func graphsEqual(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.NumPages() != b.NumPages() || a.NumSites() != b.NumSites() ||
+		a.NumInternalLinks() != b.NumInternalLinks() {
+		t.Fatalf("shape mismatch: %d/%d pages, %d/%d sites, %d/%d links",
+			a.NumPages(), b.NumPages(), a.NumSites(), b.NumSites(),
+			a.NumInternalLinks(), b.NumInternalLinks())
+	}
+	for i := range a.Sites {
+		if a.Sites[i] != b.Sites[i] {
+			t.Fatalf("site %d: %q != %q", i, a.Sites[i], b.Sites[i])
+		}
+	}
+	for p := 0; p < a.NumPages(); p++ {
+		if a.SiteOf[p] != b.SiteOf[p] || a.LocalID[p] != b.LocalID[p] || a.ExtOut[p] != b.ExtOut[p] {
+			t.Fatalf("page %d metadata mismatch", p)
+		}
+	}
+	for i := range a.OutDst {
+		if a.OutDst[i] != b.OutDst[i] {
+			t.Fatalf("edge %d mismatch", i)
+		}
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	g := tinyGraph(t)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, g, g2)
+}
+
+func TestTextRoundTripGenerated(t *testing.T) {
+	g, err := Generate(DefaultGenConfig(1500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, g, g2)
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g, err := Generate(DefaultGenConfig(3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, g, g2)
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown directive":  "frobnicate 1 2\n",
+		"sparse site ids":    "site 5 a.edu\n",
+		"bad page site":      "site 0 a.edu\npage 0 9\n",
+		"link out of range":  "site 0 a.edu\npage 0 0\nlink 0 9\n",
+		"negative ext":       "site 0 a.edu\npage 0 0\next 0 -1\n",
+		"short site line":    "site 0\n",
+		"non-numeric fields": "site 0 a.edu\npage x 0\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadText(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted %q", name, input)
+		}
+	}
+}
+
+func TestReadTextSkipsCommentsAndBlanks(t *testing.T) {
+	input := "# a comment\n\nsite 0 a.edu\npage 0 0\n  \nlink 0 0\n"
+	g, err := ReadText(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumPages() != 1 || g.NumInternalLinks() != 1 {
+		t.Fatalf("parsed %d pages %d links", g.NumPages(), g.NumInternalLinks())
+	}
+}
+
+func TestReadBinaryErrors(t *testing.T) {
+	// Bad magic.
+	if _, err := ReadBinary(bytes.NewReader([]byte("NOTMAGIC"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated header.
+	if _, err := ReadBinary(bytes.NewReader([]byte("P2PRGRPH\x01"))); err == nil {
+		t.Error("truncated header accepted")
+	}
+	// Corrupt version.
+	g := tinyGraph(t)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[8] = 99 // version byte
+	if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+		t.Error("bad version accepted")
+	}
+	// Truncated body.
+	buf.Reset()
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-4]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated body accepted")
+	}
+}
+
+func TestBinarySmallerThanText(t *testing.T) {
+	g, err := Generate(DefaultGenConfig(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tb, bb bytes.Buffer
+	if err := WriteText(&tb, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&bb, g); err != nil {
+		t.Fatal(err)
+	}
+	if bb.Len() >= tb.Len() {
+		t.Fatalf("binary (%d B) not smaller than text (%d B)", bb.Len(), tb.Len())
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := ComputeStats(tinyGraph(t))
+	out := s.String()
+	for _, want := range []string{"pages=4", "internal=4", "external=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats %q missing %q", out, want)
+		}
+	}
+}
+
+func TestStatsEmptyGraph(t *testing.T) {
+	var b Builder
+	g := b.Build()
+	s := ComputeStats(g)
+	if s.IntraSiteFrac() != 0 || s.ExternalFrac() != 0 || s.MeanOutDegree != 0 {
+		t.Fatalf("empty graph stats: %+v", s)
+	}
+}
+
+func BenchmarkBinaryRoundTrip(b *testing.B) {
+	g, err := Generate(DefaultGenConfig(10000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := WriteBinary(&buf, g); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadBinary(bytes.NewReader(buf.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestWriteBinaryRejectsHugeHostname(t *testing.T) {
+	var b Builder
+	b.AddSite(strings.Repeat("x", 1<<16))
+	g := b.Build()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err == nil {
+		t.Fatal("oversized hostname accepted")
+	}
+}
