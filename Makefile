@@ -1,0 +1,28 @@
+# Developer entry points. `make verify` runs exactly what CI runs
+# (.github/workflows/ci.yml), so a green local verify means a green PR.
+
+GO ?= go
+
+.PHONY: build vet lint test race verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# The project's own determinism/concurrency analyzers (internal/lint):
+# norand, nowallclock, floateq, senderr.
+lint:
+	$(GO) run ./cmd/p2plint ./...
+
+test:
+	$(GO) test ./...
+
+# The layers with real goroutines: sockets (netpeer), the transport
+# fabric, and the simulator's network counters.
+race:
+	$(GO) test -race ./internal/netpeer/... ./internal/transport/... ./internal/simnet/...
+
+verify: build vet lint test race
+	@echo "verify: all checks passed"

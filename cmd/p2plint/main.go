@@ -1,0 +1,70 @@
+// Command p2plint runs the project's determinism and concurrency
+// analyzers (see internal/lint) over the tree:
+//
+//	go run ./cmd/p2plint ./...
+//
+// It prints one line per finding and exits non-zero if any survive,
+// so CI can gate on it. Scope individual analyzers with -only:
+//
+//	go run ./cmd/p2plint -only norand,floateq ./internal/...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"p2prank/internal/lint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: p2plint [-only names] [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		byName := make(map[string]*lint.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "p2plint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	pkgs, err := lint.Load(".", flag.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p2plint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p2plint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "p2plint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,86 @@
+package lint_test
+
+import (
+	"testing"
+
+	"p2prank/internal/lint"
+	"p2prank/internal/lint/linttest"
+)
+
+// Each analyzer runs over a violating fixture (want comments) and an
+// exempt one (no diagnostics expected), proving both the rule and its
+// scoping.
+
+func TestNoRandFlagsDirectImports(t *testing.T) {
+	linttest.Run(t, "testdata", lint.NoRand, "p2prank/internal/engine")
+}
+
+func TestNoRandExemptsXrand(t *testing.T) {
+	linttest.Run(t, "testdata", lint.NoRand, "p2prank/internal/xrand")
+}
+
+func TestNoWallClockFlagsSimPackages(t *testing.T) {
+	linttest.Run(t, "testdata", lint.NoWallClock, "p2prank/internal/simnet")
+}
+
+func TestNoWallClockExemptsNetpeer(t *testing.T) {
+	linttest.Run(t, "testdata", lint.NoWallClock, "p2prank/internal/netpeer")
+}
+
+func TestFloatEqFlagsRankMath(t *testing.T) {
+	linttest.Run(t, "testdata", lint.FloatEq, "p2prank/internal/pagerank")
+}
+
+func TestFloatEqExemptsOffScopePackages(t *testing.T) {
+	linttest.Run(t, "testdata", lint.FloatEq, "p2prank/internal/webgraph")
+}
+
+func TestSendErrFlagsDiscardedEmits(t *testing.T) {
+	linttest.Run(t, "testdata", lint.SendErr, "p2prank/internal/transport")
+}
+
+// TestLoadRealPackage exercises the go-list loader against the actual
+// module: the returned package must carry type information.
+func TestLoadRealPackage(t *testing.T) {
+	pkgs, err := lint.Load("../..", "./internal/xrand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Path != "p2prank/internal/xrand" {
+		t.Fatalf("path = %q", p.Path)
+	}
+	if p.Types == nil || p.Types.Scope().Lookup("Rand") == nil {
+		t.Fatal("package not type-checked: xrand.Rand not found")
+	}
+	if len(p.Files) == 0 || p.Info == nil {
+		t.Fatal("missing syntax or type info")
+	}
+}
+
+// TestSuiteCleanOnOwnTree is the self-test CI relies on: the shipped
+// analyzers must report nothing on the module itself (annotated
+// exceptions aside). It type-checks the entire module, so it is the
+// slowest test in the package.
+func TestSuiteCleanOnOwnTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	pkgs, err := lint.Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; pattern ./... should match the whole module", len(pkgs))
+	}
+	diags, err := lint.Run(pkgs, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("tree not clean: %s", d)
+	}
+}

@@ -1,0 +1,114 @@
+// Package linttest runs lint analyzers over golden fixtures, in the
+// style of golang.org/x/tools/go/analysis/analysistest. A fixture is a
+// directory under testdata/src whose path spells the import path it
+// impersonates (so package-scoped analyzers see the path they scope
+// on), and whose source carries expectations as comments:
+//
+//	r := rand.Int() // want `forbidden outside internal/xrand`
+//
+// Each backquoted string after "want" is a regexp that must match one
+// diagnostic reported on that line; diagnostics without a matching
+// expectation (and expectations without a matching diagnostic) fail
+// the test. Fixtures may import the standard library only.
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"p2prank/internal/lint"
+)
+
+// wantRx extracts the expectation comment of a line: everything after
+// "// want", as one or more backquoted regexps.
+var wantRx = regexp.MustCompile("// want((?: +`[^`]*`)+)")
+
+var quotedRx = regexp.MustCompile("`[^`]*`")
+
+// expectation is one unmatched "want" regexp.
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+}
+
+// Run loads the fixture testdata/src/<importPath> relative to dir,
+// applies the analyzer, and compares diagnostics against the want
+// comments.
+func Run(t *testing.T, dir string, a *lint.Analyzer, importPath string) {
+	t.Helper()
+	fixdir := filepath.Join(dir, "src", filepath.FromSlash(importPath))
+	pkg, err := lint.LoadDir(fixdir, importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixdir, err)
+	}
+	diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, importPath, err)
+	}
+	wants, err := parseWants(fixdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != filepath.Base(d.Pos.Filename) || w.line != d.Pos.Line {
+				continue
+			}
+			if w.rx.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", a.Name, d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s: %s:%d: expected diagnostic matching %q, got none",
+				a.Name, w.file, w.line, w.rx)
+		}
+	}
+}
+
+// parseWants scans every fixture file for want comments.
+func parseWants(fixdir string) ([]expectation, error) {
+	files, err := filepath.Glob(filepath.Join(fixdir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	var wants []expectation
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRx.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, q := range quotedRx.FindAllString(m[1], -1) {
+				rx, err := regexp.Compile(q[1 : len(q)-1])
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want regexp: %v", file, i+1, err)
+				}
+				wants = append(wants, expectation{
+					file: filepath.Base(file),
+					line: i + 1,
+					rx:   rx,
+				})
+			}
+		}
+	}
+	return wants, nil
+}

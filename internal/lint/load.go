@@ -1,0 +1,235 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	GoFiles    []string
+	Imports    []string
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -json args...` in dir and decodes the stream.
+func goList(dir string, args ...string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json"}, args...)...)
+	cmd.Dir = dir
+	cmd.Env = append(cmd.Environ(), "CGO_ENABLED=0")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", args, err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	var pkgs []*listedPackage
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding: %v", args, err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// chainImporter resolves module-local packages from the loader's own
+// type-checked set and delegates everything else (the standard
+// library) to the source importer.
+type chainImporter struct {
+	local map[string]*types.Package
+	std   types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := c.local[path]; ok {
+		return pkg, nil
+	}
+	return c.std.Import(path)
+}
+
+// Load type-checks the packages matched by the go-list patterns (plus
+// their module-local dependencies) and returns the matched ones. Only
+// non-test Go files are loaded: the invariants guard production and
+// simulation code, and test files routinely (and legitimately) use
+// wall-clock sleeps and exact comparisons.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	// The universe: every module-local package reachable from the
+	// patterns, so dependencies can be type-checked first.
+	deps, err := goList(dir, append([]string{"-deps"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	targets, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	wanted := make(map[string]bool, len(targets))
+	for _, t := range targets {
+		wanted[t.ImportPath] = true
+	}
+
+	local := make(map[string]*listedPackage)
+	for _, p := range deps {
+		if !p.Standard {
+			local[p.ImportPath] = p
+		}
+	}
+	order, err := topoSort(local)
+	if err != nil {
+		return nil, err
+	}
+
+	// The source importer type-checks the standard library from GOROOT
+	// source; cgo is disabled so packages like net use their pure-Go
+	// variants.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	imp := &chainImporter{
+		local: make(map[string]*types.Package),
+		std:   importer.ForCompiler(fset, "source", nil),
+	}
+
+	var out []*Package
+	for _, path := range order {
+		lp := local[path]
+		pkg, err := typeCheck(fset, imp, lp.ImportPath, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		imp.local[path] = pkg.Types
+		if wanted[path] {
+			out = append(out, pkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// LoadDir type-checks the .go files of one directory under a caller-
+// chosen import path. The lint tests use it to load analysistest
+// fixtures whose directory layout encodes the import path they
+// impersonate. Fixtures may import the standard library only.
+func LoadDir(dir, importPath string) (*Package, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(matches) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	var files []string
+	for _, m := range matches {
+		files = append(files, filepath.Base(m))
+	}
+	sort.Strings(files)
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	imp := &chainImporter{
+		local: map[string]*types.Package{},
+		std:   importer.ForCompiler(fset, "source", nil),
+	}
+	return typeCheck(fset, imp, importPath, dir, files)
+}
+
+// typeCheck parses and checks one package.
+func typeCheck(fset *token.FileSet, imp types.Importer, path, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// topoSort orders module-local packages so dependencies precede
+// dependents (imports outside the map — the standard library — are
+// ignored).
+func topoSort(pkgs map[string]*listedPackage) ([]string, error) {
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make(map[string]int, len(pkgs))
+	var order []string
+	var visit func(string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("lint: import cycle through %s", path)
+		}
+		state[path] = visiting
+		p := pkgs[path]
+		for _, dep := range p.Imports {
+			if _, ok := pkgs[dep]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[path] = done
+		order = append(order, path)
+		return nil
+	}
+	// Deterministic traversal order.
+	paths := make([]string, 0, len(pkgs))
+	for path := range pkgs {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}

@@ -1,0 +1,35 @@
+package lint
+
+import "strconv"
+
+// NoRand forbids importing math/rand (and math/rand/v2) anywhere but
+// internal/xrand. Every stochastic choice in the system — ranker wait
+// times, send-loss draws, synthetic-graph generation, partitions — must
+// flow through xrand's explicitly seeded streams, or a single stray
+// rand call silently breaks run-to-run reproducibility (math/rand's
+// global source is shared mutable state and its algorithm is not stable
+// across Go releases).
+var NoRand = &Analyzer{
+	Name: "norand",
+	Doc:  "forbid math/rand imports outside internal/xrand; use the seeded xrand streams",
+	Run:  runNoRand,
+}
+
+func runNoRand(pass *Pass) error {
+	if pathHasSuffix(pass.Pkg.Path(), "internal/xrand") {
+		return nil // the one place allowed to wrap a rand algorithm
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"import of %q is forbidden outside internal/xrand: draw from a seeded *xrand.Rand stream instead", path)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SendErr forbids discarding the result of Send/Flush emit paths.
+// ranker.Sender.Send/Flush and transport.Fabric report failures as
+// errors, and simnet.Network.Send reports message loss as a bool; a
+// statement that drops the result silently loses scores (or mis-counts
+// modeled loss). Propagate the error, log it, or count the drop —
+// an intentional discard must be written as an explicit `_ =`
+// assignment or annotated with //p2plint:allow senderr.
+var SendErr = &Analyzer{
+	Name: "senderr",
+	Doc:  "forbid discarding the result of Send/Flush emit calls",
+	Run:  runSendErr,
+}
+
+// emitNames are the callee names senderr polices.
+var emitNames = map[string]bool{
+	"Send":  true,
+	"Flush": true,
+}
+
+func runSendErr(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := calleeName(call)
+			if !emitNames[name] {
+				return true
+			}
+			if !hasCheckableResult(pass.TypesInfo.TypeOf(call)) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"result of %s discarded: propagate, log, or count the failure (an intentional drop must be an explicit `_ =`)",
+				name)
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeName extracts the bare function or method name of a call.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// hasCheckableResult reports whether a call's result type carries a
+// failure signal worth checking: an error anywhere in the results, or
+// a single bool (simnet's delivered/lost flag).
+func hasCheckableResult(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t) || isBool(t)
+}
+
+func isErrorType(t types.Type) bool {
+	return types.AssignableTo(t, types.Universe.Lookup("error").Type())
+}
+
+func isBool(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsBoolean != 0
+}

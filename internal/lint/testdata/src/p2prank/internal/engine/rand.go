@@ -1,0 +1,14 @@
+// Fixture: norand must flag math/rand imports (v1 and v2) in any
+// non-xrand package, whatever the import form.
+package engine
+
+import (
+	"math/rand" // want `import of "math/rand" is forbidden outside internal/xrand`
+
+	mrand "math/rand/v2" // want `import of "math/rand/v2" is forbidden outside internal/xrand`
+)
+
+// Draw uses both forbidden sources so the imports are live.
+func Draw() int {
+	return rand.Intn(10) + mrand.IntN(10)
+}

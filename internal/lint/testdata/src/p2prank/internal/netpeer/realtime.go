@@ -1,0 +1,11 @@
+// Fixture: netpeer runs on real sockets and real time; it is exempt
+// from nowallclock. No diagnostics.
+package netpeer
+
+import "time"
+
+// Wait is legal here: real peers genuinely sleep.
+func Wait(d time.Duration) time.Time {
+	time.Sleep(d)
+	return time.Now()
+}

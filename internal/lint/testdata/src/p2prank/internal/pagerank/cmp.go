@@ -1,0 +1,26 @@
+// Fixture: floateq must flag exact ==/!= between floats of any width
+// in a rank-math package, skip integer comparisons, and honor the
+// //p2plint:allow escape hatch.
+package pagerank
+
+// Converged compares computed scores the wrong way.
+func Converged(a, b float64, x, y float32) bool {
+	if a == b { // want `== between floating-point values`
+		return true
+	}
+	if x != y { // want `!= between floating-point values`
+		return false
+	}
+	return a != 0 // want `!= between floating-point values`
+}
+
+// Counts compares integers; not a float comparison.
+func Counts(n, m int) bool {
+	return n == m
+}
+
+// ZeroGuard is annotated: an intentional exact-zero check.
+func ZeroGuard(norm float64) bool {
+	//p2plint:allow floateq -- exact-zero divide guard, fixture exemption
+	return norm == 0
+}

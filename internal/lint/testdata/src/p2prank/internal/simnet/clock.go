@@ -1,0 +1,27 @@
+// Fixture: nowallclock must flag every wall-clock read or wait in a
+// simulation-path package, including through an import alias, while
+// leaving pure time.Duration plumbing alone.
+package simnet
+
+import (
+	"time"
+
+	wall "time"
+)
+
+// Tick does everything wrong at once.
+func Tick(d time.Duration) time.Time { // Duration/Time types alone are fine
+	time.Sleep(d)           // want `time.Sleep reads the wall clock`
+	<-time.After(d)         // want `time.After reads the wall clock`
+	t := wall.Now()         // want `time.Now reads the wall clock`
+	_ = time.Since(t)       // want `time.Since reads the wall clock`
+	tk := time.NewTicker(d) // want `time.NewTicker reads the wall clock`
+	tk.Stop()
+	return t
+}
+
+// Configured shows the legal uses: expressing configuration in
+// time.Duration without ever consulting the host clock.
+func Configured(ms int) time.Duration {
+	return time.Duration(ms) * time.Millisecond
+}

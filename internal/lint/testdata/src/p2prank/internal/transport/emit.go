@@ -1,0 +1,39 @@
+// Fixture: senderr must flag statement-level calls to Send/Flush that
+// drop an error (or simnet's delivered bool), while accepting checked
+// calls, explicit `_ =` discards, annotated lines, and emit methods
+// with nothing to check.
+package transport
+
+// Sender mirrors ranker.Sender.
+type Sender struct{}
+
+func (Sender) Send(chunk int) error { return nil }
+func (Sender) Flush() error         { return nil }
+
+// Network mirrors simnet.Network's delivered-bool Send.
+type Network struct{}
+
+func (Network) Send(payload any) bool { return true }
+
+// Fire mirrors a fire-and-forget emit with no failure signal.
+type Fire struct{}
+
+func (Fire) Send() {}
+
+func emitAll(s Sender, n Network, f Fire) error {
+	s.Send(1)   // want `result of Send discarded`
+	s.Flush()   // want `result of Flush discarded`
+	n.Send(nil) // want `result of Send discarded`
+
+	f.Send() // nothing to check: no error or bool result
+
+	if err := s.Send(2); err != nil { // checked: fine
+		return err
+	}
+	_ = s.Flush() // explicit discard: fine
+
+	//p2plint:allow senderr -- fixture exemption: loss is the model here
+	n.Send(42)
+
+	return s.Flush()
+}

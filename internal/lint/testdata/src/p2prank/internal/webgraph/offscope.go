@@ -1,0 +1,8 @@
+// Fixture: webgraph is outside floateq's rank-math scope, so even a
+// raw float comparison passes. No diagnostics.
+package webgraph
+
+// SameWeight is allowed here (generator-internal bookkeeping).
+func SameWeight(a, b float64) bool {
+	return a == b
+}

@@ -1,0 +1,10 @@
+// Fixture: internal/xrand is the one package allowed to touch
+// math/rand — it is where seeded wrappers live. No diagnostics.
+package xrand
+
+import "math/rand"
+
+// Wrap adapts a stdlib source; legal only here.
+func Wrap(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

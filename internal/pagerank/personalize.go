@@ -18,6 +18,7 @@ func TopicE(g *webgraph.Graph, sites []int32, boost, baseline float64) (vecmath.
 	if boost < 0 || baseline < 0 {
 		return nil, fmt.Errorf("pagerank: negative personalization weights (%v, %v)", boost, baseline)
 	}
+	//p2plint:allow floateq -- exact-zero validation of user-supplied weights, not a computed-score comparison
 	if boost == 0 && baseline == 0 {
 		return nil, fmt.Errorf("pagerank: all-zero personalization vector")
 	}

@@ -21,6 +21,7 @@ func order(x vecmath.Vec) []int32 {
 		idx[i] = int32(i)
 	}
 	sort.Slice(idx, func(a, b int) bool {
+		//p2plint:allow floateq -- sort tie-break: any strict total order works, exact inequality is deliberate
 		if x[idx[a]] != x[idx[b]] {
 			return x[idx[a]] > x[idx[b]]
 		}

@@ -104,6 +104,11 @@ type Stats struct {
 	// RelayedChunks counts chunk forwardings performed by intermediate
 	// nodes (indirect transmission only).
 	RelayedChunks int64
+	// DroppedMessages counts messages the simulated network refused at
+	// send time (endpoint down or modeled loss). The byte counters
+	// above still include them — a real sender burns upstream bandwidth
+	// on a message that never arrives.
+	DroppedMessages int64
 }
 
 // Deliver is the callback a ranker registers to receive score chunks
@@ -268,7 +273,9 @@ func (f *Fabric) Flush(from int) error {
 		msg, payload := f.pack(chunks)
 		f.stats.DataMessages++
 		f.stats.DataBytes += payload
-		f.net.Send(f.addrs[from], f.addrs[h], msg, payload)
+		if !f.net.Send(f.addrs[from], f.addrs[h], msg, payload) {
+			f.stats.DroppedMessages++
+		}
 	}
 	return nil
 }
@@ -324,12 +331,16 @@ func (f *Fabric) sendDirect(from int, chunk ScoreChunk) error {
 	for i := 0; i+1 < len(path); i++ {
 		f.stats.LookupMessages++
 		f.stats.LookupBytes += lsize
-		f.net.Send(f.addrs[path[i]], f.addrs[path[i+1]], lookupMsg{}, lsize)
+		if !f.net.Send(f.addrs[path[i]], f.addrs[path[i+1]], lookupMsg{}, lsize) {
+			f.stats.DroppedMessages++
+		}
 	}
 	msg, payload := f.pack([]ScoreChunk{chunk})
 	f.stats.DataMessages++
 	f.stats.DataBytes += payload
-	f.net.Send(f.addrs[from], f.addrs[dst], msg, payload)
+	if !f.net.Send(f.addrs[from], f.addrs[dst], msg, payload) {
+		f.stats.DroppedMessages++
+	}
 	return nil
 }
 

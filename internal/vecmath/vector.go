@@ -140,6 +140,7 @@ func DiffInf(x, y Vec) float64 {
 func RelErr1(x, y Vec) float64 {
 	d := Diff1(x, y)
 	n := y.Norm1()
+	//p2plint:allow floateq -- exact-zero guard: Norm1 is 0 only for the all-zero vector, and any other divisor is fine
 	if n == 0 {
 		return x.Norm1()
 	}
