@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race verify
+.PHONY: build vet lint test race bench verify
 
 build:
 	$(GO) build ./...
@@ -20,9 +20,19 @@ test:
 	$(GO) test ./...
 
 # The layers with real goroutines: sockets (netpeer), the transport
-# fabric, and the simulator's network counters.
+# fabric, the simulator (compute-phase batching), the worker pool, and
+# everything the parallel kernels touch.
 race:
-	$(GO) test -race ./internal/netpeer/... ./internal/transport/... ./internal/simnet/...
+	$(GO) test -race ./internal/netpeer/... ./internal/transport/... ./internal/simnet/... \
+		./internal/vecmath/... ./internal/pagerank/... ./internal/engine/... ./internal/par/...
+
+# Kernel + transmission benchmarks with allocation counts, recorded as
+# JSON so runs are diffable (see BENCH_kernels.json for the committed
+# reference numbers).
+bench:
+	$(GO) test -run '^$$' -bench 'MulVec|StepDelta|NewCSR|Fig6RelativeError|TransmissionScaling' \
+		-benchmem ./internal/vecmath/ . | $(GO) run ./cmd/benchjson > BENCH_kernels.json
+	@cat BENCH_kernels.json
 
 verify: build vet lint test race
 	@echo "verify: all checks passed"

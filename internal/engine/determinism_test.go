@@ -1,0 +1,150 @@
+package engine_test
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"runtime"
+	"testing"
+
+	"p2prank/internal/engine"
+	"p2prank/internal/partition"
+	"p2prank/internal/ranker"
+	"p2prank/internal/transport"
+	"p2prank/internal/vecmath"
+	"p2prank/internal/webgraph"
+)
+
+// The determinism suite is the tentpole's acceptance test: the parallel
+// kernels and the parallel compute-phase executor must produce results
+// bit-identical to serial execution at any GOMAXPROCS and any CSR shard
+// count. Each preset below is a reduced-scale Figure 6/7/8 run; its
+// whole observable output (reference, final ranks, every sample) is
+// fingerprinted and compared across the execution matrix.
+
+func detGraph(t *testing.T) *webgraph.Graph {
+	t.Helper()
+	cfg := webgraph.DefaultGenConfig(2500)
+	cfg.Sites = 40
+	cfg.Seed = 5
+	g, err := webgraph.Generate(cfg)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return g
+}
+
+// detPresets are reduced-scale stand-ins for the paper figures: Fig 6
+// (DPR1, lossy sends, indirect transport), Fig 7 (DPR1, by-site), and
+// Fig 8 (DPR2, fixed wait, direct transport).
+func detPresets(g *webgraph.Graph) map[string]engine.Config {
+	return map[string]engine.Config{
+		"fig6": {
+			Graph: g, K: 8, Alg: ranker.DPR1, SendProb: 0.7, T1: 0, T2: 6,
+			Seed: 3, SampleEvery: 2, MaxTime: 30,
+			Transport: transport.Indirect, Strategy: partition.BySite,
+		},
+		"fig7": {
+			Graph: g, K: 6, Alg: ranker.DPR1, T1: 0, T2: 6,
+			Seed: 4, SampleEvery: 2, MaxTime: 24,
+			Transport: transport.Indirect, Strategy: partition.BySite,
+		},
+		"fig8": {
+			Graph: g, K: 8, Alg: ranker.DPR2, T1: 15, T2: 15,
+			Seed: 5, SampleEvery: 5, MaxTime: 120, TargetRelErr: 1e-3,
+			Transport: transport.Direct, Strategy: partition.ByPage,
+		},
+	}
+}
+
+// fingerprint hashes every float the run exposes, by bits — any change
+// in any low bit of any sample or rank changes the digest.
+func fingerprint(t *testing.T, res *engine.Result) uint64 {
+	t.Helper()
+	h := fnv.New64a()
+	word := func(v float64) {
+		b := math.Float64bits(v)
+		var buf [8]byte
+		for i := range buf {
+			buf[i] = byte(b >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	vec := func(x vecmath.Vec) {
+		for _, v := range x {
+			word(v)
+		}
+	}
+	vec(res.Reference)
+	vec(res.Final)
+	word(res.RelErr)
+	word(res.ConvergedAt)
+	word(res.LoopsAtConvergence)
+	for _, s := range res.Samples {
+		word(s.Time)
+		word(s.RelErr)
+		word(s.AvgRank)
+		word(s.MeanLoops)
+	}
+	fmt.Fprintf(h, "samples=%d msgs=%d bytes=%d",
+		len(res.Samples), res.NetStats.MessagesSent, res.NetStats.BytesSent)
+	return h.Sum64()
+}
+
+func TestRunsBitIdenticalAcrossParallelism(t *testing.T) {
+	g := detGraph(t)
+	for name, cfg := range detPresets(g) {
+		t.Run(name, func(t *testing.T) {
+			// Serial baseline: single shard per matrix, one scheduler thread.
+			prevShards := vecmath.SetDefaultCSRShards(1)
+			prevProcs := runtime.GOMAXPROCS(1)
+			base, err := engine.Run(cfg)
+			runtime.GOMAXPROCS(prevProcs)
+			vecmath.SetDefaultCSRShards(prevShards)
+			if err != nil {
+				t.Fatalf("baseline run: %v", err)
+			}
+			want := fingerprint(t, base)
+
+			for _, procs := range []int{1, 2, 8} {
+				for _, shards := range []int{1, 4, 16} {
+					prevShards := vecmath.SetDefaultCSRShards(shards)
+					prevProcs := runtime.GOMAXPROCS(procs)
+					res, err := engine.Run(cfg)
+					runtime.GOMAXPROCS(prevProcs)
+					vecmath.SetDefaultCSRShards(prevShards)
+					if err != nil {
+						t.Fatalf("procs=%d shards=%d: %v", procs, shards, err)
+					}
+					if got := fingerprint(t, res); got != want {
+						t.Fatalf("procs=%d shards=%d: fingerprint %x differs from serial %x",
+							procs, shards, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSharedReferenceMatchesOwnReference checks that handing a
+// precomputed R* to Config.Reference changes nothing about the run.
+func TestSharedReferenceMatchesOwnReference(t *testing.T) {
+	g := detGraph(t)
+	cfg := detPresets(g)["fig6"]
+	own, err := engine.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := engine.Reference(g, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Reference = ref
+	shared, err := engine.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(t, own) != fingerprint(t, shared) {
+		t.Fatal("run with shared reference differs from self-computed reference")
+	}
+}

@@ -83,6 +83,11 @@ type Config struct {
 	// and lossy codecs genuinely perturb the exchanged scores. Nil
 	// keeps the paper's analytic l-bytes-per-link accounting.
 	Codec transport.ChunkCodec
+	// Reference optionally supplies the centralized PageRank fixed
+	// point R* (page-indexed, as returned by Reference). When nil the
+	// run computes it itself; experiment suites that run several curves
+	// over one graph compute it once and share it across runs.
+	Reference vecmath.Vec
 	// SampleEvery is the sampling interval for the time series
 	// (default 5 time units).
 	SampleEvery float64
@@ -328,13 +333,16 @@ func run(cfg Config, initial vecmath.Vec) (*Result, error) {
 		return nil, fmt.Errorf("engine: initial ranks have length %d, want %d",
 			len(initial), cfg.Graph.NumPages())
 	}
-	ref, err := pagerank.Open(cfg.Graph, pagerank.Options{
-		Alpha:   cfg.Alpha,
-		Epsilon: 1e-12,
-		MaxIter: 100000,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("engine: centralized reference: %w", err)
+	ref := cfg.Reference
+	if ref == nil {
+		var err error
+		ref, err = Reference(cfg.Graph, cfg.Alpha)
+		if err != nil {
+			return nil, err
+		}
+	} else if len(ref) != cfg.Graph.NumPages() {
+		return nil, fmt.Errorf("engine: Reference has length %d, want %d",
+			len(ref), cfg.Graph.NumPages())
 	}
 	cl, err := build(cfg)
 	if err != nil {
@@ -352,7 +360,7 @@ func run(cfg Config, initial vecmath.Vec) (*Result, error) {
 		}
 	}
 	res := &Result{
-		Reference:   ref.Ranks,
+		Reference:   ref,
 		ConvergedAt: -1,
 		Cut:         partition.Cut(cfg.Graph, cl.assign),
 	}
@@ -397,7 +405,7 @@ func run(cfg Config, initial vecmath.Vec) (*Result, error) {
 			cl.assemble(global)
 			s := Sample{
 				Time:      t,
-				RelErr:    vecmath.RelErr1(global, ref.Ranks),
+				RelErr:    vecmath.RelErr1(global, ref),
 				AvgRank:   global.Mean(),
 				MeanLoops: cl.meanLoops(),
 			}
@@ -424,7 +432,7 @@ func run(cfg Config, initial vecmath.Vec) (*Result, error) {
 
 	cl.assemble(global)
 	res.Final = global.Clone()
-	res.RelErr = vecmath.RelErr1(res.Final, ref.Ranks)
+	res.RelErr = vecmath.RelErr1(res.Final, ref)
 	if res.ConvergedAt < 0 {
 		res.LoopsAtConvergence = cl.meanLoops()
 	}
@@ -433,17 +441,39 @@ func run(cfg Config, initial vecmath.Vec) (*Result, error) {
 	return res, nil
 }
 
+// Reference computes the centralized PageRank fixed point R* that every
+// run measures against, at the engine's standard tolerance. Experiment
+// suites call it once per graph and pass the result to each run via
+// Config.Reference instead of re-deriving it per curve.
+func Reference(g *webgraph.Graph, alpha float64) (vecmath.Vec, error) {
+	ref, err := pagerank.Open(g, pagerank.Options{
+		Alpha:   alpha,
+		Epsilon: 1e-12,
+		MaxIter: 100000,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("engine: centralized reference: %w", err)
+	}
+	return ref.Ranks, nil
+}
+
 // CPRIterations returns the number of centralized power-iteration steps
 // (starting from R0 = 0, like the distributed algorithms) needed to
 // bring the relative error against the fixed point below target. This
 // is the CPR curve of Figure 8.
 func CPRIterations(g *webgraph.Graph, alpha, target float64) (int, error) {
-	if target <= 0 {
-		return 0, fmt.Errorf("engine: target must be positive, got %v", target)
-	}
-	star, err := pagerank.Open(g, pagerank.Options{Alpha: alpha, Epsilon: 1e-12, MaxIter: 100000})
+	star, err := Reference(g, alpha)
 	if err != nil {
 		return 0, err
+	}
+	return CPRIterationsFrom(g, alpha, target, star)
+}
+
+// CPRIterationsFrom is CPRIterations with the fixed point star already
+// in hand (see Reference).
+func CPRIterationsFrom(g *webgraph.Graph, alpha, target float64, star vecmath.Vec) (int, error) {
+	if target <= 0 {
+		return 0, fmt.Errorf("engine: target must be positive, got %v", target)
 	}
 	a, err := pagerank.BuildTransition(g, alpha)
 	if err != nil {
@@ -452,11 +482,11 @@ func CPRIterations(g *webgraph.Graph, alpha, target float64) (int, error) {
 	n := g.NumPages()
 	r := vecmath.NewVec(n)
 	next := vecmath.NewVec(n)
+	betaE := vecmath.Const(n, 1-alpha) // βE with E = 1
 	for it := 1; ; it++ {
-		a.MulVec(next, r)
-		next.AddConst(1 - alpha) // βE with E = 1
+		a.StepInto(next, r, betaE, nil)
 		r, next = next, r
-		if vecmath.RelErr1(r, star.Ranks) <= target {
+		if vecmath.RelErr1(r, star) <= target {
 			return it, nil
 		}
 		if it > 100000 {

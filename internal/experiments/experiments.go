@@ -19,6 +19,7 @@ import (
 	"p2prank/internal/engine"
 	"p2prank/internal/metrics"
 	"p2prank/internal/overlay"
+	"p2prank/internal/par"
 	"p2prank/internal/partition"
 	"p2prank/internal/ranker"
 	"p2prank/internal/simnet"
@@ -26,6 +27,21 @@ import (
 	"p2prank/internal/webgraph"
 	"p2prank/internal/xrand"
 )
+
+// defaultAlpha mirrors engine.Config's Alpha default; presets that rely
+// on the default pass it to engine.Reference explicitly.
+const defaultAlpha = 0.85
+
+// firstErr returns the first non-nil error of a parallel sweep — the
+// same one a serial loop would have stopped at.
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // Workload describes the synthetic crawl a preset runs on.
 type Workload struct {
@@ -110,7 +126,17 @@ func errorOverTime(w Workload, k int, maxTime float64, metric func(*engine.Sampl
 		return nil, err
 	}
 	res := &FigureResult{GraphStats: webgraph.ComputeStats(g)}
-	for _, cp := range curveParams {
+	// The three curves share one graph, so they share one centralized
+	// reference (the dominant fixed cost) and run as independent
+	// simulations in parallel — each owns its simulator and rng.
+	ref, err := engine.Reference(g, defaultAlpha)
+	if err != nil {
+		return nil, err
+	}
+	curves := make([]*metrics.Series, len(curveParams))
+	errs := make([]error, len(curveParams))
+	par.Default().Run(len(curveParams), func(ci int) {
+		cp := curveParams[ci]
 		cfg := engine.Config{
 			Graph:       g,
 			K:           k,
@@ -119,6 +145,7 @@ func errorOverTime(w Workload, k int, maxTime float64, metric func(*engine.Sampl
 			T1:          cp.t1,
 			T2:          cp.t2,
 			Seed:        w.Seed,
+			Reference:   ref,
 			SampleEvery: 1,
 			MaxTime:     maxTime,
 			Transport:   transport.Indirect,
@@ -126,14 +153,19 @@ func errorOverTime(w Workload, k int, maxTime float64, metric func(*engine.Sampl
 		}
 		run, err := engine.Run(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: curve %q: %w", cp.name, err)
+			errs[ci] = fmt.Errorf("experiments: curve %q: %w", cp.name, err)
+			return
 		}
 		s := metrics.NewSeries(cp.name)
 		for i := range run.Samples {
 			s.Add(run.Samples[i].Time, metric(&run.Samples[i]))
 		}
-		res.Curves = append(res.Curves, s)
+		curves[ci] = s
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
 	}
+	res.Curves = curves
 	return res, nil
 }
 
@@ -162,46 +194,60 @@ func Fig8(w Workload, ks []int) ([]Fig8Row, error) {
 		return nil, err
 	}
 	const target = 1e-4 // the paper's 0.01%
-	cpr, err := engine.CPRIterations(g, 0.85, target)
+	ref, err := engine.Reference(g, defaultAlpha)
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]Fig8Row, 0, len(ks))
-	for _, k := range ks {
+	cpr, err := engine.CPRIterationsFrom(g, defaultAlpha, target, ref)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig8Row, len(ks))
+	for i, k := range ks {
 		if k <= 0 {
 			return nil, fmt.Errorf("experiments: k = %d, must be positive", k)
 		}
-		row := Fig8Row{K: k, CPR: float64(cpr)}
-		for _, alg := range []ranker.Algorithm{ranker.DPR1, ranker.DPR2} {
-			cfg := engine.Config{
-				Graph:        g,
-				K:            k,
-				Alg:          alg,
-				T1:           15,
-				T2:           15,
-				Seed:         w.Seed,
-				SampleEvery:  5,
-				MaxTime:      6000,
-				TargetRelErr: target,
-				Strategy:     partition.BySite,
-				Transport:    transport.Indirect,
-			}
-			run, err := engine.Run(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: fig8 K=%d %v: %w", k, alg, err)
-			}
-			if run.ConvergedAt < 0 {
-				return nil, fmt.Errorf("experiments: fig8 K=%d %v did not converge (rel err %v)",
-					k, alg, run.RelErr)
-			}
-			switch alg {
-			case ranker.DPR1:
-				row.DPR1 = run.LoopsAtConvergence
-			case ranker.DPR2:
-				row.DPR2 = run.LoopsAtConvergence
-			}
+		rows[i] = Fig8Row{K: k, CPR: float64(cpr)}
+	}
+	// Every (K, algorithm) cell is an independent simulation; run the
+	// grid in parallel, each job writing only its own row field.
+	algs := []ranker.Algorithm{ranker.DPR1, ranker.DPR2}
+	errs := make([]error, len(ks)*len(algs))
+	par.Default().Run(len(errs), func(job int) {
+		k, alg := ks[job/len(algs)], algs[job%len(algs)]
+		cfg := engine.Config{
+			Graph:        g,
+			K:            k,
+			Alg:          alg,
+			T1:           15,
+			T2:           15,
+			Seed:         w.Seed,
+			Reference:    ref,
+			SampleEvery:  5,
+			MaxTime:      6000,
+			TargetRelErr: target,
+			Strategy:     partition.BySite,
+			Transport:    transport.Indirect,
 		}
-		rows = append(rows, row)
+		run, err := engine.Run(cfg)
+		if err != nil {
+			errs[job] = fmt.Errorf("experiments: fig8 K=%d %v: %w", k, alg, err)
+			return
+		}
+		if run.ConvergedAt < 0 {
+			errs[job] = fmt.Errorf("experiments: fig8 K=%d %v did not converge (rel err %v)",
+				k, alg, run.RelErr)
+			return
+		}
+		switch alg {
+		case ranker.DPR1:
+			rows[job/len(algs)].DPR1 = run.LoopsAtConvergence
+		case ranker.DPR2:
+			rows[job/len(algs)].DPR2 = run.LoopsAtConvergence
+		}
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -244,47 +290,64 @@ func Transmission(w Workload, ks []int, timePerRun float64) ([]TransmissionRow, 
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]TransmissionRow, 0, len(ks))
-	for _, k := range ks {
-		row := TransmissionRow{K: k}
-		for _, kind := range []transport.Kind{transport.Direct, transport.Indirect} {
-			cfg := engine.Config{
-				Graph:       g,
-				K:           k,
-				Alg:         ranker.DPR1,
-				T1:          3,
-				T2:          3,
-				Seed:        w.Seed,
-				SampleEvery: timePerRun, // one sample at the end
-				MaxTime:     timePerRun,
-				Strategy:    partition.ByPage,
-				Transport:   kind,
-			}
-			run, err := engine.Run(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: transmission K=%d %v: %w", k, kind, err)
-			}
-			iters := run.LoopsAtConvergence
-			if iters == 0 {
-				iters = 1
-			}
-			msgs := float64(run.NetStats.MessagesSent) / iters
-			bytes := float64(run.NetStats.BytesSent) / iters
-			switch kind {
-			case transport.Direct:
-				row.DirectMsgs, row.DirectBytes = msgs, bytes
-			case transport.Indirect:
-				row.IndirectMsgs, row.IndirectBytes = msgs, bytes
-				row.AvgHops, row.AvgNeighbors = run.AvgHops, run.AvgNeighbors
-			}
+	ref, err := engine.Reference(g, defaultAlpha)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]TransmissionRow, len(ks))
+	for i, k := range ks {
+		rows[i] = TransmissionRow{K: k}
+	}
+	// One independent simulation per (K, transport) cell; the Direct and
+	// Indirect jobs for a row write disjoint fields.
+	kinds := []transport.Kind{transport.Direct, transport.Indirect}
+	errs := make([]error, len(ks)*len(kinds))
+	par.Default().Run(len(errs), func(job int) {
+		ki, kind := job/len(kinds), kinds[job%len(kinds)]
+		k := ks[ki]
+		cfg := engine.Config{
+			Graph:       g,
+			K:           k,
+			Alg:         ranker.DPR1,
+			T1:          3,
+			T2:          3,
+			Seed:        w.Seed,
+			Reference:   ref,
+			SampleEvery: timePerRun, // one sample at the end
+			MaxTime:     timePerRun,
+			Strategy:    partition.ByPage,
+			Transport:   kind,
 		}
+		run, err := engine.Run(cfg)
+		if err != nil {
+			errs[job] = fmt.Errorf("experiments: transmission K=%d %v: %w", k, kind, err)
+			return
+		}
+		iters := run.LoopsAtConvergence
+		if iters == 0 {
+			iters = 1
+		}
+		msgs := float64(run.NetStats.MessagesSent) / iters
+		bytes := float64(run.NetStats.BytesSent) / iters
+		row := &rows[ki]
+		switch kind {
+		case transport.Direct:
+			row.DirectMsgs, row.DirectBytes = msgs, bytes
+		case transport.Indirect:
+			row.IndirectMsgs, row.IndirectBytes = msgs, bytes
+			row.AvgHops, row.AvgNeighbors = run.AvgHops, run.AvgNeighbors
+		}
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	for i := range rows {
 		p := bwmodel.Params{
-			W: float64(w.Pages), N: float64(k),
-			H: row.AvgHops, L: 100, R: 48, G: row.AvgNeighbors,
+			W: float64(w.Pages), N: float64(rows[i].K),
+			H: rows[i].AvgHops, L: 100, R: 48, G: rows[i].AvgNeighbors,
 		}
-		row.ModelDirectMsgs = p.DirectMessages()
-		row.ModelIndirectMsgs = p.IndirectMessages()
-		rows = append(rows, row)
+		rows[i].ModelDirectMsgs = p.DirectMessages()
+		rows[i].ModelIndirectMsgs = p.IndirectMessages()
 	}
 	return rows, nil
 }
@@ -407,11 +470,19 @@ func ConvergenceVsBandwidth(w Workload, k int, bws []float64, maxTime float64) (
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]BandwidthRow, 0, len(bws))
 	for _, bw := range bws {
 		if bw < 0 {
 			return nil, fmt.Errorf("experiments: negative bandwidth %v", bw)
 		}
+	}
+	ref, err := engine.Reference(g, defaultAlpha)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]BandwidthRow, len(bws))
+	errs := make([]error, len(bws))
+	par.Default().Run(len(bws), func(i int) {
+		bw := bws[i]
 		cfg := engine.Config{
 			Graph:        g,
 			K:            k,
@@ -419,6 +490,7 @@ func ConvergenceVsBandwidth(w Workload, k int, bws []float64, maxTime float64) (
 			T1:           3,
 			T2:           3,
 			Seed:         w.Seed,
+			Reference:    ref,
 			SampleEvery:  1,
 			MaxTime:      maxTime,
 			TargetRelErr: 1e-4,
@@ -432,13 +504,17 @@ func ConvergenceVsBandwidth(w Workload, k int, bws []float64, maxTime float64) (
 		}
 		run, err := engine.Run(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: bandwidth %v: %w", bw, err)
+			errs[i] = fmt.Errorf("experiments: bandwidth %v: %w", bw, err)
+			return
 		}
-		rows = append(rows, BandwidthRow{
+		rows[i] = BandwidthRow{
 			Bandwidth:   bw,
 			ConvergedAt: run.ConvergedAt,
 			FinalRelErr: run.RelErr,
-		})
+		}
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -27,6 +27,10 @@ func TestNoWallClockExemptsNetpeer(t *testing.T) {
 	linttest.Run(t, "testdata", lint.NoWallClock, "p2prank/internal/netpeer")
 }
 
+func TestNoWallClockFlagsPar(t *testing.T) {
+	linttest.Run(t, "testdata", lint.NoWallClock, "p2prank/internal/par")
+}
+
 func TestFloatEqFlagsRankMath(t *testing.T) {
 	linttest.Run(t, "testdata", lint.FloatEq, "p2prank/internal/pagerank")
 }

@@ -32,6 +32,10 @@ var simPathPackages = []string{
 	"internal/engine",
 	"internal/ranker",
 	"internal/experiments",
+	// The worker pool under the parallel kernels and the compute-phase
+	// executor: it must block on channels, never sleep or poll the
+	// host clock, or virtual time would leak scheduling jitter.
+	"internal/par",
 }
 
 // NoWallClock forbids wall-clock reads and waits in simulation-path

@@ -1,0 +1,37 @@
+// Fixture: the worker pool behind the deterministic parallel layer is
+// simulation-path code — it may block on channels and sync primitives,
+// never on the wall clock.
+package par
+
+import "time"
+
+// Drain shows the legal idiom: waiting means blocking on a channel.
+func Drain(done chan struct{}) {
+	<-done
+}
+
+// SpinWait is the forbidden shape: pacing workers off the host clock.
+func SpinWait(jobs chan func()) {
+	for {
+		select {
+		case fn := <-jobs:
+			fn()
+		default:
+			time.Sleep(time.Microsecond) // want `time.Sleep reads the wall clock`
+		}
+	}
+}
+
+// Deadline is just as illegal: a pool that times out by wall time makes
+// shard completion order depend on host load.
+func Deadline(jobs chan func()) bool {
+	start := time.Now() // want `time.Now reads the wall clock`
+	select {
+	case fn := <-jobs:
+		fn()
+		return true
+	case <-time.After(time.Millisecond): // want `time.After reads the wall clock`
+		_ = start
+		return false
+	}
+}

@@ -64,39 +64,49 @@ func (s *GroupSystem) NormA() float64 { return s.A.NormInf() }
 // Step performs one Jacobi step dst = A·r + βE + x. This is the body of
 // DPR2's loop. dst must not alias r. A nil x means X = 0.
 func (s *GroupSystem) Step(dst, r, x vecmath.Vec) {
-	s.A.MulVec(dst, r)
-	dst.Add(s.BetaE)
-	if x != nil {
-		dst.Add(x)
-	}
+	s.A.StepInto(dst, r, s.BetaE, x)
 }
 
 // Solve runs Algorithm 2 (GroupPageRank): iterate Step from r0 until
 // ‖R_{i+1} − R_i‖₁ ≤ opt.Epsilon. This is the inner loop of DPR1. The
 // returned Result owns a fresh rank vector; r0 is not modified.
 func (s *GroupSystem) Solve(r0, x vecmath.Vec, opt Options) (Result, error) {
-	if err := opt.validate(); err != nil {
-		return Result{}, err
-	}
 	n := s.N()
 	if len(r0) != n {
 		return Result{}, fmt.Errorf("pagerank: r0 has length %d, want %d", len(r0), n)
 	}
+	return s.SolveInPlace(r0.Clone(), x, vecmath.NewVec(n), opt)
+}
+
+// SolveInPlace is Solve without the allocations: it iterates from the
+// ranks already in r, using scratch (same length, no aliasing) as the
+// swap buffer, and leaves the fixed point in r. Result.Ranks is r
+// itself. The distributed loop calls this once per ranker wakeup, so
+// the steady state allocates nothing.
+func (s *GroupSystem) SolveInPlace(r, x, scratch vecmath.Vec, opt Options) (Result, error) {
+	if err := opt.validate(); err != nil {
+		return Result{}, err
+	}
+	n := s.N()
+	if len(r) != n {
+		return Result{}, fmt.Errorf("pagerank: r has length %d, want %d", len(r), n)
+	}
+	if len(scratch) != n {
+		return Result{}, fmt.Errorf("pagerank: scratch has length %d, want %d", len(scratch), n)
+	}
 	if x != nil && len(x) != n {
 		return Result{}, fmt.Errorf("pagerank: x has length %d, want %d", len(x), n)
 	}
-	r := r0.Clone()
-	next := vecmath.NewVec(n)
 	res := Result{}
 	if n == 0 {
 		res.Converged = true
 		res.Ranks = r
 		return res, nil
 	}
+	cur, next := r, scratch
 	for it := 0; it < opt.MaxIter; it++ {
-		s.Step(next, r, x)
-		delta := vecmath.Diff1(next, r)
-		r, next = next, r
+		delta := s.A.StepDelta(next, cur, s.BetaE, x)
+		cur, next = next, cur
 		res.Iterations = it + 1
 		if opt.TrackResiduals {
 			res.Residuals = append(res.Residuals, delta)
@@ -105,6 +115,9 @@ func (s *GroupSystem) Solve(r0, x vecmath.Vec, opt Options) (Result, error) {
 			res.Converged = true
 			break
 		}
+	}
+	if res.Iterations%2 == 1 {
+		copy(r, scratch) // odd step count: the newest iterate sits in scratch
 	}
 	res.Ranks = r
 	if !res.Converged {

@@ -93,8 +93,12 @@ type Ranker struct {
 	sender Sender
 	rng    *xrand.Rand
 
-	r vecmath.Vec // current rank vector R
-	x vecmath.Vec // assembled afferent vector X
+	r       vecmath.Vec // current rank vector R
+	x       vecmath.Vec // assembled afferent vector X
+	scratch vecmath.Vec // swap buffer for the in-place solves
+	// mergedY caches, per destination group, how many entries Y = BR
+	// merges to, so publishY can size each chunk's slice exactly.
+	mergedY map[int32]int32
 	// latest holds the most recent chunk received from each source
 	// group; Refresh X sums them. Stale (older-round) chunks are
 	// ignored, since the paper's algorithms always use the newest
@@ -118,15 +122,29 @@ func New(grp *Group, cfg Config, sim *simnet.Simulator, sender Sender, rng *xran
 	if grp == nil || sim == nil || sender == nil || rng == nil {
 		return nil, fmt.Errorf("ranker: nil dependency")
 	}
+	mergedY := make(map[int32]int32, len(grp.Eff))
+	for dst, entries := range grp.Eff {
+		var n int32
+		prev := int32(-1)
+		for _, e := range entries { // sorted by DstLocal: count the runs
+			if e.DstLocal != prev {
+				n++
+				prev = e.DstLocal
+			}
+		}
+		mergedY[dst] = n
+	}
 	return &Ranker{
-		grp:    grp,
-		cfg:    cfg,
-		sim:    sim,
-		sender: sender,
-		rng:    rng,
-		r:      vecmath.NewVec(grp.N()), // R0 = 0, the Theorem 4.1/4.2 start
-		x:      vecmath.NewVec(grp.N()),
-		latest: make(map[int32]transport.ScoreChunk),
+		grp:     grp,
+		cfg:     cfg,
+		sim:     sim,
+		sender:  sender,
+		rng:     rng,
+		r:       vecmath.NewVec(grp.N()), // R0 = 0, the Theorem 4.1/4.2 start
+		x:       vecmath.NewVec(grp.N()),
+		scratch: vecmath.NewVec(grp.N()),
+		mergedY: mergedY,
+		latest:  make(map[int32]transport.ScoreChunk),
 	}, nil
 }
 
@@ -202,16 +220,19 @@ func (rk *Ranker) Deliver(chunk transport.ScoreChunk) {
 }
 
 func (rk *Ranker) scheduleNext() {
-	rk.sim.After(rk.rng.Exp(rk.cfg.MeanWait), rk.loop)
+	rk.sim.AfterCompute(rk.rng.Exp(rk.cfg.MeanWait), rk.loop)
 }
 
-// loop is one main-loop body of Algorithm 3 or 4: refresh X, update R,
-// publish Y, wait.
-func (rk *Ranker) loop() {
+// loop is the compute half of one main-loop body of Algorithm 3 or 4:
+// refresh X and update R, touching only this ranker's private vectors,
+// so the simulator may run it concurrently with other rankers' loops at
+// the same virtual instant. It returns the commit half — publish Y,
+// reschedule — which the simulator runs serially in event order.
+func (rk *Ranker) loop() func() {
 	if rk.stopped || rk.suspended {
 		// A suspended ranker's pending wakeup dies here; Resume
 		// schedules a fresh one.
-		return
+		return nil
 	}
 	rk.refreshX()
 	switch rk.cfg.Alg {
@@ -221,18 +242,21 @@ func (rk *Ranker) loop() {
 			Epsilon: rk.cfg.InnerEpsilon,
 			MaxIter: rk.cfg.InnerMaxIter,
 		}
-		res, err := rk.grp.Sys.Solve(rk.r, rk.x, opt)
-		if err != nil {
+		if _, err := rk.grp.Sys.SolveInPlace(rk.r, rk.x, rk.scratch, opt); err != nil {
 			// Inner non-convergence is a configuration error (‖A‖∞ < 1
 			// guarantees convergence for any positive ε); surface loudly.
 			panic(fmt.Sprintf("ranker %d: inner solve: %v", rk.grp.Index, err))
 		}
-		rk.r = res.Ranks
 	case DPR2:
-		next := vecmath.NewVec(rk.grp.N())
-		rk.grp.Sys.Step(next, rk.r, rk.x)
-		rk.r = next
+		rk.grp.Sys.Step(rk.scratch, rk.r, rk.x)
+		rk.r, rk.scratch = rk.scratch, rk.r
 	}
+	return rk.commitLoop
+}
+
+// commitLoop is the serial half of a loop iteration: everything that
+// draws randomness, sends, or schedules.
+func (rk *Ranker) commitLoop() {
 	rk.loops++
 	rk.publishY()
 	rk.scheduleNext()
@@ -270,6 +294,10 @@ func (rk *Ranker) publishY() {
 			SrcGroup: int32(rk.grp.Index),
 			DstGroup: dstGroup,
 			Round:    rk.loops,
+			// Sized exactly: one allocation, no append growth. The slice
+			// cannot be pooled — it rides the in-flight message and the
+			// receiver keeps it as its newest afferent contribution.
+			Entries: make([]transport.ScoreEntry, 0, rk.mergedY[dstGroup]),
 		}
 		// Entries are sorted by DstLocal; merge adjacent contributions
 		// to the same destination page.

@@ -74,6 +74,13 @@ type node struct {
 	uplinkFree float64
 }
 
+// delivery is an in-flight message plus its destination, pooled so the
+// send path allocates nothing per message.
+type delivery struct {
+	m   Message
+	dst *node
+}
+
 // Network delivers messages between registered nodes with configurable
 // latency and loss, charging every send to byte and message counters.
 type Network struct {
@@ -82,6 +89,11 @@ type Network struct {
 	rng   *xrand.Rand
 	nodes []*node
 	total Stats
+
+	// deliverFn is the one function value every in-flight message
+	// shares (see AtArg); free recycles delivery structs.
+	deliverFn func(any)
+	free      []*delivery
 }
 
 // NewNetwork builds a Network on sim. The network forks its own random
@@ -90,7 +102,9 @@ func NewNetwork(sim *Simulator, cfg NetConfig) (*Network, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &Network{sim: sim, cfg: cfg, rng: sim.Rand().Fork()}, nil
+	n := &Network{sim: sim, cfg: cfg, rng: sim.Rand().Fork()}
+	n.deliverFn = n.deliver
+	return n, nil
 }
 
 // Sim returns the simulator the network runs on.
@@ -158,21 +172,38 @@ func (n *Network) Send(from, to NodeAddr, payload any, size int64) bool {
 		src.uplinkFree += float64(size) / n.cfg.NodeBandwidth
 		lat += src.uplinkFree - now
 	}
-	m := Message{From: from, To: to, Payload: payload, Size: size}
-	n.sim.After(lat, func() {
-		// Re-check liveness at delivery time: the destination may have
-		// failed while the message was in flight.
-		if dst.down {
-			n.total.MessagesDropped++
-			return
-		}
-		dst.in.MessagesDelivered++
-		dst.in.BytesDelivered += size
-		n.total.MessagesDelivered++
-		n.total.BytesDelivered += size
-		dst.handler(m)
-	})
+	var d *delivery
+	if k := len(n.free); k > 0 {
+		d = n.free[k-1]
+		n.free[k-1] = nil
+		n.free = n.free[:k-1]
+	} else {
+		d = &delivery{}
+	}
+	d.m = Message{From: from, To: to, Payload: payload, Size: size}
+	d.dst = dst
+	n.sim.AfterArg(lat, n.deliverFn, d)
 	return true
+}
+
+// deliver completes an in-flight message (the AtArg callback) and
+// recycles its delivery struct.
+func (n *Network) deliver(a any) {
+	d := a.(*delivery)
+	m, dst := d.m, d.dst
+	*d = delivery{}
+	n.free = append(n.free, d)
+	// Re-check liveness at delivery time: the destination may have
+	// failed while the message was in flight.
+	if dst.down {
+		n.total.MessagesDropped++
+		return
+	}
+	dst.in.MessagesDelivered++
+	dst.in.BytesDelivered += m.Size
+	n.total.MessagesDelivered++
+	n.total.BytesDelivered += m.Size
+	dst.handler(m)
 }
 
 // TotalStats returns network-wide counters.

@@ -7,14 +7,18 @@
 //
 // Determinism: events at equal times fire in scheduling order, and all
 // randomness flows from one seed, so an experiment is a pure function of
-// its configuration.
+// its configuration. Two-phase events (AtCompute) may run their compute
+// halves concurrently, but their commit halves — the only halves allowed
+// to mutate shared state, draw randomness, or schedule — still fire
+// serially in scheduling order, so the executed history is identical to
+// the single-threaded one.
 package simnet
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
+	"p2prank/internal/par"
 	"p2prank/internal/xrand"
 )
 
@@ -23,37 +27,106 @@ type event struct {
 	at  float64
 	seq uint64 // tie-break so equal-time events fire FIFO
 	fn  func()
+	// argFn/arg are the closure-free form (AtArg): argFn(arg) fires
+	// instead of fn. Hot schedulers reuse one function value and a
+	// pooled argument rather than allocating a closure per event.
+	argFn func(any)
+	arg   any
+	// compute marks a two-phase event (AtCompute): the compute half may
+	// run concurrently with other compute halves at the same instant and
+	// returns the commit half to run serially. nil for plain events.
+	compute func() func()
 }
 
+// eventLess orders events by time, then FIFO by sequence number. The
+// (at, seq) pair is a strict total order, so any valid heap pops events
+// in exactly this order — the executed history does not depend on the
+// heap's internal layout.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// eventHeap is a hand-rolled binary min-heap. container/heap would work,
+// but its interface indirection (Less/Swap calls, any boxing in
+// Push/Pop) is measurable on the simulator's hottest path.
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (h *eventHeap) push(e *event) {
+	q := append(*h, e)
+	*h = q
+	for i := len(q) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !eventLess(q[i], q[p]) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
 	}
-	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+
+func (h *eventHeap) pop() *event {
+	q := *h
+	e := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = nil
+	q = q[:n]
+	*h = q
+	for i := 0; ; {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && eventLess(q[r], q[c]) {
+			c = r
+		}
+		if !eventLess(q[c], q[i]) {
+			break
+		}
+		q[i], q[c] = q[c], q[i]
+		i = c
+	}
 	return e
 }
 
 // Simulator owns the virtual clock and the event queue. Create one with
-// New; it is not safe for concurrent use (the simulation is logically
-// single-threaded, which is what makes it reproducible).
+// New; its methods must be called from one goroutine (the simulation is
+// logically single-threaded, which is what makes it reproducible — the
+// compute halves of two-phase events are the sole exception, and they
+// are barred from touching the simulator).
 type Simulator struct {
 	now    float64
 	events eventHeap
 	seq    uint64
 	rng    *xrand.Rand
 	ran    uint64
+
+	// batch and commits are scratch for step's compute-phase batching,
+	// and free recycles executed event structs; together they make
+	// steady-state stepping allocation-free.
+	batch   []*event
+	commits []func()
+	free    []*event
+}
+
+// newEvent pops a recycled event or allocates one.
+func (s *Simulator) newEvent() *event {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return e
+	}
+	return &event{}
+}
+
+// freeEvent returns an executed event to the freelist.
+func (s *Simulator) freeEvent(e *event) {
+	*e = event{}
+	s.free = append(s.free, e)
 }
 
 // New returns a Simulator whose randomness derives from seed.
@@ -84,7 +157,9 @@ func (s *Simulator) At(t float64, fn func()) {
 		panic(fmt.Sprintf("simnet: scheduling at non-finite time %v", t))
 	}
 	s.seq++
-	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+	e := s.newEvent()
+	e.at, e.seq, e.fn = t, s.seq, fn
+	s.events.push(e)
 }
 
 // After schedules fn d time units from now. Negative d panics.
@@ -95,17 +170,120 @@ func (s *Simulator) After(d float64, fn func()) {
 	s.At(s.now+d, fn)
 }
 
-// step executes the earliest event. It reports false when the queue is
-// empty.
-func (s *Simulator) step() bool {
-	if len(s.events) == 0 {
-		return false
+// AtArg schedules fn(arg) at absolute virtual time t. It is the
+// allocation-free sibling of At for hot schedulers (the network's
+// delivery path): the caller keeps one long-lived fn and pools its arg
+// values, so nothing escapes per event.
+func (s *Simulator) AtArg(t float64, fn func(any), arg any) {
+	if t < s.now {
+		panic(fmt.Sprintf("simnet: scheduling at %v before now %v", t, s.now))
 	}
-	e := heap.Pop(&s.events).(*event)
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(fmt.Sprintf("simnet: scheduling at non-finite time %v", t))
+	}
+	s.seq++
+	e := s.newEvent()
+	e.at, e.seq, e.argFn, e.arg = t, s.seq, fn, arg
+	s.events.push(e)
+}
+
+// AfterArg schedules fn(arg) d time units from now; see AtArg. Negative
+// d panics.
+func (s *Simulator) AfterArg(d float64, fn func(any), arg any) {
+	if d < 0 {
+		panic(fmt.Sprintf("simnet: negative delay %v", d))
+	}
+	s.AtArg(s.now+d, fn, arg)
+}
+
+// AtCompute schedules a two-phase event at absolute virtual time t.
+// When it fires, compute runs first — possibly concurrently with the
+// compute halves of other two-phase events scheduled at the same
+// instant — and returns the commit half (nil for none), which runs on
+// the simulation goroutine in scheduling order.
+//
+// The contract that keeps this deterministic: compute must only read
+// state no concurrent compute writes and write state private to its
+// entity. Everything else — sends, shared mutation, randomness,
+// scheduling, reading the clock — belongs in the commit. Because new
+// events always receive later sequence numbers than the batch being
+// executed, no commit can inject work between two batched computes.
+func (s *Simulator) AtCompute(t float64, compute func() func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("simnet: scheduling at %v before now %v", t, s.now))
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(fmt.Sprintf("simnet: scheduling at non-finite time %v", t))
+	}
+	s.seq++
+	e := s.newEvent()
+	e.at, e.seq, e.compute = t, s.seq, compute
+	s.events.push(e)
+}
+
+// AfterCompute schedules a two-phase event d time units from now; see
+// AtCompute. Negative d panics.
+func (s *Simulator) AfterCompute(d float64, compute func() func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("simnet: negative delay %v", d))
+	}
+	s.AtCompute(s.now+d, compute)
+}
+
+// step executes the earliest event, batching a contiguous same-instant
+// run of two-phase events into one parallel compute phase. It returns
+// the number of events executed (0 when the queue is empty); budget > 0
+// caps the batch size.
+func (s *Simulator) step(budget int) int {
+	if len(s.events) == 0 {
+		return 0
+	}
+	e := s.events.pop()
 	s.now = e.at
-	s.ran++
-	e.fn()
-	return true
+	if e.compute == nil {
+		s.ran++
+		fn, argFn, arg := e.fn, e.argFn, e.arg
+		s.freeEvent(e)
+		if argFn != nil {
+			argFn(arg)
+		} else {
+			fn()
+		}
+		return 1
+	}
+	// Gather the run of two-phase events at this exact instant. A plain
+	// event in between (earlier seq) ends the batch, preserving FIFO.
+	// Detach the scratch while in use so a commit that re-enters the
+	// event loop (e.g. via RunUntil) cannot clobber this batch.
+	batch, commits := append(s.batch[:0], e), s.commits
+	s.batch, s.commits = nil, nil
+	for (budget <= 0 || len(batch) < budget) && len(s.events) > 0 &&
+		s.events[0].at == e.at && s.events[0].compute != nil {
+		batch = append(batch, s.events.pop())
+	}
+	if cap(commits) < len(batch) {
+		commits = make([]func(), len(batch))
+	} else {
+		commits = commits[:len(batch)]
+	}
+	if len(batch) == 1 {
+		commits[0] = batch[0].compute()
+	} else {
+		par.Default().Run(len(batch), func(i int) { commits[i] = batch[i].compute() })
+	}
+	for i, c := range commits {
+		commits[i] = nil
+		s.freeEvent(batch[i])
+		batch[i] = nil
+		s.ran++
+		if c != nil {
+			c()
+		}
+	}
+	n := len(batch)
+	s.batch = batch[:0]
+	s.commits = commits[:0]
+	return n
 }
 
 // Run executes events until the queue drains or maxEvents fire
@@ -113,10 +291,15 @@ func (s *Simulator) step() bool {
 func (s *Simulator) Run(maxEvents uint64) uint64 {
 	var n uint64
 	for maxEvents == 0 || n < maxEvents {
-		if !s.step() {
+		budget := 0
+		if maxEvents > 0 {
+			budget = int(maxEvents - n)
+		}
+		k := s.step(budget)
+		if k == 0 {
 			break
 		}
-		n++
+		n += uint64(k)
 	}
 	return n
 }
@@ -128,7 +311,7 @@ func (s *Simulator) RunUntil(t float64) {
 		panic(fmt.Sprintf("simnet: RunUntil(%v) before now %v", t, s.now))
 	}
 	for len(s.events) > 0 && s.events[0].at <= t {
-		s.step()
+		s.step(0)
 	}
 	s.now = t
 }

@@ -137,11 +137,40 @@ type Fabric struct {
 	ov    overlay.Network
 	addrs []simnet.NodeAddr
 	del   []Deliver
-	// outbox[i] holds chunks queued at node i, keyed by next-hop
-	// ranker index (indirect transmission only).
-	outbox []map[int][]ScoreChunk
-	codec  ChunkCodec
-	stats  Stats
+	// outbox[i][h] holds chunks queued at node i toward next-hop ranker
+	// h (indirect transmission only); a nil slot is empty. dirtyHops[i]
+	// lists the occupied slots so Flush never scans all K. Dense slots
+	// beat a map here: enqueue and Flush are on the per-message hot
+	// path, and K is small enough that K slots per node are cheap.
+	outbox    [][][]ScoreChunk
+	dirtyHops [][]int
+	codec     ChunkCodec
+	stats     Stats
+
+	// hops is Flush's reusable next-hop scratch, sized by earlier
+	// flushes. Safe to share across nodes: the simulation delivers
+	// events serially, and Flush never re-enters itself.
+	hops []int
+	// nextHops and routes memoize overlay routing per (node, dstGroup):
+	// NextHop is asked once per chunk per hop and Route once per direct
+	// send, against an overlay that is static for the fabric's
+	// lifetime. Call InvalidateRoutes after changing membership.
+	nextHops [][]int32
+	routes   [][][]int
+	// Freelists for the per-message carriers. The []ScoreChunk slices
+	// and the codec path's buffers die once handle has processed a
+	// message (receivers copy what they keep: Deliver stores the chunk
+	// struct, codec.Decode allocates fresh entries), so they cycle
+	// through here instead of the garbage collector. The entry slices
+	// inside chunks are NOT pooled — an in-flight or delivered chunk
+	// aliases them.
+	chunkSlices [][]ScoreChunk
+	encSlices   [][][]byte
+	encBufs     [][]byte
+	// msgs pools the dataMsg headers themselves: they travel as
+	// pointers so handing one to the network does not box a struct
+	// into an interface per message.
+	msgs []*dataMsg
 }
 
 // message payloads exchanged over simnet.
@@ -163,13 +192,16 @@ func NewFabric(net *simnet.Network, ov overlay.Network, kind Kind, size SizeMode
 	}
 	k := ov.NumNodes()
 	f := &Fabric{
-		kind:   kind,
-		size:   size,
-		net:    net,
-		ov:     ov,
-		addrs:  make([]simnet.NodeAddr, k),
-		del:    make([]Deliver, k),
-		outbox: make([]map[int][]ScoreChunk, k),
+		kind:      kind,
+		size:      size,
+		net:       net,
+		ov:        ov,
+		addrs:     make([]simnet.NodeAddr, k),
+		del:       make([]Deliver, k),
+		outbox:    make([][][]ScoreChunk, k),
+		dirtyHops: make([][]int, k),
+		nextHops:  make([][]int32, k),
+		routes:    make([][][]int, k),
 	}
 	for i := range f.addrs {
 		f.addrs[i] = simnet.NodeAddr(-1)
@@ -190,7 +222,7 @@ func (f *Fabric) Register(i int, d Deliver) error {
 		return fmt.Errorf("transport: nil deliver callback")
 	}
 	f.del[i] = d
-	f.outbox[i] = make(map[int][]ScoreChunk)
+	f.outbox[i] = make([][]ScoreChunk, len(f.del))
 	f.addrs[i] = f.net.AddNode(func(m simnet.Message) { f.handle(i, m) })
 	return nil
 }
@@ -214,6 +246,53 @@ func (f *Fabric) SetCodec(c ChunkCodec) error {
 
 // Codec returns the installed wire codec, or nil.
 func (f *Fabric) Codec() ChunkCodec { return f.codec }
+
+// InvalidateRoutes drops the memoized next-hop and lookup-route tables.
+// It must be called if the overlay's membership changes (Fail/Recover/
+// Join) while the fabric is live; routing then re-derives from the
+// overlay on demand.
+func (f *Fabric) InvalidateRoutes() {
+	for i := range f.nextHops {
+		f.nextHops[i] = nil
+		f.routes[i] = nil
+	}
+}
+
+// nextHop is overlay.NextHop through the per-fabric memo table.
+func (f *Fabric) nextHop(i, dst int) int {
+	row := f.nextHops[i]
+	if row == nil {
+		row = make([]int32, len(f.del))
+		for j := range row {
+			row[j] = -1
+		}
+		f.nextHops[i] = row
+	}
+	if v := row[dst]; v >= 0 {
+		return int(v)
+	}
+	n := f.ov.NextHop(i, f.ov.NodeID(dst))
+	row[dst] = int32(n)
+	return n
+}
+
+// route is overlay.Route through the per-fabric memo table.
+func (f *Fabric) route(from, dst int) ([]int, error) {
+	row := f.routes[from]
+	if row == nil {
+		row = make([][]int, len(f.del))
+		f.routes[from] = row
+	}
+	if p := row[dst]; p != nil {
+		return p, nil
+	}
+	p, err := overlay.Route(f.ov, from, f.ov.NodeID(dst))
+	if err != nil {
+		return nil, err
+	}
+	row[dst] = p
+	return p, nil
+}
 
 // Stats returns transport-level counters. Network-level byte totals live
 // on the simnet.Network.
@@ -258,61 +337,141 @@ func (f *Fabric) Flush(from int) error {
 		return nil
 	}
 	box := f.outbox[from]
-	if len(box) == 0 {
+	if len(f.dirtyHops[from]) == 0 {
 		return nil
 	}
 	// Deterministic flush order: ascending next-hop index.
-	hops := make([]int, 0, len(box))
-	for h := range box {
-		hops = append(hops, h)
-	}
+	hops := append(f.hops[:0], f.dirtyHops[from]...)
+	f.dirtyHops[from] = f.dirtyHops[from][:0]
 	sortInts(hops)
 	for _, h := range hops {
 		chunks := box[h]
-		delete(box, h)
+		box[h] = nil
 		msg, payload := f.pack(chunks)
+		if f.codec != nil {
+			// The codec path copies chunks onto the wire; the slice
+			// itself is free again.
+			f.recycleChunks(chunks)
+		}
 		f.stats.DataMessages++
 		f.stats.DataBytes += payload
 		if !f.net.Send(f.addrs[from], f.addrs[h], msg, payload) {
 			f.stats.DroppedMessages++
+			f.recycle(msg) // refused at send time: nothing will deliver it
 		}
 	}
+	f.hops = hops[:0]
 	return nil
 }
 
 // pack turns chunks into one wire message and its size: the analytic
 // l-bytes-per-link model without a codec, the real encoded size with
 // one.
-func (f *Fabric) pack(chunks []ScoreChunk) (dataMsg, int64) {
+func (f *Fabric) pack(chunks []ScoreChunk) (*dataMsg, int64) {
+	m := f.getMsg()
 	payload := f.size.HeaderBytes
 	if f.codec == nil {
 		for _, c := range chunks {
 			payload += f.size.chunkBytes(c)
 		}
-		return dataMsg{chunks: chunks}, payload
+		m.chunks = chunks
+		return m, payload
 	}
-	encoded := make([][]byte, len(chunks))
-	for i, c := range chunks {
-		encoded[i] = f.codec.Encode(nil, c)
-		payload += int64(len(encoded[i]))
+	encoded := f.getEncSlice()
+	for _, c := range chunks {
+		buf := f.codec.Encode(f.getEncBuf(), c)
+		payload += int64(len(buf))
+		encoded = append(encoded, buf)
 	}
-	return dataMsg{encoded: encoded}, payload
+	m.encoded = encoded
+	return m, payload
 }
 
-// unpack recovers the chunks of a message.
-func (f *Fabric) unpack(m dataMsg) []ScoreChunk {
+// getMsg pops an empty dataMsg header from the freelist.
+func (f *Fabric) getMsg() *dataMsg {
+	if n := len(f.msgs); n > 0 {
+		m := f.msgs[n-1]
+		f.msgs[n-1] = nil
+		f.msgs = f.msgs[:n-1]
+		return m
+	}
+	return &dataMsg{}
+}
+
+// getChunkSlice pops an empty []ScoreChunk from the freelist.
+func (f *Fabric) getChunkSlice() []ScoreChunk {
+	if n := len(f.chunkSlices); n > 0 {
+		s := f.chunkSlices[n-1]
+		f.chunkSlices[n-1] = nil
+		f.chunkSlices = f.chunkSlices[:n-1]
+		return s
+	}
+	return nil
+}
+
+// getEncSlice pops an empty [][]byte from the freelist.
+func (f *Fabric) getEncSlice() [][]byte {
+	if n := len(f.encSlices); n > 0 {
+		s := f.encSlices[n-1]
+		f.encSlices[n-1] = nil
+		f.encSlices = f.encSlices[:n-1]
+		return s
+	}
+	return nil
+}
+
+// getEncBuf pops an empty []byte encode buffer from the freelist.
+func (f *Fabric) getEncBuf() []byte {
+	if n := len(f.encBufs); n > 0 {
+		b := f.encBufs[n-1]
+		f.encBufs[n-1] = nil
+		f.encBufs = f.encBufs[:n-1]
+		return b
+	}
+	return nil
+}
+
+// recycleChunks clears a chunk slice (so it does not pin its receivers'
+// entry slices) and returns it to the freelist.
+func (f *Fabric) recycleChunks(s []ScoreChunk) {
+	if s == nil {
+		return
+	}
+	clear(s)
+	f.chunkSlices = append(f.chunkSlices, s[:0])
+}
+
+// recycle returns a message's carriers to the freelists once nothing can
+// reference them again — after handle has processed it, or when the
+// network refused it at send time.
+func (f *Fabric) recycle(m *dataMsg) {
+	f.recycleChunks(m.chunks)
+	if m.encoded != nil {
+		for i, b := range m.encoded {
+			f.encBufs = append(f.encBufs, b[:0])
+			m.encoded[i] = nil
+		}
+		f.encSlices = append(f.encSlices, m.encoded[:0])
+	}
+	*m = dataMsg{}
+	f.msgs = append(f.msgs, m)
+}
+
+// unpack recovers the chunks of a message. The returned slice is only
+// valid until the caller recycles it.
+func (f *Fabric) unpack(m *dataMsg) []ScoreChunk {
 	if m.chunks != nil {
 		return m.chunks
 	}
-	chunks := make([]ScoreChunk, len(m.encoded))
-	for i, enc := range m.encoded {
+	chunks := f.getChunkSlice()
+	for _, enc := range m.encoded {
 		c, err := f.codec.Decode(enc)
 		if err != nil {
 			// The simulated wire cannot corrupt data; a decode failure
 			// is a codec bug and must not be silently dropped.
 			panic(fmt.Sprintf("transport: codec %s: %v", f.codec.Name(), err))
 		}
-		chunks[i] = c
+		chunks = append(chunks, c)
 	}
 	return chunks
 }
@@ -322,7 +481,7 @@ func (f *Fabric) unpack(m dataMsg) []ScoreChunk {
 // message straight to the destination.
 func (f *Fabric) sendDirect(from int, chunk ScoreChunk) error {
 	dst := int(chunk.DstGroup)
-	path, err := overlay.Route(f.ov, from, f.ov.NodeID(dst))
+	path, err := f.route(from, dst)
 	if err != nil {
 		return fmt.Errorf("transport: lookup route failed: %w", err)
 	}
@@ -335,25 +494,38 @@ func (f *Fabric) sendDirect(from int, chunk ScoreChunk) error {
 			f.stats.DroppedMessages++
 		}
 	}
-	msg, payload := f.pack([]ScoreChunk{chunk})
+	cs := append(f.getChunkSlice(), chunk)
+	msg, payload := f.pack(cs)
+	if f.codec != nil {
+		// The codec path copied the chunk onto the wire; the carrier
+		// slice is free again.
+		f.recycleChunks(cs)
+	}
 	f.stats.DataMessages++
 	f.stats.DataBytes += payload
 	if !f.net.Send(f.addrs[from], f.addrs[dst], msg, payload) {
 		f.stats.DroppedMessages++
+		f.recycle(msg) // refused at send time: nothing will deliver it
 	}
 	return nil
 }
 
 // enqueue places a chunk in node i's outbox under its next overlay hop.
 func (f *Fabric) enqueue(i int, chunk ScoreChunk) {
-	next := f.ov.NextHop(i, f.ov.NodeID(int(chunk.DstGroup)))
+	next := f.nextHop(i, int(chunk.DstGroup))
 	if next == i {
 		// We are the owner-side endpoint; the overlay says the chunk
 		// has arrived (can happen after a membership change).
 		f.del[i](chunk)
 		return
 	}
-	f.outbox[i][next] = append(f.outbox[i][next], chunk)
+	box := f.outbox[i]
+	s := box[next]
+	if s == nil {
+		s = f.getChunkSlice()
+		f.dirtyHops[i] = append(f.dirtyHops[i], next)
+	}
+	box[next] = append(s, chunk)
 }
 
 // handle processes a message arriving at ranker i: lookups are pure
@@ -363,9 +535,10 @@ func (f *Fabric) handle(i int, m simnet.Message) {
 	switch payload := m.Payload.(type) {
 	case lookupMsg:
 		// Address-resolution traffic carries no scores.
-	case dataMsg:
+	case *dataMsg:
 		forwarded := false
-		for _, c := range f.unpack(payload) {
+		cs := f.unpack(payload)
+		for _, c := range cs {
 			if int(c.DstGroup) == i {
 				f.del[i](c)
 				continue
@@ -374,6 +547,12 @@ func (f *Fabric) handle(i int, m simnet.Message) {
 			f.enqueue(i, c)
 			forwarded = true
 		}
+		// Delivered chunks were copied out by value and forwarded ones
+		// re-queued; the carriers are free for the next message.
+		if f.codec != nil {
+			f.recycleChunks(cs)
+		}
+		f.recycle(payload)
 		if forwarded {
 			// Relay promptly so indirect latency stays at h network
 			// hops; chunks arriving in one package toward one next hop

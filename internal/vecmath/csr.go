@@ -2,7 +2,8 @@ package vecmath
 
 import (
 	"fmt"
-	"sort"
+
+	"p2prank/internal/par"
 )
 
 // CSR is a compressed-sparse-row matrix. Row i's entries occupy
@@ -12,13 +13,54 @@ import (
 // of §3: A[u][v] = α/d(u) when u links to v. Storing the transpose (rows
 // indexed by destination) makes the Jacobi step R ← AR + f a clean
 // row-gather.
+//
+// Parallelism: construction precomputes NNZ-balanced row-shard
+// boundaries (a pure function of the matrix, never of GOMAXPROCS).
+// Matrix-vector products run one shard per worker writing disjoint
+// destination rows, and norm reductions combine per-shard partials in
+// shard order, so every kernel is bit-identical to its serial execution
+// at any worker count — see internal/par and DESIGN.md §8.
 type CSR struct {
 	NumRows int
 	NumCols int
 	RowPtr  []int64
 	Cols    []int32
 	Vals    []float64
+
+	// shardPtr are the precomputed row-shard boundaries
+	// (shardPtr[0] = 0 … shardPtr[len-1] = NumRows). A nil slice — e.g.
+	// on a hand-built literal — degrades to one serial shard.
+	shardPtr []int32
 }
+
+// defaultCSRShards is the row-shard count boundaries are computed for.
+// It is deliberately independent of GOMAXPROCS: more shards than
+// workers just means a little work-stealing slack, while tying it to
+// the core count would make the boundary set machine-dependent.
+var defaultCSRShards = 16
+
+// SetDefaultCSRShards overrides the shard count used by subsequently
+// built matrices and returns the previous value. Kernels are
+// bit-identical at any shard count (products write disjoint rows; the
+// only CSR reduction is an exact max), so this is a testing knob for
+// the determinism suite, not a tuning surface. Values are clamped to
+// [1, 64]. Not safe to call concurrently with matrix construction.
+func SetDefaultCSRShards(n int) int {
+	prev := defaultCSRShards
+	switch {
+	case n < 1:
+		n = 1
+	case n > 64:
+		n = 64
+	}
+	defaultCSRShards = n
+	return prev
+}
+
+// csrParMinNNZ is the matrix size below which kernels stay on the
+// calling goroutine: the simulator's per-group systems are a few
+// hundred entries, where pool dispatch costs more than the row loop.
+const csrParMinNNZ = 1 << 14
 
 // Entry is one (row, col, value) triple used when building a CSR matrix.
 type Entry struct {
@@ -29,6 +71,11 @@ type Entry struct {
 // NewCSR assembles a CSR matrix from unordered entries. Duplicate
 // (row, col) entries are summed. It returns an error if any index is out
 // of bounds.
+//
+// Assembly is a two-pass counting sort (by column, then stably by row)
+// followed by a linear duplicate-merging sweep: O(entries + rows +
+// cols) with no comparator calls, which matters because graph build is
+// the startup bottleneck for million-page crawls.
 func NewCSR(rows, cols int, entries []Entry) (*CSR, error) {
 	if rows < 0 || cols < 0 {
 		return nil, fmt.Errorf("vecmath: negative dimension %dx%d", rows, cols)
@@ -39,14 +86,7 @@ func NewCSR(rows, cols int, entries []Entry) (*CSR, error) {
 				e.Row, e.Col, rows, cols)
 		}
 	}
-	sorted := make([]Entry, len(entries))
-	copy(sorted, entries)
-	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i].Row != sorted[j].Row {
-			return sorted[i].Row < sorted[j].Row
-		}
-		return sorted[i].Col < sorted[j].Col
-	})
+	sorted := countingSortEntries(rows, cols, entries)
 	m := &CSR{
 		NumRows: rows,
 		NumCols: cols,
@@ -67,7 +107,81 @@ func NewCSR(rows, cols int, entries []Entry) (*CSR, error) {
 	for i := 0; i < rows; i++ {
 		m.RowPtr[i+1] += m.RowPtr[i]
 	}
+	m.computeShards()
 	return m, nil
+}
+
+// countingSortEntries returns entries ordered by (row, col) using two
+// stable counting-sort passes: first by column, then by row. Stability
+// of the second pass preserves the column order established by the
+// first.
+func countingSortEntries(rows, cols int, entries []Entry) []Entry {
+	if len(entries) == 0 {
+		return nil
+	}
+	byCol := make([]Entry, len(entries))
+	count := make([]int64, max64(rows, cols)+1)
+
+	// Pass 1: stable scatter by column.
+	for i := range entries {
+		count[entries[i].Col+1]++
+	}
+	for c := 0; c < cols; c++ {
+		count[c+1] += count[c]
+	}
+	for i := range entries {
+		pos := count[entries[i].Col]
+		count[entries[i].Col]++
+		byCol[pos] = entries[i]
+	}
+
+	// Pass 2: stable scatter by row.
+	clear(count)
+	byRow := make([]Entry, len(entries))
+	for i := range byCol {
+		count[byCol[i].Row+1]++
+	}
+	for r := 0; r < rows; r++ {
+		count[r+1] += count[r]
+	}
+	for i := range byCol {
+		pos := count[byCol[i].Row]
+		count[byCol[i].Row]++
+		byRow[pos] = byCol[i]
+	}
+	return byRow
+}
+
+func max64(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// computeShards fixes the NNZ-balanced row-shard boundaries. RowPtr is
+// already the NNZ prefix-weight array SplitPrefix wants.
+func (m *CSR) computeShards() {
+	m.shardPtr = par.SplitPrefix(m.RowPtr, defaultCSRShards)
+}
+
+// oneShard reports whether kernels should stay on the calling
+// goroutine: either no precomputed boundaries (hand-built literal) or
+// too little work to pay for pool dispatch. The simulator's per-group
+// systems are a few hundred entries, squarely in this regime — and the
+// serial path allocates nothing, not even a closure.
+func (m *CSR) oneShard() bool {
+	return len(m.shardPtr) < 3 || len(m.Vals) < csrParMinNNZ
+}
+
+// forEachShard runs f over the precomputed row shards on the pool.
+// Each invocation covers a disjoint row span, so f may write dst rows
+// freely. Callers handle the oneShard fast path themselves.
+func (m *CSR) forEachShard(f func(lo, hi int)) {
+	sp := m.shardPtr
+	par.Default().Run(len(sp)-1, func(s int) {
+		f(int(sp[s]), int(sp[s+1]))
+	})
 }
 
 // NNZ returns the number of stored entries.
@@ -84,13 +198,16 @@ func (m *CSR) Row(i int) ([]int32, []float64) {
 func (m *CSR) MulVec(dst, x Vec) {
 	mustSameLen(len(dst), m.NumRows)
 	mustSameLen(len(x), m.NumCols)
-	for i := 0; i < m.NumRows; i++ {
-		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
-		s := 0.0
-		for k := lo; k < hi; k++ {
-			s += m.Vals[k] * x[m.Cols[k]]
-		}
-		dst[i] = s
+	if m.oneShard() {
+		m.mulVecRange(dst, x, 0, m.NumRows)
+		return
+	}
+	m.forEachShard(func(lo, hi int) { m.mulVecRange(dst, x, lo, hi) })
+}
+
+func (m *CSR) mulVecRange(dst, x Vec, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst[i] = m.rowDot(i, x)
 	}
 }
 
@@ -98,26 +215,139 @@ func (m *CSR) MulVec(dst, x Vec) {
 func (m *CSR) MulVecAdd(dst, x Vec) {
 	mustSameLen(len(dst), m.NumRows)
 	mustSameLen(len(x), m.NumCols)
-	for i := 0; i < m.NumRows; i++ {
-		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
-		s := 0.0
-		for k := lo; k < hi; k++ {
-			s += m.Vals[k] * x[m.Cols[k]]
-		}
-		dst[i] += s
+	if m.oneShard() {
+		m.mulVecAddRange(dst, x, 0, m.NumRows)
+		return
 	}
+	m.forEachShard(func(lo, hi int) { m.mulVecAddRange(dst, x, lo, hi) })
+}
+
+func (m *CSR) mulVecAddRange(dst, x Vec, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst[i] += m.rowDot(i, x)
+	}
+}
+
+// StepInto computes dst = M·x + e (+ xa when non-nil) in one fused
+// pass — the full Jacobi step R ← AR + βE + X of Algorithm 2 without
+// the two extra memory sweeps of MulVec-then-Add-then-Add. The
+// floating-point association matches the unfused form exactly:
+// (rowdot + e[i]) + xa[i].
+func (m *CSR) StepInto(dst, x, e, xa Vec) {
+	mustSameLen(len(dst), m.NumRows)
+	mustSameLen(len(x), m.NumCols)
+	mustSameLen(len(e), m.NumRows)
+	if xa != nil {
+		mustSameLen(len(xa), m.NumRows)
+	}
+	if m.oneShard() {
+		m.stepRange(dst, x, e, xa, 0, m.NumRows)
+		return
+	}
+	m.forEachShard(func(lo, hi int) { m.stepRange(dst, x, e, xa, lo, hi) })
+}
+
+func (m *CSR) stepRange(dst, x, e, xa Vec, lo, hi int) {
+	if xa == nil {
+		for i := lo; i < hi; i++ {
+			dst[i] = m.rowDot(i, x) + e[i]
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		dst[i] = m.rowDot(i, x) + e[i] + xa[i]
+	}
+}
+
+// StepDelta performs the Jacobi step dst = M·x + e (+ xa) and returns
+// ‖dst − x‖₁ — the iterate-and-measure body of GroupPageRank
+// (Algorithm 2) in, for small systems, a single memory sweep. M must be
+// square with x playing both the multiplicand and the previous iterate.
+//
+// Bit-compatibility: for n ≤ vecBlock the fused loop accumulates the
+// delta in ascending index order, exactly like Diff1's single-block
+// path; larger systems fall back to StepInto + Diff1, whose blocked
+// reduction is a pure function of n. Either way the result is
+// independent of sharding and worker count.
+func (m *CSR) StepDelta(dst, x, e, xa Vec) float64 {
+	mustSameLen(m.NumRows, m.NumCols)
+	if m.NumRows > vecBlock {
+		m.StepInto(dst, x, e, xa)
+		return Diff1(dst, x)
+	}
+	mustSameLen(len(dst), m.NumRows)
+	mustSameLen(len(x), m.NumCols)
+	mustSameLen(len(e), m.NumRows)
+	delta := 0.0
+	if xa == nil {
+		for i := 0; i < m.NumRows; i++ {
+			v := m.rowDot(i, x) + e[i]
+			dst[i] = v
+			delta += abs(v - x[i])
+		}
+		return delta
+	}
+	mustSameLen(len(xa), m.NumRows)
+	for i := 0; i < m.NumRows; i++ {
+		v := m.rowDot(i, x) + e[i] + xa[i]
+		dst[i] = v
+		delta += abs(v - x[i])
+	}
+	return delta
+}
+
+// abs avoids the math.Abs call overhead in the fused loop; identical
+// semantics for the finite values rank math produces.
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// rowDot is the row-gather kernel shared by every product. The
+// reslicing lets the compiler drop bounds checks in the hot loop.
+func (m *CSR) rowDot(i int, x Vec) float64 {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	cols := m.Cols[lo:hi]
+	// Reslicing vals to cols' length lets the compiler drop the bounds
+	// check on vals[k] inside the hot loop.
+	vals := m.Vals[lo:hi][:len(cols)]
+	s := 0.0
+	for k, c := range cols {
+		s += vals[k] * x[c]
+	}
+	return s
 }
 
 // NormInf returns ‖M‖∞ = max over rows of the L1 norm of the row. By
 // Theorem 3.2 of the paper this bounds the spectral radius ρ(M), which is
-// how Algorithm 2's convergence is certified (‖A‖∞ ≤ α < 1).
+// how Algorithm 2's convergence is certified (‖A‖∞ ≤ α < 1). Max is an
+// exact reduction, so the per-shard combine cannot perturb bits.
 func (m *CSR) NormInf() float64 {
+	sp := m.shardPtr
+	if m.oneShard() {
+		return m.normInfRange(0, m.NumRows)
+	}
+	var partials [64]float64
+	par.Default().Run(len(sp)-1, func(s int) {
+		partials[s] = m.normInfRange(int(sp[s]), int(sp[s+1]))
+	})
 	max := 0.0
-	for i := 0; i < m.NumRows; i++ {
-		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	for s := 0; s+1 < len(sp); s++ {
+		if partials[s] > max {
+			max = partials[s]
+		}
+	}
+	return max
+}
+
+func (m *CSR) normInfRange(lo, hi int) float64 {
+	max := 0.0
+	for i := lo; i < hi; i++ {
+		a, b := m.RowPtr[i], m.RowPtr[i+1]
 		s := 0.0
-		for k := lo; k < hi; k++ {
-			v := m.Vals[k]
+		for _, v := range m.Vals[a:b] {
 			if v < 0 {
 				v = -v
 			}
@@ -158,5 +388,6 @@ func (m *CSR) Transpose() *CSR {
 			t.Vals[pos] = m.Vals[k]
 		}
 	}
+	t.computeShards()
 	return t
 }

@@ -5,12 +5,37 @@
 // The package is deliberately small and allocation-conscious: the solvers
 // in internal/pagerank and internal/ranker iterate over million-edge
 // graphs, so every operation that can write into a caller-provided
-// destination does.
+// destination does, and the hot small-vector paths allocate nothing.
+//
+// Large operations run on the internal/par worker pool. Determinism is
+// structural, not accidental: sum reductions always accumulate in fixed
+// blocks of vecBlock elements and combine the partials in block order,
+// so the floating-point association — and therefore every result bit —
+// is a function of the input alone, never of GOMAXPROCS or whether the
+// parallel path was taken. Element-wise ops and max reductions are
+// exact under any split.
 package vecmath
 
 import (
 	"fmt"
 	"math"
+
+	"p2prank/internal/par"
+)
+
+const (
+	// vecBlock is the fixed reduction granularity. Changing it changes
+	// low result bits, so it is a constant, not a knob. A vector that
+	// fits one block reduces with a plain serial sweep, which is the
+	// same association a one-block reduction produces.
+	vecBlock = 2048
+	// parMinVec is the vector length below which operations stay on the
+	// calling goroutine; pool dispatch costs more than the loop there.
+	parMinVec = 4 * vecBlock
+	// maxStackBlocks bounds the stack partials buffer in blockCombine:
+	// vectors up to maxStackBlocks·vecBlock elements reduce without
+	// heap allocation.
+	maxStackBlocks = 128
 )
 
 // Vec is a dense float64 vector.
@@ -35,6 +60,53 @@ func (x Vec) Clone() Vec {
 	return y
 }
 
+// blockCombine reduces [0, n) with partial evaluated per fixed
+// vecBlock-sized block, partials combined in block order. Callers must
+// have handled n ≤ vecBlock themselves (the closure-free fast path).
+func blockCombine(n int, partial func(lo, hi int) float64) float64 {
+	nb := par.Blocks(n, vecBlock)
+	var buf [maxStackBlocks]float64
+	partials := buf[:]
+	if nb > maxStackBlocks {
+		partials = make([]float64, nb)
+	}
+	fill := func(b int) {
+		lo := b * vecBlock
+		hi := lo + vecBlock
+		if hi > n {
+			hi = n
+		}
+		partials[b] = partial(lo, hi)
+	}
+	if n < parMinVec {
+		for b := 0; b < nb; b++ {
+			fill(b)
+		}
+	} else {
+		par.Default().Run(nb, fill)
+	}
+	s := 0.0
+	for b := 0; b < nb; b++ {
+		s += partials[b]
+	}
+	return s
+}
+
+// parSpans applies f over [0, n) in vecBlock-sized spans on the pool.
+// Callers must have handled the small-n serial path themselves. f
+// writes only inside its span, so results match the serial sweep
+// bit for bit.
+func parSpans(n int, f func(lo, hi int)) {
+	par.Default().Run(par.Blocks(n, vecBlock), func(b int) {
+		lo := b * vecBlock
+		hi := lo + vecBlock
+		if hi > n {
+			hi = n
+		}
+		f(lo, hi)
+	})
+}
+
 // Fill sets every element of x to v.
 func (x Vec) Fill(v float64) {
 	for i := range x {
@@ -45,13 +117,21 @@ func (x Vec) Fill(v float64) {
 // Zero sets every element of x to 0.
 func (x Vec) Zero() { x.Fill(0) }
 
-// Sum returns the sum of the elements of x.
-func (x Vec) Sum() float64 {
+func sumRange(x Vec, lo, hi int) float64 {
 	s := 0.0
-	for _, v := range x {
+	for _, v := range x[lo:hi] {
 		s += v
 	}
 	return s
+}
+
+// Sum returns the sum of the elements of x, accumulated in fixed
+// blocks (see the package comment on determinism).
+func (x Vec) Sum() float64 {
+	if len(x) <= vecBlock {
+		return sumRange(x, 0, len(x))
+	}
+	return blockCombine(len(x), func(lo, hi int) float64 { return sumRange(x, lo, hi) })
 }
 
 // Mean returns the arithmetic mean of x, or 0 for an empty vector.
@@ -62,13 +142,20 @@ func (x Vec) Mean() float64 {
 	return x.Sum() / float64(len(x))
 }
 
-// Norm1 returns the L1 norm ‖x‖₁.
-func (x Vec) Norm1() float64 {
+func norm1Range(x Vec, lo, hi int) float64 {
 	s := 0.0
-	for _, v := range x {
+	for _, v := range x[lo:hi] {
 		s += math.Abs(v)
 	}
 	return s
+}
+
+// Norm1 returns the L1 norm ‖x‖₁.
+func (x Vec) Norm1() float64 {
+	if len(x) <= vecBlock {
+		return norm1Range(x, 0, len(x))
+	}
+	return blockCombine(len(x), func(lo, hi int) float64 { return norm1Range(x, lo, hi) })
 }
 
 // NormInf returns the L∞ norm ‖x‖∞.
@@ -84,42 +171,81 @@ func (x Vec) NormInf() float64 {
 
 // Scale multiplies every element of x by c in place.
 func (x Vec) Scale(c float64) {
-	for i := range x {
-		x[i] *= c
+	if len(x) < parMinVec {
+		for i := range x {
+			x[i] *= c
+		}
+		return
 	}
+	parSpans(len(x), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] *= c
+		}
+	})
 }
 
 // AddConst adds c to every element of x in place.
 func (x Vec) AddConst(c float64) {
-	for i := range x {
-		x[i] += c
+	if len(x) < parMinVec {
+		for i := range x {
+			x[i] += c
+		}
+		return
 	}
+	parSpans(len(x), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] += c
+		}
+	})
 }
 
 // Add adds y to x element-wise in place. It panics on length mismatch.
 func (x Vec) Add(y Vec) {
 	mustSameLen(len(x), len(y))
-	for i := range x {
-		x[i] += y[i]
+	if len(x) < parMinVec {
+		for i := range x {
+			x[i] += y[i]
+		}
+		return
 	}
+	parSpans(len(x), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] += y[i]
+		}
+	})
 }
 
 // Axpy computes x += a·y in place. It panics on length mismatch.
 func (x Vec) Axpy(a float64, y Vec) {
 	mustSameLen(len(x), len(y))
-	for i := range x {
-		x[i] += a * y[i]
+	if len(x) < parMinVec {
+		for i := range x {
+			x[i] += a * y[i]
+		}
+		return
 	}
+	parSpans(len(x), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] += a * y[i]
+		}
+	})
+}
+
+func diff1Range(x, y Vec, lo, hi int) float64 {
+	s := 0.0
+	for i := lo; i < hi; i++ {
+		s += math.Abs(x[i] - y[i])
+	}
+	return s
 }
 
 // Diff1 returns ‖x−y‖₁. It panics on length mismatch.
 func Diff1(x, y Vec) float64 {
 	mustSameLen(len(x), len(y))
-	s := 0.0
-	for i := range x {
-		s += math.Abs(x[i] - y[i])
+	if len(x) <= vecBlock {
+		return diff1Range(x, y, 0, len(x))
 	}
-	return s
+	return blockCombine(len(x), func(lo, hi int) float64 { return diff1Range(x, y, lo, hi) })
 }
 
 // DiffInf returns ‖x−y‖∞. It panics on length mismatch.
