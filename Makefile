@@ -19,12 +19,14 @@ lint:
 test:
 	$(GO) test ./...
 
-# The layers with real goroutines: sockets (netpeer), the transport
-# fabric, the simulator (compute-phase batching), the worker pool, and
-# everything the parallel kernels touch.
+# The layers with real goroutines: sockets (netpeer), the loop core
+# they drive (dprcore), the transport fabric, the simulator
+# (compute-phase batching), the worker pool, and everything the
+# parallel kernels touch.
 race:
-	$(GO) test -race ./internal/netpeer/... ./internal/transport/... ./internal/simnet/... \
-		./internal/vecmath/... ./internal/pagerank/... ./internal/engine/... ./internal/par/...
+	$(GO) test -race ./internal/netpeer/... ./internal/dprcore/... ./internal/transport/... \
+		./internal/simnet/... ./internal/vecmath/... ./internal/pagerank/... \
+		./internal/engine/... ./internal/par/...
 
 # Kernel + transmission benchmarks with allocation counts, recorded as
 # JSON so runs are diffable (see BENCH_kernels.json for the committed

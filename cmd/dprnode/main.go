@@ -11,6 +11,10 @@
 //
 //	dprnode -graph crawl.bin -k 3 -index 0 -listen :7000 \
 //	        -peers 1=host1:7000,2=host2:7000
+//
+// Both modes accept -indirect (route score frames hop-by-hop along the
+// Pastry overlay, §4.4) and -codec (wire encoding: gob, plain, delta,
+// or quantized-N for N mantissa bits).
 package main
 
 import (
@@ -23,11 +27,13 @@ import (
 	"syscall"
 	"time"
 
+	"p2prank/internal/codec"
 	"p2prank/internal/core"
+	"p2prank/internal/dprcore"
 	"p2prank/internal/engine"
 	"p2prank/internal/netpeer"
 	"p2prank/internal/partition"
-	"p2prank/internal/ranker"
+	"p2prank/internal/transport"
 )
 
 func main() {
@@ -42,31 +48,69 @@ func main() {
 		alg       = flag.String("alg", "dpr1", "algorithm: dpr1|dpr2")
 		target    = flag.Float64("target", 1e-6, "demo: stop at this relative error")
 		seed      = flag.Uint64("seed", 1, "seed")
+		indirect  = flag.Bool("indirect", false, "route score frames hop-by-hop along the overlay (§4.4)")
+		codecName = flag.String("codec", "gob", "wire encoding: gob|plain|delta|quantized-N")
 	)
 	flag.Parse()
 
-	algorithm := ranker.DPR1
+	algorithm := dprcore.DPR1
 	if strings.EqualFold(*alg, "dpr2") {
-		algorithm = ranker.DPR2
+		algorithm = dprcore.DPR2
 	} else if !strings.EqualFold(*alg, "dpr1") {
 		fatal(fmt.Errorf("unknown algorithm %q", *alg))
 	}
+	wire, err := parseCodec(*codecName)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *demo {
-		runDemo(*pages, *k, algorithm, *target, *seed)
+		runDemo(*pages, *k, algorithm, *target, *seed, *indirect, wire)
 		return
 	}
-	runPeer(*graphPath, *k, *index, *listen, *peersFlag, algorithm, *seed)
+	runPeer(*graphPath, *k, *index, *listen, *peersFlag, algorithm, *seed, *indirect, wire)
 }
 
-func runDemo(pages, k int, alg ranker.Algorithm, target float64, seed uint64) {
+// parseCodec maps the -codec flag to a wire codec; nil means the
+// default gob framing.
+func parseCodec(name string) (transport.ChunkCodec, error) {
+	switch {
+	case name == "" || strings.EqualFold(name, "gob"):
+		return nil, nil
+	case strings.EqualFold(name, "plain"):
+		return codec.Plain{}, nil
+	case strings.EqualFold(name, "delta"):
+		return codec.Delta{}, nil
+	case strings.HasPrefix(strings.ToLower(name), "quantized"):
+		rest := strings.TrimPrefix(strings.ToLower(name), "quantized")
+		rest = strings.TrimLeft(rest, "-:")
+		bits := 16
+		if rest != "" {
+			var err error
+			bits, err = strconv.Atoi(rest)
+			if err != nil || bits < 4 || bits > 52 {
+				return nil, fmt.Errorf("bad -codec %q: quantized bits must be 4..52", name)
+			}
+		}
+		return codec.NewQuantized(uint(bits)), nil
+	}
+	return nil, fmt.Errorf("unknown -codec %q (gob|plain|delta|quantized-N)", name)
+}
+
+func runDemo(pages, k int, alg dprcore.Algorithm, target float64, seed uint64, indirect bool, wire transport.ChunkCodec) {
 	g, err := core.GenerateCrawl(pages, seed)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("demo: %d pages, %d rankers (%v), real TCP on localhost\n", pages, k, alg)
+	mode := "direct"
+	if indirect {
+		mode = "indirect"
+	}
+	fmt.Printf("demo: %d pages, %d rankers (%v, %s transmission), real TCP on localhost\n",
+		pages, k, alg, mode)
 	cl, err := netpeer.StartCluster(g, netpeer.ClusterConfig{
 		K: k, Alg: alg, MeanWait: 20 * time.Millisecond, Seed: seed,
+		Indirect: indirect, Codec: wire,
 	})
 	if err != nil {
 		fatal(err)
@@ -92,7 +136,7 @@ func runDemo(pages, k int, alg ranker.Algorithm, target float64, seed uint64) {
 	}
 }
 
-func runPeer(graphPath string, k, index int, listen, peersFlag string, alg ranker.Algorithm, seed uint64) {
+func runPeer(graphPath string, k, index int, listen, peersFlag string, alg dprcore.Algorithm, seed uint64, indirect bool, wire transport.ChunkCodec) {
 	if graphPath == "" {
 		fatal(fmt.Errorf("-graph is required (or use -demo)"))
 	}
@@ -113,16 +157,23 @@ func runPeer(graphPath string, k, index int, listen, peersFlag string, alg ranke
 	if err != nil {
 		fatal(err)
 	}
-	groups, err := ranker.BuildGroups(g, assign, 0.85)
+	groups, err := dprcore.BuildGroups(g, assign, 0.85)
 	if err != nil {
 		fatal(err)
 	}
-	peer, err := netpeer.Listen(listen, netpeer.Config{
+	pcfg := netpeer.Config{
 		Group:    groups[index],
 		Alg:      alg,
 		MeanWait: 50 * time.Millisecond,
 		Seed:     seed + uint64(index)*7919,
-	})
+		Codec:    wire,
+	}
+	if indirect {
+		// All processes build the same overlay from the same ranker IDs,
+		// so routes agree without coordination.
+		pcfg.Overlay = ov
+	}
+	peer, err := netpeer.Listen(listen, pcfg)
 	if err != nil {
 		fatal(err)
 	}

@@ -10,6 +10,7 @@
 //	dprsim -exp bandwidth           # convergence vs node uplink bandwidth
 //	dprsim -exp cut                 # §4.1 partition comparison
 //	dprsim -exp hops                # overlay hop counts vs N
+//	dprsim -exp faults              # convergence under injected message faults
 //
 // Scale the workload with -pages / -sites; write curves as CSV with
 // -csv FILE.
@@ -29,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "fig6", "experiment: fig6|fig7|fig8|transmission|bandwidth|cut|hops")
+		exp     = flag.String("exp", "fig6", "experiment: fig6|fig7|fig8|transmission|bandwidth|cut|hops|faults")
 		pages   = flag.Int("pages", 20000, "crawl size")
 		sites   = flag.Int("sites", 100, "site count (the paper's dataset has 100)")
 		seed    = flag.Uint64("seed", 1, "experiment seed")
@@ -83,6 +84,14 @@ func main() {
 		}
 		fmt.Printf("§4.5 measured: convergence vs per-node uplink bandwidth, K=%d\n", kk)
 		fmt.Print(experiments.RenderBandwidth(rows))
+	case "faults":
+		kk := pick(*k, 16)
+		rows, err := experiments.Faults(w, kk, []float64{0, 0.1, 0.3, 0.5}, *maxTime*10)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Fault injection: DPR1 convergence under message drops, K=%d\n", kk)
+		fmt.Print(experiments.RenderFaults(rows))
 	case "cut":
 		kk := pick(*k, 32)
 		rows, err := experiments.PartitionCut(w, kk)

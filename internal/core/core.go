@@ -4,7 +4,7 @@
 // overlay, and compare.
 //
 // The heavy lifting lives in the focused packages (webgraph, pagerank,
-// pastry/chord, partition, transport, ranker, engine); core re-exports
+// pastry/chord, partition, transport, dprcore, engine); core re-exports
 // the configuration surface and adds convenience constructors so the
 // examples and tools stay short.
 package core
@@ -14,10 +14,10 @@ import (
 	"io"
 	"os"
 
+	"p2prank/internal/dprcore"
 	"p2prank/internal/engine"
 	"p2prank/internal/pagerank"
 	"p2prank/internal/partition"
-	"p2prank/internal/ranker"
 	"p2prank/internal/transport"
 	"p2prank/internal/vecmath"
 	"p2prank/internal/webgraph"
@@ -41,9 +41,9 @@ type (
 // Re-exported enumerations.
 const (
 	// DPR1 solves each group to convergence per loop (Algorithm 3).
-	DPR1 = ranker.DPR1
+	DPR1 = dprcore.DPR1
 	// DPR2 takes one Jacobi step per loop (Algorithm 4).
-	DPR2 = ranker.DPR2
+	DPR2 = dprcore.DPR2
 	// BySite partitions pages by site hash (recommended, §4.1).
 	BySite = partition.BySite
 	// ByPage partitions pages by URL hash.

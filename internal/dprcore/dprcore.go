@@ -1,0 +1,138 @@
+// Package dprcore is the runtime-agnostic core of the paper's
+// distributed page-ranking algorithms: one Loop type owns a page
+// group's state (R, X, scratch, newest afferent chunks) and executes
+// the DPR1/DPR2 main-loop body of §4.2, split into a ComputePhase
+// (refresh X, update R — private state only) and a CommitPhase
+// (publish Y, draw randomness) exactly as the simulator's two-phase
+// event model requires.
+//
+// The paper's Theorems 4.1/4.2 analyze one update rule and prove it
+// converges whether rankers run synchronously, asynchronously, or over
+// a lossy network. That guarantee only holds if the *executed* rule is
+// the analyzed one, so the rule lives here once and every runtime —
+// the deterministic discrete-event simulator (internal/ranker over
+// internal/simnet) and the live TCP peers (internal/netpeer) — is a
+// thin driver that decides only *when* the phases run and *where* the
+// emitted chunks go. Runtimes plug in through four small interfaces:
+// Clock (now/after), Sender (chunk emission), Waiter (inter-loop
+// pause), and RNG (seeded randomness). Fault injection composes at the
+// Sender boundary (see FaultSender), so robustness scenarios run
+// identically in-sim and live.
+//
+// Determinism: nothing in this package reads the wall clock or global
+// randomness; both enter only through the interfaces, which the
+// simulator backs with virtual time and seeded streams (enforced by
+// the p2plint norand/nowallclock analyzers).
+package dprcore
+
+import (
+	"fmt"
+
+	"p2prank/internal/transport"
+)
+
+// Algorithm selects the distributed iteration style of §4.2.
+type Algorithm int
+
+const (
+	// DPR1 runs GroupPageRank to convergence inside every loop before
+	// publishing Y (Algorithm 3).
+	DPR1 Algorithm = iota
+	// DPR2 performs a single Jacobi step per loop and publishes Y
+	// eagerly (Algorithm 4).
+	DPR2
+)
+
+// String returns the algorithm name.
+func (a Algorithm) String() string {
+	switch a {
+	case DPR1:
+		return "DPR1"
+	case DPR2:
+		return "DPR2"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Clock abstracts a runtime's notion of time: the simulator supplies
+// virtual time (*simnet.Simulator satisfies Clock directly), a live
+// peer supplies the wall clock. Units are whatever the runtime's
+// durations are expressed in (virtual units or nanoseconds); the core
+// never mixes clocks, it only passes durations back to the runtime
+// that drew them.
+type Clock interface {
+	// Now returns the current time.
+	Now() float64
+	// After schedules fn d time units from now.
+	After(d float64, fn func())
+}
+
+// Sender is the emission surface a loop publishes Y through.
+// *transport.Fabric implements it on the simulator side; netpeer backs
+// it with a TCP outbox. Fault wrappers (FaultSender) compose here.
+type Sender interface {
+	// Send emits one score chunk from the given ranker index.
+	Send(from int, chunk transport.ScoreChunk) error
+	// Flush ships anything Send buffered for the given ranker.
+	Flush(from int) error
+}
+
+// Waiter pauses a blocking loop driver between iterations. Wait blocks
+// for d time units and reports whether the loop should keep running
+// (false means the runtime is shutting the ranker down). Event-driven
+// runtimes (the simulator) schedule the phases directly instead.
+type Waiter interface {
+	Wait(d float64) bool
+}
+
+// RNG is the randomness a loop draws: send-loss coin flips and
+// exponential inter-loop waits. *xrand.Rand satisfies it; every loop
+// must own a private stream.
+type RNG interface {
+	// Float64 returns a uniform value in [0, 1).
+	Float64() float64
+	// Exp returns an exponentially distributed value with the given mean.
+	Exp(mean float64) float64
+}
+
+// Config parameterizes one loop.
+type Config struct {
+	// Alg selects DPR1 or DPR2.
+	Alg Algorithm
+	// Alpha is the real-link rank fraction (must match the Group's).
+	Alpha float64
+	// InnerEpsilon is DPR1's GroupPageRank termination threshold.
+	InnerEpsilon float64
+	// InnerMaxIter bounds DPR1's inner loop (0 = 10000).
+	InnerMaxIter int
+	// SendProb is the probability that the Y vector for a destination
+	// group is successfully sent in a loop (the paper's parameter p;
+	// p = 1 means lossless).
+	SendProb float64
+	// MeanWait is the mean of this loop's exponentially distributed
+	// waiting time Tw between iterations, in the driving runtime's time
+	// units (virtual units in-sim, nanoseconds for live peers).
+	MeanWait float64
+}
+
+func (c *Config) validate() error {
+	if c.Alg != DPR1 && c.Alg != DPR2 {
+		return fmt.Errorf("dprcore: unknown algorithm %d", int(c.Alg))
+	}
+	if c.Alpha <= 0 || c.Alpha >= 1 {
+		return fmt.Errorf("dprcore: alpha = %v, must be in (0,1)", c.Alpha)
+	}
+	if c.InnerEpsilon < 0 {
+		return fmt.Errorf("dprcore: negative InnerEpsilon %v", c.InnerEpsilon)
+	}
+	if c.InnerMaxIter == 0 {
+		c.InnerMaxIter = 10000
+	}
+	if c.SendProb < 0 || c.SendProb > 1 {
+		return fmt.Errorf("dprcore: SendProb %v outside [0,1]", c.SendProb)
+	}
+	if c.MeanWait < 0 {
+		return fmt.Errorf("dprcore: negative MeanWait %v", c.MeanWait)
+	}
+	return nil
+}

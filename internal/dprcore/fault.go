@@ -1,0 +1,128 @@
+package dprcore
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"p2prank/internal/transport"
+)
+
+// FaultConfig parameterizes a FaultSender. Each emitted chunk is
+// independently dropped, delayed, or duplicated; the zero value
+// injects nothing.
+type FaultConfig struct {
+	// DropProb drops the chunk outright — the wire analogue of the
+	// paper's send-failure parameter p, applied below the algorithm so
+	// the loop does not even know the send was lost.
+	DropProb float64
+	// DelayProb holds the chunk back and re-injects it later instead of
+	// sending it now; the delay is exponentially distributed with mean
+	// MeanDelay, scheduled on the runtime's Clock.
+	DelayProb float64
+	// MeanDelay is the mean re-injection delay, in the runtime's time
+	// units (virtual units in-sim, nanoseconds live). Required when
+	// DelayProb > 0.
+	MeanDelay float64
+	// DupProb sends the chunk twice — the receiver's staleness handling
+	// must make the duplicate harmless.
+	DupProb float64
+}
+
+// Enabled reports whether the config injects any fault.
+func (c FaultConfig) Enabled() bool {
+	return c.DropProb > 0 || c.DelayProb > 0 || c.DupProb > 0
+}
+
+// Validate checks the probabilities and delay.
+func (c FaultConfig) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"DropProb", c.DropProb}, {"DelayProb", c.DelayProb}, {"DupProb", c.DupProb}} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("dprcore: fault %s %v outside [0,1]", p.name, p.v)
+		}
+	}
+	if c.DelayProb > 0 && c.MeanDelay <= 0 {
+		return fmt.Errorf("dprcore: DelayProb %v needs positive MeanDelay, got %v", c.DelayProb, c.MeanDelay)
+	}
+	return nil
+}
+
+// FaultSender wraps a Sender with deterministic message faults. Both
+// stacks use it unchanged: in-sim the Clock is the simulator (virtual
+// delays, seeded rng, bit-reproducible runs), live it is the wall
+// clock. Faults draw from their own RNG stream so enabling them never
+// perturbs the loop's randomness.
+//
+// Send must be called from commit (serial) context, like the Sender it
+// wraps; delayed re-injections fire on the Clock's callback context,
+// so the inner Sender must accept sends from there (the simulator's
+// event goroutine; a timer goroutine for netpeer's self-locking
+// outbox).
+type FaultSender struct {
+	inner Sender
+	clock Clock
+	rng   RNG
+	cfg   FaultConfig
+
+	dropped    atomic.Int64
+	delayed    atomic.Int64
+	duplicated atomic.Int64
+}
+
+// NewFaultSender wraps inner. clock may be nil when DelayProb is zero;
+// rng must be a stream private to this wrapper.
+func NewFaultSender(inner Sender, clock Clock, rng RNG, cfg FaultConfig) (*FaultSender, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if inner == nil || rng == nil {
+		return nil, fmt.Errorf("dprcore: nil dependency")
+	}
+	if cfg.DelayProb > 0 && clock == nil {
+		return nil, fmt.Errorf("dprcore: DelayProb %v needs a Clock", cfg.DelayProb)
+	}
+	return &FaultSender{inner: inner, clock: clock, rng: rng, cfg: cfg}, nil
+}
+
+// Send applies the configured faults to one chunk.
+func (f *FaultSender) Send(from int, chunk transport.ScoreChunk) error {
+	if f.cfg.DropProb > 0 && f.rng.Float64() < f.cfg.DropProb {
+		f.dropped.Add(1)
+		return nil
+	}
+	if f.cfg.DelayProb > 0 && f.rng.Float64() < f.cfg.DelayProb {
+		f.delayed.Add(1)
+		d := f.rng.Exp(f.cfg.MeanDelay)
+		f.clock.After(d, func() {
+			// A delayed chunk that fails to send is simply lost — the
+			// algorithms tolerate loss and fresher scores follow.
+			if err := f.inner.Send(from, chunk); err != nil {
+				return
+			}
+			_ = f.inner.Flush(from) // best-effort: loss is tolerated
+		})
+		return nil
+	}
+	if err := f.inner.Send(from, chunk); err != nil {
+		return err
+	}
+	if f.cfg.DupProb > 0 && f.rng.Float64() < f.cfg.DupProb {
+		f.duplicated.Add(1)
+		return f.inner.Send(from, chunk)
+	}
+	return nil
+}
+
+// Flush forwards to the wrapped sender.
+func (f *FaultSender) Flush(from int) error { return f.inner.Flush(from) }
+
+// Dropped returns how many chunks were dropped.
+func (f *FaultSender) Dropped() int64 { return f.dropped.Load() }
+
+// Delayed returns how many chunks were delayed.
+func (f *FaultSender) Delayed() int64 { return f.delayed.Load() }
+
+// Duplicated returns how many chunks were duplicated.
+func (f *FaultSender) Duplicated() int64 { return f.duplicated.Load() }

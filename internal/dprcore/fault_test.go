@@ -1,0 +1,180 @@
+package dprcore
+
+import (
+	"sort"
+	"testing"
+
+	"p2prank/internal/transport"
+)
+
+// fakeClock is a hand-cranked Clock: After enqueues, advance fires
+// everything due.
+type fakeClock struct {
+	now float64
+	q   []timer
+}
+
+type timer struct {
+	at float64
+	fn func()
+}
+
+func (c *fakeClock) Now() float64 { return c.now }
+
+func (c *fakeClock) After(d float64, fn func()) {
+	c.q = append(c.q, timer{at: c.now + d, fn: fn})
+}
+
+func (c *fakeClock) advance(to float64) {
+	c.now = to
+	sort.SliceStable(c.q, func(i, j int) bool { return c.q[i].at < c.q[j].at })
+	var rest []timer
+	for _, tm := range c.q {
+		if tm.at <= to {
+			tm.fn()
+		} else {
+			rest = append(rest, tm)
+		}
+	}
+	c.q = rest
+}
+
+func TestFaultConfigValidate(t *testing.T) {
+	for name, cfg := range map[string]FaultConfig{
+		"drop > 1":       {DropProb: 1.1},
+		"negative drop":  {DropProb: -0.1},
+		"dup > 1":        {DupProb: 2},
+		"delay no mean":  {DelayProb: 0.5},
+		"negative delay": {DelayProb: 0.5, MeanDelay: -3},
+	} {
+		if cfg.Validate() == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if err := (FaultConfig{}).Validate(); err != nil {
+		t.Errorf("zero config rejected: %v", err)
+	}
+	if (FaultConfig{}).Enabled() {
+		t.Error("zero config reports enabled")
+	}
+	if !(FaultConfig{DropProb: 0.1}).Enabled() {
+		t.Error("drop config reports disabled")
+	}
+}
+
+func TestNewFaultSenderValidation(t *testing.T) {
+	if _, err := NewFaultSender(nil, nil, constRNG{}, FaultConfig{}); err == nil {
+		t.Error("nil inner accepted")
+	}
+	if _, err := NewFaultSender(&recordSender{}, nil, nil, FaultConfig{}); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := NewFaultSender(&recordSender{}, nil, constRNG{}, FaultConfig{DelayProb: 0.5, MeanDelay: 1}); err == nil {
+		t.Error("delay config without clock accepted")
+	}
+	if _, err := NewFaultSender(&recordSender{}, nil, constRNG{}, FaultConfig{DropProb: 2}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestFaultSenderDrops(t *testing.T) {
+	inner := &recordSender{}
+	fs, err := NewFaultSender(inner, nil, constRNG{f: 0.1}, FaultConfig{DropProb: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Send(0, chunk(0, 1, 1, 1.0)); err != nil {
+		t.Fatal(err)
+	}
+	if len(inner.sends) != 0 || fs.Dropped() != 1 {
+		t.Fatalf("chunk not dropped: %d sends, %d dropped", len(inner.sends), fs.Dropped())
+	}
+	// Flush still reaches the inner sender — drops are per chunk.
+	if err := fs.Flush(0); err != nil {
+		t.Fatal(err)
+	}
+	if inner.flushes != 1 {
+		t.Fatal("flush not forwarded")
+	}
+}
+
+func TestFaultSenderDuplicates(t *testing.T) {
+	inner := &recordSender{}
+	fs, err := NewFaultSender(inner, nil, constRNG{f: 0.1}, FaultConfig{DupProb: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Send(0, chunk(0, 1, 1, 1.0)); err != nil {
+		t.Fatal(err)
+	}
+	if len(inner.sends) != 2 || fs.Duplicated() != 1 {
+		t.Fatalf("got %d sends, %d duplicated, want 2 and 1", len(inner.sends), fs.Duplicated())
+	}
+}
+
+func TestFaultSenderDelaysOnClock(t *testing.T) {
+	inner := &recordSender{}
+	clk := &fakeClock{}
+	fs, err := NewFaultSender(inner, clk, constRNG{f: 0.1, e: 1}, FaultConfig{DelayProb: 0.5, MeanDelay: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Send(0, chunk(0, 1, 1, 1.0)); err != nil {
+		t.Fatal(err)
+	}
+	if len(inner.sends) != 0 || fs.Delayed() != 1 {
+		t.Fatalf("chunk not held back: %d sends, %d delayed", len(inner.sends), fs.Delayed())
+	}
+	clk.advance(6.9) // Exp draw is e·mean = 7
+	if len(inner.sends) != 0 {
+		t.Fatal("chunk re-injected before its delay elapsed")
+	}
+	clk.advance(7)
+	if len(inner.sends) != 1 || inner.flushes != 1 {
+		t.Fatalf("delayed chunk not re-injected: %d sends, %d flushes", len(inner.sends), inner.flushes)
+	}
+}
+
+func TestFaultSenderPassesThroughWhenLucky(t *testing.T) {
+	inner := &recordSender{}
+	// Draws of 0.9 miss every 0.5 probability: the chunk goes straight
+	// through, once.
+	fs, err := NewFaultSender(inner, &fakeClock{}, constRNG{f: 0.9, e: 1},
+		FaultConfig{DropProb: 0.5, DelayProb: 0.5, MeanDelay: 1, DupProb: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Send(0, chunk(0, 1, 1, 1.0)); err != nil {
+		t.Fatal(err)
+	}
+	if len(inner.sends) != 1 {
+		t.Fatalf("got %d sends, want 1", len(inner.sends))
+	}
+	if fs.Dropped()+fs.Delayed()+fs.Duplicated() != 0 {
+		t.Fatal("fault counters moved on a clean pass")
+	}
+}
+
+// errSender fails every send, checking FaultSender propagates inner
+// errors on the direct path.
+type errSender struct{ recordSender }
+
+func (s *errSender) Send(from int, c transport.ScoreChunk) error {
+	return errFault
+}
+
+var errFault = &faultErr{}
+
+type faultErr struct{}
+
+func (*faultErr) Error() string { return "boom" }
+
+func TestFaultSenderPropagatesInnerError(t *testing.T) {
+	fs, err := NewFaultSender(&errSender{}, nil, constRNG{f: 0.9}, FaultConfig{DropProb: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Send(0, chunk(0, 1, 1, 1.0)); err != errFault {
+		t.Fatalf("err = %v, want inner error", err)
+	}
+}

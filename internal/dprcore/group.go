@@ -1,9 +1,4 @@
-// Package ranker implements the page-ranker node: the per-group state
-// and the asynchronous DPR1/DPR2 loops of §4.2. Each ranker owns one
-// page group, solves the open-system equation R = AR + βE + X over it,
-// and exchanges afferent/efferent rank with other rankers through a
-// transport fabric.
-package ranker
+package dprcore
 
 import (
 	"fmt"
@@ -55,7 +50,7 @@ func (g *Group) N() int { return len(g.Pages) }
 // the assignment. alpha is the real-link rank fraction of §3.
 func BuildGroups(g *webgraph.Graph, a *partition.Assignment, alpha float64) ([]*Group, error) {
 	if alpha <= 0 || alpha >= 1 {
-		return nil, fmt.Errorf("ranker: alpha = %v, must be in (0,1)", alpha)
+		return nil, fmt.Errorf("dprcore: alpha = %v, must be in (0,1)", alpha)
 	}
 	groups := make([]*Group, a.K)
 	type effKey struct {
@@ -87,7 +82,7 @@ func BuildGroups(g *webgraph.Graph, a *partition.Assignment, alpha float64) ([]*
 		}
 		sys, err := pagerank.NewGroupSystem(len(pages), inner[i], deg, nil, alpha)
 		if err != nil {
-			return nil, fmt.Errorf("ranker: group %d: %w", i, err)
+			return nil, fmt.Errorf("dprcore: group %d: %w", i, err)
 		}
 		grp := &Group{
 			Index: i,

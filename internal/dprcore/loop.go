@@ -1,0 +1,240 @@
+package dprcore
+
+import (
+	"fmt"
+	"sort"
+
+	"p2prank/internal/pagerank"
+	"p2prank/internal/transport"
+	"p2prank/internal/vecmath"
+)
+
+// Loop is one page ranker's algorithmic state and update rule, shared
+// verbatim by every runtime. A Loop is not goroutine-safe: the driver
+// serializes Deliver, the phases, and NextWait (the simulator by
+// running them on the simulation goroutine, netpeer with a mutex).
+//
+// One iteration of Algorithm 3/4 is ComputePhase followed by
+// CommitPhase. The split mirrors the simulator's two-phase events:
+// ComputePhase touches only this loop's private vectors, so a runtime
+// may execute the compute phases of many loops concurrently at the
+// same instant; CommitPhase draws randomness and emits through the
+// Sender, so runtimes must run it serially in schedule order.
+type Loop struct {
+	grp    *Group
+	cfg    Config
+	sender Sender
+	rng    RNG
+
+	r       vecmath.Vec // current rank vector R
+	x       vecmath.Vec // assembled afferent vector X
+	scratch vecmath.Vec // swap buffer for the in-place solves
+	// mergedY caches, per destination group, how many entries Y = BR
+	// merges to, so publishY can size each chunk's slice exactly.
+	mergedY map[int32]int32
+	// latest holds the most recent chunk received from each source
+	// group; refreshX sums them. Stale (older-round) chunks are
+	// ignored, since the paper's algorithms always use the newest
+	// afferent scores available.
+	latest map[int32]transport.ScoreChunk
+	// srcOrder caches latest's keys in ascending order for
+	// reproducible summation.
+	srcOrder []int32
+
+	loops   int64
+	stepped bool
+}
+
+// NewLoop builds the loop for grp. The rng must be a stream private to
+// this loop.
+func NewLoop(grp *Group, cfg Config, sender Sender, rng RNG) (*Loop, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if grp == nil || sender == nil || rng == nil {
+		return nil, fmt.Errorf("dprcore: nil dependency")
+	}
+	mergedY := make(map[int32]int32, len(grp.Eff))
+	for dst, entries := range grp.Eff {
+		var n int32
+		prev := int32(-1)
+		for _, e := range entries { // sorted by DstLocal: count the runs
+			if e.DstLocal != prev {
+				n++
+				prev = e.DstLocal
+			}
+		}
+		mergedY[dst] = n
+	}
+	return &Loop{
+		grp:     grp,
+		cfg:     cfg,
+		sender:  sender,
+		rng:     rng,
+		r:       vecmath.NewVec(grp.N()), // R0 = 0, the Theorem 4.1/4.2 start
+		x:       vecmath.NewVec(grp.N()),
+		scratch: vecmath.NewVec(grp.N()),
+		mergedY: mergedY,
+		latest:  make(map[int32]transport.ScoreChunk),
+	}, nil
+}
+
+// Group returns the loop's page group.
+func (l *Loop) Group() *Group { return l.grp }
+
+// SetInitialRanks warm-starts the loop from a previous run's ranks —
+// how an incremental recrawl avoids ranking from scratch (§4.3's
+// dynamic-graph setting). It must be called before the first
+// ComputePhase. Note the Theorem 4.1/4.2 monotonicity guarantees are
+// stated for R0 = 0; a warm start trades them for a head start, and
+// the contraction still drives the ranks to the fixed point.
+func (l *Loop) SetInitialRanks(r vecmath.Vec) error {
+	if l.stepped {
+		return fmt.Errorf("dprcore: ranker %d: SetInitialRanks after first iteration", l.grp.Index)
+	}
+	if len(r) != l.grp.N() {
+		return fmt.Errorf("dprcore: ranker %d: initial ranks have length %d, want %d",
+			l.grp.Index, len(r), l.grp.N())
+	}
+	copy(l.r, r)
+	return nil
+}
+
+// Ranks returns the loop's current rank vector. The slice is live;
+// callers must copy before mutating or crossing an iteration.
+func (l *Loop) Ranks() vecmath.Vec { return l.r }
+
+// Loops returns how many main-loop iterations have executed.
+func (l *Loop) Loops() int64 { return l.loops }
+
+// NextWait draws the exponentially distributed pause before the next
+// iteration. It consumes randomness, so drivers must call it from
+// commit (serial) context, in schedule order.
+func (l *Loop) NextWait() float64 { return l.rng.Exp(l.cfg.MeanWait) }
+
+// Deliver records the chunk as the newest afferent contribution from
+// its source group. A chunk addressed to another group is a routing
+// bug in the driver and panics; drivers that can legitimately see
+// foreign chunks (overlay relays) must filter before delivering.
+func (l *Loop) Deliver(chunk transport.ScoreChunk) {
+	if int(chunk.DstGroup) != l.grp.Index {
+		panic(fmt.Sprintf("dprcore: ranker %d delivered chunk for group %d", l.grp.Index, chunk.DstGroup))
+	}
+	if prev, ok := l.latest[chunk.SrcGroup]; ok && prev.Round >= chunk.Round {
+		return // out-of-order stale delivery
+	}
+	l.latest[chunk.SrcGroup] = chunk
+}
+
+// ComputePhase is the compute half of one main-loop body of Algorithm
+// 3 or 4: refresh X and update R, touching only this loop's private
+// vectors, so a runtime may run it concurrently with other loops'
+// compute phases at the same instant.
+func (l *Loop) ComputePhase() {
+	l.stepped = true
+	l.refreshX()
+	switch l.cfg.Alg {
+	case DPR1:
+		opt := pagerank.Options{
+			Alpha:   l.cfg.Alpha,
+			Epsilon: l.cfg.InnerEpsilon,
+			MaxIter: l.cfg.InnerMaxIter,
+		}
+		if _, err := l.grp.Sys.SolveInPlace(l.r, l.x, l.scratch, opt); err != nil {
+			// Inner non-convergence is a configuration error (‖A‖∞ < 1
+			// guarantees convergence for any positive ε); surface loudly.
+			panic(fmt.Sprintf("dprcore: ranker %d: inner solve: %v", l.grp.Index, err))
+		}
+	case DPR2:
+		l.grp.Sys.Step(l.scratch, l.r, l.x)
+		l.r, l.scratch = l.scratch, l.r
+	}
+}
+
+// CommitPhase is the serial half of an iteration: everything that
+// draws randomness or sends.
+func (l *Loop) CommitPhase() {
+	l.loops++
+	l.publishY()
+}
+
+// Step runs one full iteration. Drivers that interleave many loops
+// (the simulator) call the phases separately instead.
+func (l *Loop) Step() {
+	l.ComputePhase()
+	l.CommitPhase()
+}
+
+// refreshX assembles X from the newest chunk of every source group.
+// Sources are summed in ascending group order so floating-point
+// rounding is reproducible.
+func (l *Loop) refreshX() {
+	l.x.Zero()
+	if len(l.srcOrder) != len(l.latest) {
+		l.srcOrder = l.srcOrder[:0]
+		for src := range l.latest {
+			l.srcOrder = append(l.srcOrder, src)
+		}
+		sort.Slice(l.srcOrder, func(i, j int) bool { return l.srcOrder[i] < l.srcOrder[j] })
+	}
+	for _, src := range l.srcOrder {
+		for _, e := range l.latest[src].Entries {
+			l.x[e.DstLocal] += e.Value
+		}
+	}
+}
+
+// publishY computes Y = BR per destination group and hands it to the
+// Sender, subjecting each destination's send to the loss parameter p.
+func (l *Loop) publishY() {
+	sent := false
+	for _, dstGroup := range l.grp.EffDsts {
+		entries := l.grp.Eff[dstGroup]
+		if l.cfg.SendProb < 1 && l.rng.Float64() >= l.cfg.SendProb {
+			continue // this group's Y update is lost this round
+		}
+		chunk := transport.ScoreChunk{
+			SrcGroup: int32(l.grp.Index),
+			DstGroup: dstGroup,
+			Round:    l.loops,
+			// Sized exactly: one allocation, no append growth. The slice
+			// cannot be pooled — it rides the in-flight message and the
+			// receiver keeps it as its newest afferent contribution.
+			Entries: make([]transport.ScoreEntry, 0, l.mergedY[dstGroup]),
+		}
+		// Entries are sorted by DstLocal; merge adjacent contributions
+		// to the same destination page.
+		for _, e := range entries {
+			v := float64(e.Links) * l.cfg.Alpha * l.r[e.LocalSrc] / float64(l.grp.Deg[e.LocalSrc])
+			chunk.Links += int64(e.Links)
+			n := len(chunk.Entries)
+			if n > 0 && chunk.Entries[n-1].DstLocal == e.DstLocal {
+				chunk.Entries[n-1].Value += v
+			} else {
+				chunk.Entries = append(chunk.Entries, transport.ScoreEntry{DstLocal: e.DstLocal, Value: v})
+			}
+		}
+		if err := l.sender.Send(l.grp.Index, chunk); err != nil {
+			panic(fmt.Sprintf("dprcore: ranker %d: send: %v", l.grp.Index, err))
+		}
+		sent = true
+	}
+	if sent {
+		if err := l.sender.Flush(l.grp.Index); err != nil {
+			panic(fmt.Sprintf("dprcore: ranker %d: flush: %v", l.grp.Index, err))
+		}
+	}
+}
+
+// Drive runs the loop to completion under w: wait, compute, commit,
+// repeat, until Wait reports the runtime is done. It is the whole main
+// loop of Algorithm 3/4 for runtimes that block between iterations;
+// event-driven runtimes schedule the phases themselves, and runtimes
+// with concurrent delivery must also serialize against Deliver (which
+// is why netpeer's driver inlines this loop under its state lock).
+func Drive(l *Loop, w Waiter) {
+	for w.Wait(l.NextWait()) {
+		l.ComputePhase()
+		l.CommitPhase()
+	}
+}

@@ -1,0 +1,236 @@
+package dprcore
+
+import (
+	"strings"
+	"testing"
+
+	"p2prank/internal/pagerank"
+	"p2prank/internal/transport"
+	"p2prank/internal/vecmath"
+)
+
+// testGroup hand-builds a two-page group with one efferent edge per
+// entry of eff (destination group → entries), bypassing BuildGroups so
+// tests control the shapes exactly.
+func testGroup(t *testing.T, idx int, eff map[int32][]EffEntry) *Group {
+	t.Helper()
+	sys, err := pagerank.NewGroupSystem(2, nil, []int32{1, 2}, nil, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grp := &Group{
+		Index: idx,
+		Pages: []int32{int32(2 * idx), int32(2*idx + 1)},
+		Deg:   []int32{1, 2},
+		Sys:   sys,
+		Eff:   eff,
+	}
+	for dst, entries := range eff {
+		grp.EffDsts = append(grp.EffDsts, dst)
+		for _, e := range entries {
+			grp.EffLinks += int64(e.Links)
+		}
+	}
+	return grp
+}
+
+func testConfig() Config {
+	return Config{Alg: DPR1, Alpha: 0.85, InnerEpsilon: 1e-12, SendProb: 1, MeanWait: 10}
+}
+
+// recordSender captures the emitted chunk/flush sequence.
+type recordSender struct {
+	sends   []transport.ScoreChunk
+	flushes int
+}
+
+func (s *recordSender) Send(from int, c transport.ScoreChunk) error {
+	s.sends = append(s.sends, c)
+	return nil
+}
+
+func (s *recordSender) Flush(from int) error {
+	s.flushes++
+	return nil
+}
+
+// constRNG returns fixed draws: Float64() = f, Exp(mean) = e·mean.
+type constRNG struct{ f, e float64 }
+
+func (r constRNG) Float64() float64        { return r.f }
+func (r constRNG) Exp(mean float64) float64 { return r.e * mean }
+
+func chunk(src, dst int32, round int64, values ...float64) transport.ScoreChunk {
+	c := transport.ScoreChunk{SrcGroup: src, DstGroup: dst, Round: round}
+	for i, v := range values {
+		c.Entries = append(c.Entries, transport.ScoreEntry{DstLocal: int32(i), Value: v})
+	}
+	return c
+}
+
+func TestStaleChunksIgnored(t *testing.T) {
+	l, err := NewLoop(testGroup(t, 0, nil), testConfig(), &recordSender{}, constRNG{e: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Deliver(chunk(1, 0, 5, 2.0))
+	l.Deliver(chunk(1, 0, 3, 99.0)) // older round: must not replace
+	l.Deliver(chunk(1, 0, 5, 77.0)) // same round: must not replace either
+	l.refreshX()
+	if l.x[0] != 2.0 {
+		t.Fatalf("x[0] = %v, stale chunk overwrote fresh one", l.x[0])
+	}
+	l.Deliver(chunk(1, 0, 6, 4.0))
+	l.refreshX()
+	if l.x[0] != 4.0 {
+		t.Fatalf("x[0] = %v, fresher chunk not applied", l.x[0])
+	}
+}
+
+func TestRefreshXSumsSourcesInOrder(t *testing.T) {
+	l, err := NewLoop(testGroup(t, 0, nil), testConfig(), &recordSender{}, constRNG{e: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Deliver(chunk(3, 0, 1, 1.0, 10.0))
+	l.Deliver(chunk(1, 0, 1, 2.0))
+	l.refreshX()
+	if l.x[0] != 3.0 || l.x[1] != 10.0 {
+		t.Fatalf("x = %v, want [3 10]", l.x)
+	}
+}
+
+func TestDeliverWrongGroupPanics(t *testing.T) {
+	l, err := NewLoop(testGroup(t, 0, nil), testConfig(), &recordSender{}, constRNG{e: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("misrouted chunk did not panic")
+		}
+	}()
+	l.Deliver(chunk(1, 2, 1, 1.0))
+}
+
+func TestSetInitialRanksAfterStepFails(t *testing.T) {
+	l, err := NewLoop(testGroup(t, 0, nil), testConfig(), &recordSender{}, constRNG{e: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SetInitialRanks(vecmath.Vec{0.5, 0.5, 0.5}); err == nil {
+		t.Fatal("wrong-length initial ranks accepted")
+	}
+	l.ComputePhase()
+	if err := l.SetInitialRanks(vecmath.Vec{0.5, 0.5}); err == nil {
+		t.Fatal("SetInitialRanks accepted after first iteration")
+	}
+}
+
+func TestPublishYMergesAndScales(t *testing.T) {
+	// Two efferent entries toward group 1's page 0 (from both local
+	// pages) and one toward page 1: publishY must merge the adjacent
+	// DstLocal-0 contributions into one entry.
+	eff := map[int32][]EffEntry{1: {
+		{LocalSrc: 0, DstLocal: 0, Links: 1},
+		{LocalSrc: 1, DstLocal: 0, Links: 2},
+		{LocalSrc: 1, DstLocal: 1, Links: 1},
+	}}
+	s := &recordSender{}
+	l, err := NewLoop(testGroup(t, 0, eff), testConfig(), s, constRNG{e: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SetInitialRanks(vecmath.Vec{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	l.loops++ // bypass ComputePhase: publish the hand-set ranks directly
+	l.publishY()
+	if len(s.sends) != 1 || s.flushes != 1 {
+		t.Fatalf("got %d sends, %d flushes, want 1 and 1", len(s.sends), s.flushes)
+	}
+	c := s.sends[0]
+	if c.SrcGroup != 0 || c.DstGroup != 1 || c.Round != 1 || c.Links != 4 {
+		t.Fatalf("chunk header %+v wrong", c)
+	}
+	if len(c.Entries) != 2 {
+		t.Fatalf("got %d entries, want 2 (merged)", len(c.Entries))
+	}
+	// 1·0.85·1/1 + 2·0.85·2/2 = 2.55 toward page 0; 1·0.85·2/2 = 0.85.
+	if c.Entries[0].Value != 0.85*1+2*0.85*1 || c.Entries[1].Value != 0.85 {
+		t.Fatalf("entry values %+v wrong", c.Entries)
+	}
+}
+
+func TestSendProbZeroPublishesNothing(t *testing.T) {
+	eff := map[int32][]EffEntry{1: {{LocalSrc: 0, DstLocal: 0, Links: 1}}}
+	cfg := testConfig()
+	cfg.SendProb = 0
+	s := &recordSender{}
+	l, err := NewLoop(testGroup(t, 0, eff), cfg, s, constRNG{e: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Step()
+	if len(s.sends) != 0 || s.flushes != 0 {
+		t.Fatalf("p = 0 still sent %d chunks, flushed %d times", len(s.sends), s.flushes)
+	}
+}
+
+func TestDriveStopsWhenWaiterDoes(t *testing.T) {
+	l, err := NewLoop(testGroup(t, 0, nil), testConfig(), &recordSender{}, constRNG{e: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	Drive(l, waiterFunc(func(d float64) bool {
+		if d != 10 { // Exp(MeanWait) with the e=1 stub
+			t.Fatalf("Wait(%v), want the loop's drawn wait 10", d)
+		}
+		n++
+		return n <= 3
+	}))
+	if l.Loops() != 3 {
+		t.Fatalf("Drive ran %d iterations, want 3", l.Loops())
+	}
+}
+
+type waiterFunc func(d float64) bool
+
+func (f waiterFunc) Wait(d float64) bool { return f(d) }
+
+func TestNewLoopValidation(t *testing.T) {
+	grp := testGroup(t, 0, nil)
+	ok := testConfig()
+	for name, tc := range map[string]struct {
+		grp    *Group
+		cfg    Config
+		sender Sender
+		rng    RNG
+		want   string
+	}{
+		"nil group":     {nil, ok, &recordSender{}, constRNG{}, "nil"},
+		"nil sender":    {grp, ok, nil, constRNG{}, "nil"},
+		"nil rng":       {grp, ok, &recordSender{}, nil, "nil"},
+		"bad alg":       {grp, Config{Alg: Algorithm(7), Alpha: 0.85}, &recordSender{}, constRNG{}, "algorithm"},
+		"alpha 0":       {grp, Config{Alg: DPR1}, &recordSender{}, constRNG{}, "alpha"},
+		"alpha 1.2":     {grp, Config{Alg: DPR1, Alpha: 1.2}, &recordSender{}, constRNG{}, "alpha"},
+		"neg epsilon":   {grp, Config{Alg: DPR1, Alpha: 0.85, InnerEpsilon: -1}, &recordSender{}, constRNG{}, "InnerEpsilon"},
+		"sendprob 1.5":  {grp, Config{Alg: DPR1, Alpha: 0.85, SendProb: 1.5}, &recordSender{}, constRNG{}, "SendProb"},
+		"neg mean wait": {grp, Config{Alg: DPR1, Alpha: 0.85, SendProb: 1, MeanWait: -1}, &recordSender{}, constRNG{}, "MeanWait"},
+	} {
+		_, err := NewLoop(tc.grp, tc.cfg, tc.sender, tc.rng)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", name, err, tc.want)
+		}
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	if DPR1.String() != "DPR1" || DPR2.String() != "DPR2" {
+		t.Fatal("algorithm names wrong")
+	}
+	if s := Algorithm(9).String(); !strings.Contains(s, "9") {
+		t.Fatalf("unknown algorithm prints %q", s)
+	}
+}

@@ -126,6 +126,35 @@ func TestRunsBitIdenticalAcrossParallelism(t *testing.T) {
 	}
 }
 
+// fig6GoldenFingerprint is the fig6 preset's fingerprint as measured
+// on the pre-refactor tree (before the DPR loop moved to
+// internal/dprcore), pinning the extraction as behavior-preserving on
+// the simulation path: same seed, same schedule, same floats, bit for
+// bit. If an *intentional* algorithmic change shifts it, re-capture
+// the value and say so in the commit.
+const fig6GoldenFingerprint = 0xb51aa41cefefc9c4
+
+// TestFig6FingerprintMatchesPreRefactorGolden runs the fig6 preset
+// through the refactored ranker driver (dprcore.Loop under the simnet
+// scheduler) at GOMAXPROCS 1 and 8 and requires the exact pre-refactor
+// fingerprint both times.
+func TestFig6FingerprintMatchesPreRefactorGolden(t *testing.T) {
+	g := detGraph(t)
+	cfg := detPresets(g)["fig6"]
+	for _, procs := range []int{1, 8} {
+		prev := runtime.GOMAXPROCS(procs)
+		res, err := engine.Run(cfg)
+		runtime.GOMAXPROCS(prev)
+		if err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		if got := fingerprint(t, res); got != fig6GoldenFingerprint {
+			t.Fatalf("procs=%d: fig6 fingerprint %#016x != pre-refactor golden %#016x",
+				procs, got, uint64(fig6GoldenFingerprint))
+		}
+	}
+}
+
 // TestSharedReferenceMatchesOwnReference checks that handing a
 // precomputed R* to Config.Reference changes nothing about the run.
 func TestSharedReferenceMatchesOwnReference(t *testing.T) {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"p2prank/internal/chord"
+	"p2prank/internal/dprcore"
 	"p2prank/internal/nodeid"
 	"p2prank/internal/overlay"
 	"p2prank/internal/pagerank"
@@ -97,6 +98,13 @@ type Config struct {
 	// against centralized PageRank drops to this threshold (0 = run to
 	// MaxTime). Figure 8 uses 1e-4 (0.01%).
 	TargetRelErr float64
+	// Fault injects deterministic message faults (drop/delay/duplicate)
+	// between every ranker and the transport fabric, below the
+	// algorithm's own SendProb loss — the dprcore.FaultSender seam both
+	// stacks share, here on virtual time. Faults draw from their own
+	// RNG stream, so the zero value leaves runs bit-identical to a
+	// build without the seam. Delays are in virtual time units.
+	Fault dprcore.FaultConfig
 	// Disruptions take rankers offline for windows of virtual time —
 	// the paper's §4.2 asynchrony model taken to its extreme ("sleep
 	// for some time, suspend itself as its wish, or even shutdown").
@@ -160,6 +168,9 @@ func (c *Config) validate() error {
 	if c.TargetRelErr < 0 {
 		return fmt.Errorf("engine: negative TargetRelErr %v", c.TargetRelErr)
 	}
+	if err := c.Fault.Validate(); err != nil {
+		return err
+	}
 	for i, d := range c.Disruptions {
 		if d.Ranker < 0 || d.Ranker >= c.K {
 			return fmt.Errorf("engine: disruption %d targets ranker %d of %d", i, d.Ranker, c.K)
@@ -202,6 +213,9 @@ type Result struct {
 	// was reached (or at MaxTime when it was not) — the Figure 8
 	// "number of iterations" metric.
 	LoopsAtConvergence float64
+	// FaultStats counts injected message faults (all zero when
+	// Config.Fault is disabled).
+	FaultStats FaultStats
 	// NetStats are network-level counters for the whole run.
 	NetStats simnet.Stats
 	// TransportStats are transport-level counters for the whole run.
@@ -217,6 +231,16 @@ type Result struct {
 	PagesPerRanker []int
 }
 
+// FaultStats counts the faults a run's injector applied.
+type FaultStats struct {
+	// Dropped is the number of chunks discarded outright.
+	Dropped int64
+	// Delayed is the number of chunks held back and re-injected later.
+	Delayed int64
+	// Duplicated is the number of chunks sent twice.
+	Duplicated int64
+}
+
 // cluster is the assembled machinery of one run.
 type cluster struct {
 	cfg     Config
@@ -224,6 +248,7 @@ type cluster struct {
 	net     *simnet.Network
 	ov      overlay.Network
 	fab     *transport.Fabric
+	faults  *dprcore.FaultSender // nil unless cfg.Fault.Enabled()
 	assign  *partition.Assignment
 	rankers []*ranker.Ranker
 }
@@ -272,6 +297,18 @@ func build(cfg Config) (*cluster, error) {
 		return nil, err
 	}
 	root := xrand.New(cfg.Seed ^ 0x9e3779b97f4a7c15)
+	var sender ranker.Sender = fab
+	var faults *dprcore.FaultSender
+	if cfg.Fault.Enabled() {
+		// The fault stream is forked only when faults are on, so a
+		// disabled config draws nothing and runs stay bit-identical.
+		// The simulator is the Clock: delays land on virtual time.
+		faults, err = dprcore.NewFaultSender(fab, sim, root.Fork(), cfg.Fault)
+		if err != nil {
+			return nil, err
+		}
+		sender = faults
+	}
 	rankers := make([]*ranker.Ranker, cfg.K)
 	for i := 0; i < cfg.K; i++ {
 		mean := cfg.T1 + root.Float64()*(cfg.T2-cfg.T1)
@@ -285,7 +322,7 @@ func build(cfg Config) (*cluster, error) {
 			SendProb:     cfg.SendProb,
 			MeanWait:     mean,
 		}
-		rk, err := ranker.New(groups[i], rcfg, sim, fab, root.Fork())
+		rk, err := ranker.New(groups[i], rcfg, sim, sender, root.Fork())
 		if err != nil {
 			return nil, err
 		}
@@ -295,7 +332,7 @@ func build(cfg Config) (*cluster, error) {
 		rankers[i] = rk
 	}
 	return &cluster{
-		cfg: cfg, sim: sim, net: net, ov: ov, fab: fab,
+		cfg: cfg, sim: sim, net: net, ov: ov, fab: fab, faults: faults,
 		assign: assign, rankers: rankers,
 	}, nil
 }
@@ -438,6 +475,13 @@ func run(cfg Config, initial vecmath.Vec) (*Result, error) {
 	}
 	res.NetStats = cl.net.TotalStats()
 	res.TransportStats = cl.fab.Stats()
+	if cl.faults != nil {
+		res.FaultStats = FaultStats{
+			Dropped:    cl.faults.Dropped(),
+			Delayed:    cl.faults.Delayed(),
+			Duplicated: cl.faults.Duplicated(),
+		}
+	}
 	return res, nil
 }
 

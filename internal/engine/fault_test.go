@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"testing"
+
+	"p2prank/internal/dprcore"
+)
+
+// TestFaultDropsStillConverge injects message drops below the
+// algorithm's own loss parameter and checks the run still reaches the
+// fixed point — the paper's loss tolerance, exercised at the transport
+// seam rather than through SendProb.
+func TestFaultDropsStillConverge(t *testing.T) {
+	g := genGraph(t, 2500, 1)
+	cfg := baseConfig(g)
+	cfg.TargetRelErr = 1e-6
+	cfg.Fault = dprcore.FaultConfig{DropProb: 0.3}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FaultStats.Dropped == 0 {
+		t.Fatal("fault injector dropped nothing")
+	}
+	if res.ConvergedAt < 0 {
+		t.Fatalf("did not converge under 30%% drops; final rel err %v", res.RelErr)
+	}
+}
+
+// TestFaultDelayDupStillConverge exercises the other two fault kinds:
+// delayed chunks arrive stale (and are discarded by round tracking),
+// duplicates are idempotent.
+func TestFaultDelayDupStillConverge(t *testing.T) {
+	g := genGraph(t, 2000, 3)
+	cfg := baseConfig(g)
+	cfg.TargetRelErr = 1e-6
+	cfg.Fault = dprcore.FaultConfig{DelayProb: 0.2, MeanDelay: 10, DupProb: 0.2}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FaultStats.Delayed == 0 || res.FaultStats.Duplicated == 0 {
+		t.Fatalf("fault stats %+v missing delays or duplicates", res.FaultStats)
+	}
+	if res.ConvergedAt < 0 {
+		t.Fatalf("did not converge under delays+duplicates; final rel err %v", res.RelErr)
+	}
+}
+
+// TestFaultRunsAreDeterministic checks the injector draws from a seeded
+// stream like everything else: same config, same faults, same floats.
+func TestFaultRunsAreDeterministic(t *testing.T) {
+	g := genGraph(t, 2000, 3)
+	cfg := baseConfig(g)
+	cfg.MaxTime = 60
+	cfg.Fault = dprcore.FaultConfig{DropProb: 0.2, DelayProb: 0.1, MeanDelay: 5, DupProb: 0.1}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FaultStats != b.FaultStats {
+		t.Fatalf("fault stats differ across identical runs: %+v vs %+v", a.FaultStats, b.FaultStats)
+	}
+	for i := range a.Final {
+		if a.Final[i] != b.Final[i] {
+			t.Fatalf("final ranks differ at page %d across identical fault runs", i)
+		}
+	}
+}
+
+func TestFaultConfigValidation(t *testing.T) {
+	g := genGraph(t, 500, 1)
+	for name, f := range map[string]dprcore.FaultConfig{
+		"drop>1":         {DropProb: 1.5},
+		"negative dup":   {DupProb: -0.1},
+		"delay no mean":  {DelayProb: 0.5},
+		"negative delay": {DelayProb: 0.5, MeanDelay: -1},
+	} {
+		cfg := baseConfig(g)
+		cfg.Fault = f
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("%s: invalid fault config accepted", name)
+		}
+	}
+}

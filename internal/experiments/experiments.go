@@ -16,12 +16,12 @@ import (
 	"fmt"
 
 	"p2prank/internal/bwmodel"
+	"p2prank/internal/dprcore"
 	"p2prank/internal/engine"
 	"p2prank/internal/metrics"
 	"p2prank/internal/overlay"
 	"p2prank/internal/par"
 	"p2prank/internal/partition"
-	"p2prank/internal/ranker"
 	"p2prank/internal/simnet"
 	"p2prank/internal/transport"
 	"p2prank/internal/webgraph"
@@ -140,7 +140,7 @@ func errorOverTime(w Workload, k int, maxTime float64, metric func(*engine.Sampl
 		cfg := engine.Config{
 			Graph:       g,
 			K:           k,
-			Alg:         ranker.DPR1,
+			Alg:         dprcore.DPR1,
 			SendProb:    cp.sendProb,
 			T1:          cp.t1,
 			T2:          cp.t2,
@@ -211,7 +211,7 @@ func Fig8(w Workload, ks []int) ([]Fig8Row, error) {
 	}
 	// Every (K, algorithm) cell is an independent simulation; run the
 	// grid in parallel, each job writing only its own row field.
-	algs := []ranker.Algorithm{ranker.DPR1, ranker.DPR2}
+	algs := []dprcore.Algorithm{dprcore.DPR1, dprcore.DPR2}
 	errs := make([]error, len(ks)*len(algs))
 	par.Default().Run(len(errs), func(job int) {
 		k, alg := ks[job/len(algs)], algs[job%len(algs)]
@@ -240,9 +240,9 @@ func Fig8(w Workload, ks []int) ([]Fig8Row, error) {
 			return
 		}
 		switch alg {
-		case ranker.DPR1:
+		case dprcore.DPR1:
 			rows[job/len(algs)].DPR1 = run.LoopsAtConvergence
-		case ranker.DPR2:
+		case dprcore.DPR2:
 			rows[job/len(algs)].DPR2 = run.LoopsAtConvergence
 		}
 	})
@@ -308,7 +308,7 @@ func Transmission(w Workload, ks []int, timePerRun float64) ([]TransmissionRow, 
 		cfg := engine.Config{
 			Graph:       g,
 			K:           k,
-			Alg:         ranker.DPR1,
+			Alg:         dprcore.DPR1,
 			T1:          3,
 			T2:          3,
 			Seed:        w.Seed,
@@ -486,7 +486,7 @@ func ConvergenceVsBandwidth(w Workload, k int, bws []float64, maxTime float64) (
 		cfg := engine.Config{
 			Graph:        g,
 			K:            k,
-			Alg:          ranker.DPR1,
+			Alg:          dprcore.DPR1,
 			T1:           3,
 			T2:           3,
 			Seed:         w.Seed,
@@ -532,6 +532,97 @@ func RenderBandwidth(rows []BandwidthRow) string {
 			bw = fmt.Sprintf("%.0f", r.Bandwidth)
 		}
 		t.AddRow(bw, conv, fmt.Sprintf("%.2e", r.FinalRelErr))
+	}
+	return t.String()
+}
+
+// FaultRow records convergence under one transport fault severity.
+type FaultRow struct {
+	// DropProb is the injected per-chunk drop probability.
+	DropProb float64
+	// ConvergedAt is the virtual time the target error was reached, or
+	// -1 when the horizon expired first.
+	ConvergedAt float64
+	// FinalRelErr is the relative error at the end of the run.
+	FinalRelErr float64
+	// Dropped is how many chunks the injector discarded.
+	Dropped int64
+}
+
+// Faults reruns the same DPR1 workload under increasing message-drop
+// rates injected at the dprcore.FaultSender seam — loss below the
+// algorithm's own SendProb parameter, the regime Theorem 4.1 says must
+// still converge. Delays and duplicates ride along at a fixed low rate
+// so all three fault kinds are exercised.
+func Faults(w Workload, k int, drops []float64, maxTime float64) ([]FaultRow, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("experiments: k = %d, must be positive", k)
+	}
+	if len(drops) == 0 {
+		return nil, fmt.Errorf("experiments: no drop probabilities")
+	}
+	w.defaults()
+	g, err := w.Generate()
+	if err != nil {
+		return nil, err
+	}
+	ref, err := engine.Reference(g, defaultAlpha)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]FaultRow, len(drops))
+	errs := make([]error, len(drops))
+	par.Default().Run(len(drops), func(i int) {
+		cfg := engine.Config{
+			Graph:        g,
+			K:            k,
+			Alg:          dprcore.DPR1,
+			T1:           0,
+			T2:           6,
+			Seed:         w.Seed,
+			Reference:    ref,
+			SampleEvery:  2,
+			MaxTime:      maxTime,
+			TargetRelErr: 1e-4,
+			Strategy:     partition.BySite,
+			Transport:    transport.Indirect,
+		}
+		if drops[i] > 0 {
+			cfg.Fault = dprcore.FaultConfig{
+				DropProb:  drops[i],
+				DelayProb: 0.05,
+				MeanDelay: 5,
+				DupProb:   0.05,
+			}
+		}
+		run, err := engine.Run(cfg)
+		if err != nil {
+			errs[i] = fmt.Errorf("experiments: drop %v: %w", drops[i], err)
+			return
+		}
+		rows[i] = FaultRow{
+			DropProb:    drops[i],
+			ConvergedAt: run.ConvergedAt,
+			FinalRelErr: run.RelErr,
+			Dropped:     run.FaultStats.Dropped,
+		}
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// RenderFaults formats fault-sweep rows.
+func RenderFaults(rows []FaultRow) string {
+	t := metrics.NewTable("drop prob", "converged at", "final rel err", "chunks dropped")
+	for _, r := range rows {
+		conv := "never"
+		if r.ConvergedAt >= 0 {
+			conv = fmt.Sprintf("%.0f", r.ConvergedAt)
+		}
+		t.AddRow(fmt.Sprintf("%.2f", r.DropProb), conv,
+			fmt.Sprintf("%.2e", r.FinalRelErr), r.Dropped)
 	}
 	return t.String()
 }

@@ -23,6 +23,13 @@ func TestNoWallClockFlagsSimPackages(t *testing.T) {
 	linttest.Run(t, "testdata", lint.NoWallClock, "p2prank/internal/simnet")
 }
 
+func TestNoWallClockFlagsDprcore(t *testing.T) {
+	// The loop core is sim-path: time enters only through its Clock
+	// interface. (norand needs no scope entry — it is global outside
+	// internal/xrand, so dprcore is covered by the own-tree suite.)
+	linttest.Run(t, "testdata", lint.NoWallClock, "p2prank/internal/dprcore")
+}
+
 func TestNoWallClockExemptsNetpeer(t *testing.T) {
 	linttest.Run(t, "testdata", lint.NoWallClock, "p2prank/internal/netpeer")
 }

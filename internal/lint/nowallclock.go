@@ -31,6 +31,10 @@ var simPathPackages = []string{
 	"internal/simnet",
 	"internal/engine",
 	"internal/ranker",
+	// The runtime-agnostic DPR loop core: time and randomness may enter
+	// only through its Clock/RNG interfaces, never directly — the wall
+	// clock lives solely in the netpeer driver's Clock implementation.
+	"internal/dprcore",
 	"internal/experiments",
 	// The worker pool under the parallel kernels and the compute-phase
 	// executor: it must block on channels, never sleep or poll the

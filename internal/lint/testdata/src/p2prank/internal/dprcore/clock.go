@@ -1,0 +1,21 @@
+// Fixture: the runtime-agnostic loop core is a simulation-path
+// package — wall-clock access must come through its Clock interface
+// (implemented by the simulator or by netpeer), never from the time
+// package directly.
+package dprcore
+
+import "time"
+
+// Wait is what a hurried driver shortcut would look like: blocking the
+// core on host time instead of the runtime's Waiter.
+func Wait(d time.Duration) float64 {
+	time.Sleep(d)                         // want `time.Sleep reads the wall clock`
+	deadline := time.Now().Add(d)         // want `time.Now reads the wall clock`
+	timer := time.NewTimer(time.Until(deadline)) // want `time.NewTimer reads the wall clock` `time.Until reads the wall clock`
+	<-timer.C
+	return float64(d)
+}
+
+// MeanWait shows the legal use: durations as configuration values,
+// converted without consulting the host clock.
+func MeanWait(d time.Duration) float64 { return float64(d) }

@@ -4,11 +4,11 @@ import (
 	"fmt"
 	"time"
 
+	"p2prank/internal/dprcore"
 	"p2prank/internal/nodeid"
 	"p2prank/internal/pagerank"
 	"p2prank/internal/partition"
 	"p2prank/internal/pastry"
-	"p2prank/internal/ranker"
 	"p2prank/internal/transport"
 	"p2prank/internal/vecmath"
 	"p2prank/internal/webgraph"
@@ -19,7 +19,7 @@ type ClusterConfig struct {
 	// K is the number of peers.
 	K int
 	// Alg selects DPR1 or DPR2.
-	Alg ranker.Algorithm
+	Alg dprcore.Algorithm
 	// Alpha is the rank-transmission fraction (default 0.85).
 	Alpha float64
 	// Strategy is the partitioning strategy (default BySite).
@@ -35,6 +35,9 @@ type ClusterConfig struct {
 	// Codec optionally replaces gob framing with a compact wire codec
 	// shared by all peers (see internal/codec).
 	Codec transport.ChunkCodec
+	// Fault injects deterministic message faults into every peer's
+	// sender (see dprcore.FaultConfig). The zero value injects nothing.
+	Fault dprcore.FaultConfig
 	// Seed makes partitioning and waits reproducible (default 1).
 	Seed uint64
 }
@@ -89,7 +92,7 @@ func StartCluster(g *webgraph.Graph, cfg ClusterConfig) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	groups, err := ranker.BuildGroups(g, assign, cfg.Alpha)
+	groups, err := dprcore.BuildGroups(g, assign, cfg.Alpha)
 	if err != nil {
 		return nil, err
 	}
@@ -103,6 +106,7 @@ func StartCluster(g *webgraph.Graph, cfg ClusterConfig) (*Cluster, error) {
 			MeanWait: cfg.MeanWait,
 			Seed:     cfg.Seed + uint64(i)*7919,
 			Codec:    cfg.Codec,
+			Fault:    cfg.Fault,
 		}
 		if cfg.Indirect {
 			pcfg.Overlay = ov

@@ -1,0 +1,67 @@
+package netpeer
+
+import (
+	"testing"
+	"time"
+
+	"p2prank/internal/dprcore"
+)
+
+// TestClusterConvergesUnderFaultDrops runs a live cluster with the
+// shared dprcore fault injector dropping 30% of all score chunks below
+// the algorithm, and checks the peers still converge — the same loss
+// tolerance the simulator's fault test demonstrates, here over real
+// sockets.
+func TestClusterConvergesUnderFaultDrops(t *testing.T) {
+	g := genGraph(t, 1200, 1)
+	cl, err := StartCluster(g, ClusterConfig{
+		K: 4, Alg: dprcore.DPR1, MeanWait: 10 * time.Millisecond,
+		Fault: dprcore.FaultConfig{DropProb: 0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.WaitConverged(1e-6, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var dropped int64
+	for _, p := range cl.Peers {
+		d, _, _ := p.FaultStats()
+		dropped += d
+	}
+	if dropped == 0 {
+		t.Fatal("no chunks dropped across the cluster")
+	}
+}
+
+// TestClusterConvergesUnderDelayAndDup exercises the wall-clock delay
+// path (dprcore's Clock implemented by netpeer's wallClock) and
+// duplicate suppression by round tracking.
+func TestClusterConvergesUnderDelayAndDup(t *testing.T) {
+	g := genGraph(t, 1000, 3)
+	cl, err := StartCluster(g, ClusterConfig{
+		K: 3, Alg: dprcore.DPR1, MeanWait: 10 * time.Millisecond,
+		Fault: dprcore.FaultConfig{
+			DelayProb: 0.25,
+			MeanDelay: float64(20 * time.Millisecond),
+			DupProb:   0.25,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.WaitConverged(1e-6, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var delayed, duplicated int64
+	for _, p := range cl.Peers {
+		_, dl, du := p.FaultStats()
+		delayed += dl
+		duplicated += du
+	}
+	if delayed == 0 || duplicated == 0 {
+		t.Fatalf("fault injector idle: delayed=%d duplicated=%d", delayed, duplicated)
+	}
+}

@@ -6,10 +6,15 @@
 // The simulator (internal/engine) is where the paper's measurements
 // come from; netpeer exists to demonstrate that the same algorithms run
 // unchanged over real sockets, real concurrency, and real partial
-// failure (a peer can be stopped and the rest keep converging). Peers
-// default to direct transmission — with a static in-process cluster
-// every peer knows every address, the regime the paper says direct
-// transmission suits (small N) — and optionally to indirect
+// failure (a peer can be stopped and the rest keep converging). The
+// algorithms themselves live in internal/dprcore, shared verbatim with
+// the simulator's driver (internal/ranker); this package only supplies
+// the live runtime — wall-clock waits, a TCP transport, and the state
+// lock that serializes loop phases against concurrent deliveries.
+//
+// Peers default to direct transmission — with a static in-process
+// cluster every peer knows every address, the regime the paper says
+// direct transmission suits (small N) — and optionally to indirect
 // transmission, forwarding score frames hop-by-hop along a structured
 // overlay exactly as §4.4 describes, batching chunks that share a next
 // hop into one frame.
@@ -23,9 +28,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"p2prank/internal/dprcore"
 	"p2prank/internal/overlay"
-	"p2prank/internal/pagerank"
-	"p2prank/internal/ranker"
 	"p2prank/internal/transport"
 	"p2prank/internal/vecmath"
 	"p2prank/internal/xrand"
@@ -33,10 +37,10 @@ import (
 
 // Config parameterizes one peer.
 type Config struct {
-	// Group is the peer's page group (from ranker.BuildGroups).
-	Group *ranker.Group
+	// Group is the peer's page group (from dprcore.BuildGroups).
+	Group *dprcore.Group
 	// Alg selects DPR1 or DPR2.
-	Alg ranker.Algorithm
+	Alg dprcore.Algorithm
 	// Alpha is the real-link rank fraction (default 0.85).
 	Alpha float64
 	// InnerEpsilon is DPR1's inner threshold (default 1e-10).
@@ -59,13 +63,18 @@ type Config struct {
 	// genuinely quantize the exchanged scores. All peers of a cluster
 	// must use the same codec.
 	Codec transport.ChunkCodec
+	// Fault injects deterministic message faults (drop/delay/duplicate)
+	// between the loop and the wire — the same dprcore.FaultSender the
+	// simulator uses, here running on the wall clock. The zero value
+	// injects nothing.
+	Fault dprcore.FaultConfig
 }
 
 func (c *Config) validate() error {
 	if c.Group == nil {
 		return errors.New("netpeer: Group is required")
 	}
-	if c.Alg != ranker.DPR1 && c.Alg != ranker.DPR2 {
+	if c.Alg != dprcore.DPR1 && c.Alg != dprcore.DPR2 {
 		return fmt.Errorf("netpeer: unknown algorithm %d", int(c.Alg))
 	}
 	if c.Alpha == 0 {
@@ -95,7 +104,7 @@ func (c *Config) validate() error {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
-	return nil
+	return c.Fault.Validate()
 }
 
 // frame is the single wire message: a batch of score chunks.
@@ -103,28 +112,36 @@ type frame struct {
 	Chunks []transport.ScoreChunk
 }
 
-// Peer is one live page ranker.
+// Peer is one live page ranker: a dprcore.Loop plus the TCP runtime
+// that drives it.
 type Peer struct {
 	cfg Config
 	ln  net.Listener
 
-	mu     sync.Mutex
-	r      vecmath.Vec
-	x      vecmath.Vec
-	latest map[int32]transport.ScoreChunk
-	peers  map[int32]string
+	// mu serializes the loop's phases (rank goroutine) against chunk
+	// deliveries (read goroutines). Frames are never written while mu is
+	// held — a peer blocked on a TCP write with its state locked would
+	// stall its own readLoop and, under backpressure, deadlock a cycle
+	// of peers. CommitPhase therefore emits into the outbox, and the
+	// rank loop dispatches the drained chunks after unlocking.
+	mu   sync.Mutex
+	loop *dprcore.Loop
+
+	out    *outbox
+	faults *dprcore.FaultSender // nil unless cfg.Fault.Enabled()
+
+	peersMu sync.Mutex
+	peers   map[int32]string
 
 	connMu   sync.Mutex
 	conns    map[int32]*peerConn
 	accepted map[net.Conn]struct{}
 
-	loops   atomic.Int64
 	sent    atomic.Int64
 	relayed atomic.Int64
 	started atomic.Bool
 	stop    chan struct{}
 	wg      sync.WaitGroup
-	rng     *xrand.Rand // loop goroutine only
 	wire    wireFormat
 }
 
@@ -143,6 +160,55 @@ func (pc *peerConn) write(f frame) error {
 	return pc.w.writeFrame(f)
 }
 
+// outbox is the loop's Sender: CommitPhase runs under the peer's state
+// lock, so sends are buffered here (self-locked — delayed fault
+// re-injections append from timer goroutines) and dispatched by the
+// rank loop after the lock is released.
+type outbox struct {
+	mu     sync.Mutex
+	chunks []transport.ScoreChunk
+}
+
+func (o *outbox) Send(from int, chunk transport.ScoreChunk) error {
+	o.mu.Lock()
+	o.chunks = append(o.chunks, chunk)
+	o.mu.Unlock()
+	return nil
+}
+
+// Flush is a no-op: the rank loop drains after every commit.
+func (o *outbox) Flush(from int) error { return nil }
+
+func (o *outbox) drain() []transport.ScoreChunk {
+	o.mu.Lock()
+	chunks := o.chunks
+	o.chunks = nil
+	o.mu.Unlock()
+	return chunks
+}
+
+// stopWaiter is the peer's dprcore.Waiter: real sleeps, interruptible
+// by Close.
+type stopWaiter struct{ stop <-chan struct{} }
+
+func (w stopWaiter) Wait(d float64) bool {
+	select {
+	case <-w.stop:
+		return false
+	case <-time.After(time.Duration(d)):
+		return true
+	}
+}
+
+// wallClock is the peer's dprcore.Clock — the only place the live
+// stack touches wall time on behalf of the core. Times are float64
+// nanoseconds, matching Config.MeanWait's unit after conversion.
+type wallClock struct{}
+
+func (wallClock) Now() float64 { return float64(time.Now().UnixNano()) }
+
+func (wallClock) After(d float64, fn func()) { time.AfterFunc(time.Duration(d), fn) }
+
 // Listen creates a peer bound to addr ("127.0.0.1:0" picks a free
 // port) and starts accepting score traffic. Call SetPeer to teach it
 // the other rankers' addresses, then Start to begin ranking.
@@ -157,16 +223,38 @@ func Listen(addr string, cfg Config) (*Peer, error) {
 	p := &Peer{
 		cfg:      cfg,
 		ln:       ln,
-		r:        vecmath.NewVec(cfg.Group.N()),
-		x:        vecmath.NewVec(cfg.Group.N()),
-		latest:   make(map[int32]transport.ScoreChunk),
+		out:      &outbox{},
 		peers:    make(map[int32]string),
 		conns:    make(map[int32]*peerConn),
 		accepted: make(map[net.Conn]struct{}),
 		stop:     make(chan struct{}),
-		rng:      xrand.New(cfg.Seed),
 		wire:     gobWire{},
 	}
+	var sender dprcore.Sender = p.out
+	if cfg.Fault.Enabled() {
+		// Faults draw from their own stream, keyed off the peer seed, so
+		// enabling them never changes the loop's randomness.
+		frng := xrand.New(cfg.Seed ^ 0x6c62272e07bb0142)
+		fs, err := dprcore.NewFaultSender(p.out, wallClock{}, frng, cfg.Fault)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		sender = fs
+		p.faults = fs
+	}
+	loop, err := dprcore.NewLoop(cfg.Group, dprcore.Config{
+		Alg:          cfg.Alg,
+		Alpha:        cfg.Alpha,
+		InnerEpsilon: cfg.InnerEpsilon,
+		SendProb:     cfg.SendProb,
+		MeanWait:     float64(cfg.MeanWait),
+	}, sender, xrand.New(cfg.Seed))
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	p.loop = loop
 	if cfg.Codec != nil {
 		p.wire = codecWire{codec: cfg.Codec}
 	}
@@ -183,13 +271,17 @@ func (p *Peer) Group() int { return p.cfg.Group.Index }
 
 // SetPeer registers the address of another ranker's group.
 func (p *Peer) SetPeer(group int32, addr string) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.peersMu.Lock()
+	defer p.peersMu.Unlock()
 	p.peers[group] = addr
 }
 
 // Loops returns the number of main-loop iterations executed.
-func (p *Peer) Loops() int64 { return p.loops.Load() }
+func (p *Peer) Loops() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.loop.Loops()
+}
 
 // ChunksSent returns the number of score chunks shipped.
 func (p *Peer) ChunksSent() int64 { return p.sent.Load() }
@@ -198,11 +290,20 @@ func (p *Peer) ChunksSent() int64 { return p.sent.Load() }
 // behalf of others (indirect transmission only).
 func (p *Peer) ChunksRelayed() int64 { return p.relayed.Load() }
 
+// FaultStats returns how many chunks the peer's fault injector
+// dropped, delayed, and duplicated (all zero when faults are off).
+func (p *Peer) FaultStats() (dropped, delayed, duplicated int64) {
+	if p.faults == nil {
+		return 0, 0, 0
+	}
+	return p.faults.Dropped(), p.faults.Delayed(), p.faults.Duplicated()
+}
+
 // Ranks returns a snapshot of the peer's current local rank vector.
 func (p *Peer) Ranks() vecmath.Vec {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.r.Clone()
+	return p.loop.Ranks().Clone()
 }
 
 // Start launches the ranking loop. It is idempotent.
@@ -278,9 +379,7 @@ func (p *Peer) readLoop(conn net.Conn) {
 				// Without an overlay a misrouted chunk is dropped.
 				continue
 			}
-			if prev, ok := p.latest[c.SrcGroup]; !ok || c.Round > prev.Round {
-				p.latest[c.SrcGroup] = c
-			}
+			p.loop.Deliver(c)
 		}
 		p.mu.Unlock()
 		if len(forward) > 0 {
@@ -292,16 +391,19 @@ func (p *Peer) readLoop(conn net.Conn) {
 	}
 }
 
+// rankLoop is the peer's main loop: dprcore.Drive's wait/compute/commit
+// cycle, inlined so the phases run under the state lock (deliveries
+// arrive concurrently) and the emitted chunks go on the wire after the
+// lock is released.
 func (p *Peer) rankLoop() {
 	defer p.wg.Done()
-	for {
-		wait := time.Duration(p.rng.Exp(float64(p.cfg.MeanWait)))
-		select {
-		case <-p.stop:
-			return
-		case <-time.After(wait):
-		}
-		p.dispatch(p.step())
+	w := stopWaiter{stop: p.stop}
+	for w.Wait(p.loop.NextWait()) {
+		p.mu.Lock()
+		p.loop.ComputePhase()
+		p.loop.CommitPhase()
+		p.mu.Unlock()
+		p.dispatch(p.out.drain())
 	}
 }
 
@@ -334,70 +436,13 @@ func (p *Peer) dispatch(chunks []transport.ScoreChunk) {
 	}
 }
 
-// step runs one DPR loop body under the state lock and returns the Y
-// chunks to publish.
-func (p *Peer) step() []transport.ScoreChunk {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	grp := p.cfg.Group
-	// Refresh X from the newest chunk per source, in stable order.
-	p.x.Zero()
-	for _, src := range sortedKeys(p.latest) {
-		for _, e := range p.latest[src].Entries {
-			p.x[e.DstLocal] += e.Value
-		}
-	}
-	switch p.cfg.Alg {
-	case ranker.DPR1:
-		res, err := grp.Sys.Solve(p.r, p.x, pagerank.Options{
-			Alpha:   p.cfg.Alpha,
-			Epsilon: p.cfg.InnerEpsilon,
-			MaxIter: 10000,
-		})
-		if err != nil {
-			// ‖A‖∞ < 1 guarantees inner convergence; this is a
-			// configuration error worth crashing the peer for.
-			panic(fmt.Sprintf("netpeer %d: inner solve: %v", grp.Index, err))
-		}
-		p.r = res.Ranks
-	case ranker.DPR2:
-		next := vecmath.NewVec(grp.N())
-		grp.Sys.Step(next, p.r, p.x)
-		p.r = next
-	}
-	round := p.loops.Add(1)
-	var out []transport.ScoreChunk
-	for _, dst := range grp.EffDsts {
-		if p.cfg.SendProb < 1 && p.rng.Float64() >= p.cfg.SendProb {
-			continue
-		}
-		chunk := transport.ScoreChunk{
-			SrcGroup: int32(grp.Index),
-			DstGroup: dst,
-			Round:    round,
-		}
-		for _, e := range grp.Eff[dst] {
-			v := float64(e.Links) * p.cfg.Alpha * p.r[e.LocalSrc] / float64(grp.Deg[e.LocalSrc])
-			chunk.Links += int64(e.Links)
-			n := len(chunk.Entries)
-			if n > 0 && chunk.Entries[n-1].DstLocal == e.DstLocal {
-				chunk.Entries[n-1].Value += v
-			} else {
-				chunk.Entries = append(chunk.Entries, transport.ScoreEntry{DstLocal: e.DstLocal, Value: v})
-			}
-		}
-		out = append(out, chunk)
-	}
-	return out
-}
-
 // sendFrame ships a batch of chunks to the peer of the given group,
 // dialing lazily and dropping the frame on any network error (the
 // algorithms tolerate loss; the next loop resends fresher scores).
 func (p *Peer) sendFrame(group int32, chunks []transport.ScoreChunk) {
-	p.mu.Lock()
+	p.peersMu.Lock()
 	addr, ok := p.peers[group]
-	p.mu.Unlock()
+	p.peersMu.Unlock()
 	if !ok {
 		return // destination not known yet
 	}
@@ -431,17 +476,4 @@ func (p *Peer) conn(group int32, addr string) (*peerConn, error) {
 	pc := &peerConn{c: c, w: p.wire.newWriter(c)}
 	p.conns[group] = pc
 	return pc, nil
-}
-
-func sortedKeys(m map[int32]transport.ScoreChunk) []int32 {
-	keys := make([]int32, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	for i := 1; i < len(keys); i++ {
-		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
-			keys[j], keys[j-1] = keys[j-1], keys[j]
-		}
-	}
-	return keys
 }

@@ -1,114 +1,60 @@
+// Package ranker drives the runtime-agnostic DPR loop
+// (internal/dprcore) on the deterministic discrete-event simulator:
+// each Ranker owns one dprcore.Loop and decides only *when* its phases
+// run — exponential waits on virtual time, two-phase scheduling so the
+// simulator can batch same-instant compute phases onto the parallel
+// pool, and the suspend/resume lifecycle of the paper's §4.2 asynchrony
+// model. The algorithmic state and the DPR1/DPR2 update rule live in
+// dprcore, shared verbatim with the live TCP driver (internal/netpeer).
 package ranker
 
 import (
 	"fmt"
-	"sort"
 
-	"p2prank/internal/pagerank"
+	"p2prank/internal/dprcore"
 	"p2prank/internal/simnet"
 	"p2prank/internal/transport"
 	"p2prank/internal/vecmath"
 	"p2prank/internal/xrand"
 )
 
-// Algorithm selects the distributed iteration style of §4.2.
-type Algorithm int
+// Algorithm selects the distributed iteration style of §4.2 (see
+// dprcore.Algorithm).
+type Algorithm = dprcore.Algorithm
 
 const (
-	// DPR1 runs GroupPageRank to convergence inside every loop before
-	// publishing Y (Algorithm 3).
-	DPR1 Algorithm = iota
-	// DPR2 performs a single Jacobi step per loop and publishes Y
-	// eagerly (Algorithm 4).
-	DPR2
+	// DPR1 runs GroupPageRank to convergence inside every loop
+	// (Algorithm 3).
+	DPR1 = dprcore.DPR1
+	// DPR2 performs a single Jacobi step per loop (Algorithm 4).
+	DPR2 = dprcore.DPR2
 )
 
-// String returns the algorithm name.
-func (a Algorithm) String() string {
-	switch a {
-	case DPR1:
-		return "DPR1"
-	case DPR2:
-		return "DPR2"
-	}
-	return fmt.Sprintf("Algorithm(%d)", int(a))
-}
-
 // Sender is the transport surface a ranker needs; *transport.Fabric
-// implements it.
-type Sender interface {
-	Send(from int, chunk transport.ScoreChunk) error
-	Flush(from int) error
-}
+// implements it (see dprcore.Sender).
+type Sender = dprcore.Sender
 
-// Config parameterizes one ranker's loop.
-type Config struct {
-	// Alg selects DPR1 or DPR2.
-	Alg Algorithm
-	// Alpha is the real-link rank fraction (must match the Group's).
-	Alpha float64
-	// InnerEpsilon is DPR1's GroupPageRank termination threshold.
-	InnerEpsilon float64
-	// InnerMaxIter bounds DPR1's inner loop (0 = 10000).
-	InnerMaxIter int
-	// SendProb is the probability that the Y vector for a destination
-	// group is successfully sent in a loop (the paper's parameter p;
-	// p = 1 means lossless).
-	SendProb float64
-	// MeanWait is the mean of this ranker's exponentially distributed
-	// waiting time Tw between loops. The experiment harness draws it
-	// uniformly from [T1, T2] per ranker.
-	MeanWait float64
-}
+// Config parameterizes one ranker's loop (see dprcore.Config;
+// MeanWait is in virtual time units here).
+type Config = dprcore.Config
 
-func (c *Config) validate() error {
-	if c.Alg != DPR1 && c.Alg != DPR2 {
-		return fmt.Errorf("ranker: unknown algorithm %d", int(c.Alg))
-	}
-	if c.Alpha <= 0 || c.Alpha >= 1 {
-		return fmt.Errorf("ranker: alpha = %v, must be in (0,1)", c.Alpha)
-	}
-	if c.InnerEpsilon < 0 {
-		return fmt.Errorf("ranker: negative InnerEpsilon %v", c.InnerEpsilon)
-	}
-	if c.InnerMaxIter == 0 {
-		c.InnerMaxIter = 10000
-	}
-	if c.SendProb < 0 || c.SendProb > 1 {
-		return fmt.Errorf("ranker: SendProb %v outside [0,1]", c.SendProb)
-	}
-	if c.MeanWait < 0 {
-		return fmt.Errorf("ranker: negative MeanWait %v", c.MeanWait)
-	}
-	return nil
-}
+// Group is one ranker's slice of the web graph (see dprcore.Group).
+type Group = dprcore.Group
+
+// EffEntry is an aggregated efferent edge (see dprcore.EffEntry).
+type EffEntry = dprcore.EffEntry
+
+// BuildGroups slices the graph into one Group per ranker according to
+// the assignment (see dprcore.BuildGroups).
+var BuildGroups = dprcore.BuildGroups
 
 // Ranker is one asynchronous page-ranking node. It is driven entirely
 // by simulator events; all methods must be called from the simulation
 // goroutine.
 type Ranker struct {
-	grp    *Group
-	cfg    Config
-	sim    *simnet.Simulator
-	sender Sender
-	rng    *xrand.Rand
+	loop *dprcore.Loop
+	sim  *simnet.Simulator
 
-	r       vecmath.Vec // current rank vector R
-	x       vecmath.Vec // assembled afferent vector X
-	scratch vecmath.Vec // swap buffer for the in-place solves
-	// mergedY caches, per destination group, how many entries Y = BR
-	// merges to, so publishY can size each chunk's slice exactly.
-	mergedY map[int32]int32
-	// latest holds the most recent chunk received from each source
-	// group; Refresh X sums them. Stale (older-round) chunks are
-	// ignored, since the paper's algorithms always use the newest
-	// afferent scores available.
-	latest map[int32]transport.ScoreChunk
-	// srcOrder caches latest's keys in ascending order for
-	// reproducible summation.
-	srcOrder []int32
-
-	loops     int64
 	stopped   bool
 	started   bool
 	suspended bool
@@ -116,65 +62,35 @@ type Ranker struct {
 
 // New builds a ranker for grp. The rng must be private to this ranker.
 func New(grp *Group, cfg Config, sim *simnet.Simulator, sender Sender, rng *xrand.Rand) (*Ranker, error) {
-	if err := cfg.validate(); err != nil {
+	if sim == nil {
+		return nil, fmt.Errorf("ranker: nil simulator")
+	}
+	loop, err := dprcore.NewLoop(grp, cfg, sender, rng)
+	if err != nil {
 		return nil, err
 	}
-	if grp == nil || sim == nil || sender == nil || rng == nil {
-		return nil, fmt.Errorf("ranker: nil dependency")
-	}
-	mergedY := make(map[int32]int32, len(grp.Eff))
-	for dst, entries := range grp.Eff {
-		var n int32
-		prev := int32(-1)
-		for _, e := range entries { // sorted by DstLocal: count the runs
-			if e.DstLocal != prev {
-				n++
-				prev = e.DstLocal
-			}
-		}
-		mergedY[dst] = n
-	}
-	return &Ranker{
-		grp:     grp,
-		cfg:     cfg,
-		sim:     sim,
-		sender:  sender,
-		rng:     rng,
-		r:       vecmath.NewVec(grp.N()), // R0 = 0, the Theorem 4.1/4.2 start
-		x:       vecmath.NewVec(grp.N()),
-		scratch: vecmath.NewVec(grp.N()),
-		mergedY: mergedY,
-		latest:  make(map[int32]transport.ScoreChunk),
-	}, nil
+	return &Ranker{loop: loop, sim: sim}, nil
 }
 
 // Group returns the ranker's page group.
-func (rk *Ranker) Group() *Group { return rk.grp }
+func (rk *Ranker) Group() *Group { return rk.loop.Group() }
 
 // SetInitialRanks warm-starts the ranker from a previous run's ranks —
 // how an incremental recrawl avoids ranking from scratch (§4.3's
-// dynamic-graph setting). It must be called before Start. Note the
-// Theorem 4.1/4.2 monotonicity guarantees are stated for R0 = 0; a warm
-// start trades them for a head start, and the contraction still drives
-// the ranks to the fixed point.
+// dynamic-graph setting). It must be called before Start.
 func (rk *Ranker) SetInitialRanks(r vecmath.Vec) error {
 	if rk.started {
-		return fmt.Errorf("ranker %d: SetInitialRanks after Start", rk.grp.Index)
+		return fmt.Errorf("ranker %d: SetInitialRanks after Start", rk.Group().Index)
 	}
-	if len(r) != rk.grp.N() {
-		return fmt.Errorf("ranker %d: initial ranks have length %d, want %d",
-			rk.grp.Index, len(r), rk.grp.N())
-	}
-	copy(rk.r, r)
-	return nil
+	return rk.loop.SetInitialRanks(r)
 }
 
 // Ranks returns the ranker's current rank vector. The slice is live;
 // callers must copy before mutating or crossing a simulation step.
-func (rk *Ranker) Ranks() vecmath.Vec { return rk.r }
+func (rk *Ranker) Ranks() vecmath.Vec { return rk.loop.Ranks() }
 
 // Loops returns how many main-loop iterations the ranker has executed.
-func (rk *Ranker) Loops() int64 { return rk.loops }
+func (rk *Ranker) Loops() int64 { return rk.loop.Loops() }
 
 // Start schedules the ranker's first loop after its random initial
 // wait. Rankers start at independent random times, per the paper's
@@ -193,7 +109,7 @@ func (rk *Ranker) Stop() { rk.stopped = true }
 
 // Suspend pauses the ranker's loop — the paper's §4.2 allows a ranker
 // to "sleep for some time, suspend itself as its wish, or even
-// shutdown". State (R, X, received chunks) is retained.
+// shutdown". State (R, X, received chunks) is retained in the loop.
 func (rk *Ranker) Suspend() { rk.suspended = true }
 
 // Resume restarts a suspended ranker's loop.
@@ -209,116 +125,30 @@ func (rk *Ranker) Resume() {
 
 // Deliver is the transport callback: it records the chunk as the newest
 // afferent contribution from its source group.
-func (rk *Ranker) Deliver(chunk transport.ScoreChunk) {
-	if int(chunk.DstGroup) != rk.grp.Index {
-		panic(fmt.Sprintf("ranker %d delivered chunk for group %d", rk.grp.Index, chunk.DstGroup))
-	}
-	if prev, ok := rk.latest[chunk.SrcGroup]; ok && prev.Round >= chunk.Round {
-		return // out-of-order stale delivery
-	}
-	rk.latest[chunk.SrcGroup] = chunk
-}
+func (rk *Ranker) Deliver(chunk transport.ScoreChunk) { rk.loop.Deliver(chunk) }
 
 func (rk *Ranker) scheduleNext() {
-	rk.sim.AfterCompute(rk.rng.Exp(rk.cfg.MeanWait), rk.loop)
+	rk.sim.AfterCompute(rk.loop.NextWait(), rk.step)
 }
 
-// loop is the compute half of one main-loop body of Algorithm 3 or 4:
-// refresh X and update R, touching only this ranker's private vectors,
-// so the simulator may run it concurrently with other rankers' loops at
-// the same virtual instant. It returns the commit half — publish Y,
-// reschedule — which the simulator runs serially in event order.
-func (rk *Ranker) loop() func() {
+// step is the compute half of one iteration: it runs the loop's
+// ComputePhase — private vectors only, so the simulator may run it
+// concurrently with other rankers' compute phases at the same virtual
+// instant — and returns the commit half, which the simulator runs
+// serially in event order.
+func (rk *Ranker) step() func() {
 	if rk.stopped || rk.suspended {
 		// A suspended ranker's pending wakeup dies here; Resume
 		// schedules a fresh one.
 		return nil
 	}
-	rk.refreshX()
-	switch rk.cfg.Alg {
-	case DPR1:
-		opt := pagerank.Options{
-			Alpha:   rk.cfg.Alpha,
-			Epsilon: rk.cfg.InnerEpsilon,
-			MaxIter: rk.cfg.InnerMaxIter,
-		}
-		if _, err := rk.grp.Sys.SolveInPlace(rk.r, rk.x, rk.scratch, opt); err != nil {
-			// Inner non-convergence is a configuration error (‖A‖∞ < 1
-			// guarantees convergence for any positive ε); surface loudly.
-			panic(fmt.Sprintf("ranker %d: inner solve: %v", rk.grp.Index, err))
-		}
-	case DPR2:
-		rk.grp.Sys.Step(rk.scratch, rk.r, rk.x)
-		rk.r, rk.scratch = rk.scratch, rk.r
-	}
-	return rk.commitLoop
+	rk.loop.ComputePhase()
+	return rk.commit
 }
 
-// commitLoop is the serial half of a loop iteration: everything that
-// draws randomness, sends, or schedules.
-func (rk *Ranker) commitLoop() {
-	rk.loops++
-	rk.publishY()
+// commit is the serial half: publish Y (randomness, sends) and
+// reschedule.
+func (rk *Ranker) commit() {
+	rk.loop.CommitPhase()
 	rk.scheduleNext()
-}
-
-// refreshX assembles X from the newest chunk of every source group.
-// Sources are summed in ascending group order so floating-point
-// rounding is reproducible.
-func (rk *Ranker) refreshX() {
-	rk.x.Zero()
-	if len(rk.srcOrder) != len(rk.latest) {
-		rk.srcOrder = rk.srcOrder[:0]
-		for src := range rk.latest {
-			rk.srcOrder = append(rk.srcOrder, src)
-		}
-		sort.Slice(rk.srcOrder, func(i, j int) bool { return rk.srcOrder[i] < rk.srcOrder[j] })
-	}
-	for _, src := range rk.srcOrder {
-		for _, e := range rk.latest[src].Entries {
-			rk.x[e.DstLocal] += e.Value
-		}
-	}
-}
-
-// publishY computes Y = BR per destination group and hands it to the
-// transport, subjecting each destination's send to the loss parameter p.
-func (rk *Ranker) publishY() {
-	sent := false
-	for _, dstGroup := range rk.grp.EffDsts {
-		entries := rk.grp.Eff[dstGroup]
-		if rk.cfg.SendProb < 1 && rk.rng.Float64() >= rk.cfg.SendProb {
-			continue // this group's Y update is lost this round
-		}
-		chunk := transport.ScoreChunk{
-			SrcGroup: int32(rk.grp.Index),
-			DstGroup: dstGroup,
-			Round:    rk.loops,
-			// Sized exactly: one allocation, no append growth. The slice
-			// cannot be pooled — it rides the in-flight message and the
-			// receiver keeps it as its newest afferent contribution.
-			Entries: make([]transport.ScoreEntry, 0, rk.mergedY[dstGroup]),
-		}
-		// Entries are sorted by DstLocal; merge adjacent contributions
-		// to the same destination page.
-		for _, e := range entries {
-			v := float64(e.Links) * rk.cfg.Alpha * rk.r[e.LocalSrc] / float64(rk.grp.Deg[e.LocalSrc])
-			chunk.Links += int64(e.Links)
-			n := len(chunk.Entries)
-			if n > 0 && chunk.Entries[n-1].DstLocal == e.DstLocal {
-				chunk.Entries[n-1].Value += v
-			} else {
-				chunk.Entries = append(chunk.Entries, transport.ScoreEntry{DstLocal: e.DstLocal, Value: v})
-			}
-		}
-		if err := rk.sender.Send(rk.grp.Index, chunk); err != nil {
-			panic(fmt.Sprintf("ranker %d: send: %v", rk.grp.Index, err))
-		}
-		sent = true
-	}
-	if sent {
-		if err := rk.sender.Flush(rk.grp.Index); err != nil {
-			panic(fmt.Sprintf("ranker %d: flush: %v", rk.grp.Index, err))
-		}
-	}
 }
