@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race bench verify
+.PHONY: build vet lint test race bench obs-smoke verify
 
 build:
 	$(GO) build ./...
@@ -26,7 +26,13 @@ test:
 race:
 	$(GO) test -race ./internal/netpeer/... ./internal/dprcore/... ./internal/transport/... \
 		./internal/simnet/... ./internal/vecmath/... ./internal/pagerank/... \
-		./internal/engine/... ./internal/par/...
+		./internal/engine/... ./internal/par/... ./internal/telemetry/...
+
+# End-to-end observability check: boot a 3-ranker dprnode cluster with
+# -obs, scrape /metrics while it runs, and require the round counters
+# to advance between scrapes (internal/clitest).
+obs-smoke:
+	$(GO) test -run TestDprnodeObsSmoke -v ./internal/clitest/
 
 # Kernel + transmission benchmarks with allocation counts, recorded as
 # JSON so runs are diffable (see BENCH_kernels.json for the committed
@@ -36,5 +42,5 @@ bench:
 		-benchmem ./internal/vecmath/ . | $(GO) run ./cmd/benchjson > BENCH_kernels.json
 	@cat BENCH_kernels.json
 
-verify: build vet lint test race
+verify: build vet lint test race obs-smoke
 	@echo "verify: all checks passed"

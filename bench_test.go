@@ -18,6 +18,7 @@ import (
 	"p2prank/internal/bwmodel"
 	"p2prank/internal/codec"
 	"p2prank/internal/crawler"
+	"p2prank/internal/dprcore"
 	"p2prank/internal/engine"
 	"p2prank/internal/experiments"
 	"p2prank/internal/hits"
@@ -25,7 +26,6 @@ import (
 	"p2prank/internal/overlay"
 	"p2prank/internal/pagerank"
 	"p2prank/internal/partition"
-	"p2prank/internal/ranker"
 	"p2prank/internal/transport"
 	"p2prank/internal/webgraph"
 	"p2prank/internal/xrand"
@@ -187,8 +187,8 @@ func BenchmarkAblationAlpha(b *testing.B) {
 			var loops float64
 			for i := 0; i < b.N; i++ {
 				res, err := engine.Run(engine.Config{
-					Graph: g, K: 16, Alg: ranker.DPR1, Alpha: alpha,
-					T1: 15, T2: 15, MaxTime: 4000, SampleEvery: 5,
+					Params: dprcore.Params{Alg: dprcore.DPR1, Alpha: alpha, T1: 15, T2: 15},
+					Graph:  g, K: 16, MaxTime: 4000, SampleEvery: 5,
 					TargetRelErr: 1e-4,
 				})
 				if err != nil {
@@ -213,8 +213,8 @@ func BenchmarkAblationInnerEpsilon(b *testing.B) {
 			var loops float64
 			for i := 0; i < b.N; i++ {
 				res, err := engine.Run(engine.Config{
-					Graph: g, K: 16, Alg: ranker.DPR1, InnerEpsilon: eps,
-					T1: 15, T2: 15, MaxTime: 4000, SampleEvery: 5,
+					Params: dprcore.Params{Alg: dprcore.DPR1, InnerEpsilon: eps, T1: 15, T2: 15},
+					Graph:  g, K: 16, MaxTime: 4000, SampleEvery: 5,
 					TargetRelErr: 1e-4,
 				})
 				if err != nil {
@@ -236,8 +236,9 @@ func BenchmarkAblationOverlay(b *testing.B) {
 			var hops, msgs float64
 			for i := 0; i < b.N; i++ {
 				res, err := engine.Run(engine.Config{
-					Graph: g, K: 64, Alg: ranker.DPR1, Overlay: kind,
-					T1: 3, T2: 3, MaxTime: 60, SampleEvery: 10,
+					Params: dprcore.Params{Alg: dprcore.DPR1, T1: 3, T2: 3},
+					Graph:  g, K: 64, Overlay: kind,
+					MaxTime: 60, SampleEvery: 10,
 				})
 				if err != nil {
 					b.Fatal(err)
@@ -260,8 +261,9 @@ func BenchmarkAblationPartition(b *testing.B) {
 			var bytes float64
 			for i := 0; i < b.N; i++ {
 				res, err := engine.Run(engine.Config{
-					Graph: g, K: 16, Alg: ranker.DPR1, Strategy: strat,
-					T1: 3, T2: 3, MaxTime: 40, SampleEvery: 10,
+					Params: dprcore.Params{Alg: dprcore.DPR1, T1: 3, T2: 3},
+					Graph:  g, K: 16, Strategy: strat,
+					MaxTime: 40, SampleEvery: 10,
 				})
 				if err != nil {
 					b.Fatal(err)
@@ -329,8 +331,8 @@ func BenchmarkAblationCodec(b *testing.B) {
 			var relerr float64
 			for i := 0; i < b.N; i++ {
 				res, err := engine.Run(engine.Config{
-					Graph: g, K: 16, Alg: ranker.DPR1,
-					T1: 3, T2: 3, MaxTime: 60, SampleEvery: 10,
+					Params: dprcore.Params{Alg: dprcore.DPR1, T1: 3, T2: 3},
+					Graph:  g, K: 16, MaxTime: 60, SampleEvery: 10,
 					Codec: cd.c,
 				})
 				if err != nil {
@@ -387,8 +389,8 @@ func BenchmarkIncrementalWarmStart(b *testing.B) {
 		prevToWeb = toWeb
 	}
 	cfg := engine.Config{
-		K: 8, Alg: ranker.DPR1,
-		T1: 5, T2: 5, MaxTime: 400, SampleEvery: 1,
+		Params: dprcore.Params{Alg: dprcore.DPR1, T1: 5, T2: 5},
+		K:      8, MaxTime: 400, SampleEvery: 1,
 		TargetRelErr: 1e-8,
 	}
 	var warmFirst, coldFirst float64

@@ -12,9 +12,12 @@
 //	dprnode -graph crawl.bin -k 3 -index 0 -listen :7000 \
 //	        -peers 1=host1:7000,2=host2:7000
 //
-// Both modes accept -indirect (route score frames hop-by-hop along the
-// Pastry overlay, §4.4) and -codec (wire encoding: gob, plain, delta,
-// or quantized-N for N mantissa bits).
+// Both modes accept -transport indirect (route score frames hop-by-hop
+// along the Pastry overlay, §4.4), -codec (wire encoding: gob, plain,
+// delta, or quantized-N for N mantissa bits), -fault (injected message
+// faults), and -obs addr:port, which serves live telemetry over HTTP:
+// Prometheus text on /metrics, the JSONL event trace on /trace, and
+// pprof under /debug/pprof/. SIGQUIT dumps the trace ring to stderr.
 package main
 
 import (
@@ -27,12 +30,13 @@ import (
 	"syscall"
 	"time"
 
-	"p2prank/internal/codec"
+	"p2prank/internal/cliflags"
 	"p2prank/internal/core"
 	"p2prank/internal/dprcore"
 	"p2prank/internal/engine"
 	"p2prank/internal/netpeer"
 	"p2prank/internal/partition"
+	"p2prank/internal/telemetry"
 	"p2prank/internal/transport"
 )
 
@@ -45,59 +49,79 @@ func main() {
 		index     = flag.Int("index", 0, "this ranker's index (0..k-1)")
 		listen    = flag.String("listen", "127.0.0.1:0", "listen address")
 		peersFlag = flag.String("peers", "", "peer addresses as idx=host:port, comma separated")
-		alg       = flag.String("alg", "dpr1", "algorithm: dpr1|dpr2")
 		target    = flag.Float64("target", 1e-6, "demo: stop at this relative error")
-		seed      = flag.Uint64("seed", 1, "seed")
-		indirect  = flag.Bool("indirect", false, "route score frames hop-by-hop along the overlay (§4.4)")
-		codecName = flag.String("codec", "gob", "wire encoding: gob|plain|delta|quantized-N")
-	)
-	flag.Parse()
+		obsAddr   = flag.String("obs", "", "serve telemetry over HTTP on this addr:port (empty = off)")
 
-	algorithm := dprcore.DPR1
-	if strings.EqualFold(*alg, "dpr2") {
-		algorithm = dprcore.DPR2
-	} else if !strings.EqualFold(*alg, "dpr1") {
-		fatal(fmt.Errorf("unknown algorithm %q", *alg))
-	}
-	wire, err := parseCodec(*codecName)
+		algName   = cliflags.Algorithm(flag.CommandLine)
+		codecName = cliflags.Codec(flag.CommandLine)
+		faultSpec = cliflags.Fault(flag.CommandLine)
+		transName = cliflags.Transport(flag.CommandLine)
+		seed      = cliflags.Seed(flag.CommandLine)
+	)
+	dep := cliflags.NewDeprecations(flag.CommandLine)
+	oldIndirect := dep.Bool("indirect", "route score frames hop-by-hop along the overlay (§4.4)", "-transport indirect")
+	flag.Parse()
+	dep.Warn(os.Stderr)
+
+	algorithm, err := cliflags.ParseAlgorithm(*algName)
 	if err != nil {
 		fatal(err)
 	}
+	wire, err := cliflags.ParseCodec(*codecName)
+	if err != nil {
+		fatal(err)
+	}
+	fault, err := cliflags.ParseFault(*faultSpec)
+	if err != nil {
+		fatal(err)
+	}
+	if fault.Enabled() && fault.MeanDelay > 0 && fault.MeanDelay < float64(time.Millisecond) {
+		// The shared -fault spec is unit-agnostic; live peers run on
+		// nanoseconds, where the spec's small virtual-unit delays round
+		// to nothing. Interpret small meandelay values as milliseconds.
+		fault.MeanDelay *= float64(time.Millisecond)
+	}
+	indirect, err := cliflags.ParseTransport(*transName)
+	if err != nil {
+		fatal(err)
+	}
+	indirect = indirect || *oldIndirect
 
+	// -obs: one live collector shared by every ranker this process
+	// hosts, served over HTTP and dumpable via SIGQUIT.
+	var col *telemetry.LiveCollector
+	if *obsAddr != "" {
+		col = telemetry.NewLiveCollector(*k)
+		srv, err := telemetry.Serve(*obsAddr, col)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("observability: %s (/metrics, /trace, /debug/pprof/)\n", srv.URL())
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		go func() {
+			for range quit {
+				fmt.Fprintln(os.Stderr, "-- telemetry trace --")
+				if err := col.DumpTrace(os.Stderr); err != nil {
+					fmt.Fprintln(os.Stderr, "dprnode: trace dump:", err)
+				}
+			}
+		}()
+	}
+
+	params := dprcore.Params{Alg: algorithm, Fault: fault}
+	if col != nil {
+		params.Observer = col
+	}
 	if *demo {
-		runDemo(*pages, *k, algorithm, *target, *seed, *indirect, wire)
+		runDemo(*pages, *k, params, *target, *seed, indirect, wire, col)
 		return
 	}
-	runPeer(*graphPath, *k, *index, *listen, *peersFlag, algorithm, *seed, *indirect, wire)
+	runPeer(*graphPath, *k, *index, *listen, *peersFlag, params, *seed, indirect, wire)
 }
 
-// parseCodec maps the -codec flag to a wire codec; nil means the
-// default gob framing.
-func parseCodec(name string) (transport.ChunkCodec, error) {
-	switch {
-	case name == "" || strings.EqualFold(name, "gob"):
-		return nil, nil
-	case strings.EqualFold(name, "plain"):
-		return codec.Plain{}, nil
-	case strings.EqualFold(name, "delta"):
-		return codec.Delta{}, nil
-	case strings.HasPrefix(strings.ToLower(name), "quantized"):
-		rest := strings.TrimPrefix(strings.ToLower(name), "quantized")
-		rest = strings.TrimLeft(rest, "-:")
-		bits := 16
-		if rest != "" {
-			var err error
-			bits, err = strconv.Atoi(rest)
-			if err != nil || bits < 4 || bits > 52 {
-				return nil, fmt.Errorf("bad -codec %q: quantized bits must be 4..52", name)
-			}
-		}
-		return codec.NewQuantized(uint(bits)), nil
-	}
-	return nil, fmt.Errorf("unknown -codec %q (gob|plain|delta|quantized-N)", name)
-}
-
-func runDemo(pages, k int, alg dprcore.Algorithm, target float64, seed uint64, indirect bool, wire transport.ChunkCodec) {
+func runDemo(pages, k int, params dprcore.Params, target float64, seed uint64, indirect bool, wire transport.ChunkCodec, col *telemetry.LiveCollector) {
 	g, err := core.GenerateCrawl(pages, seed)
 	if err != nil {
 		fatal(err)
@@ -107,9 +131,10 @@ func runDemo(pages, k int, alg dprcore.Algorithm, target float64, seed uint64, i
 		mode = "indirect"
 	}
 	fmt.Printf("demo: %d pages, %d rankers (%v, %s transmission), real TCP on localhost\n",
-		pages, k, alg, mode)
+		pages, k, params.Alg, mode)
 	cl, err := netpeer.StartCluster(g, netpeer.ClusterConfig{
-		K: k, Alg: alg, MeanWait: 20 * time.Millisecond, Seed: seed,
+		Params: params,
+		K:      k, MeanWait: 20 * time.Millisecond, Seed: seed,
 		Indirect: indirect, Codec: wire,
 	})
 	if err != nil {
@@ -120,6 +145,11 @@ func runDemo(pages, k int, alg dprcore.Algorithm, target float64, seed uint64, i
 	for {
 		re := cl.RelErr()
 		fmt.Printf("t=%6.2fs relative error %.3e\n", time.Since(start).Seconds(), re)
+		if col != nil {
+			col.Milestone(telemetry.Milestone{
+				Time: time.Since(start).Seconds(), RelErr: re, Converged: re <= target,
+			})
+		}
 		if re <= target {
 			break
 		}
@@ -136,7 +166,7 @@ func runDemo(pages, k int, alg dprcore.Algorithm, target float64, seed uint64, i
 	}
 }
 
-func runPeer(graphPath string, k, index int, listen, peersFlag string, alg dprcore.Algorithm, seed uint64, indirect bool, wire transport.ChunkCodec) {
+func runPeer(graphPath string, k, index int, listen, peersFlag string, params dprcore.Params, seed uint64, indirect bool, wire transport.ChunkCodec) {
 	if graphPath == "" {
 		fatal(fmt.Errorf("-graph is required (or use -demo)"))
 	}
@@ -162,8 +192,8 @@ func runPeer(graphPath string, k, index int, listen, peersFlag string, alg dprco
 		fatal(err)
 	}
 	pcfg := netpeer.Config{
+		Params:   params,
 		Group:    groups[index],
-		Alg:      alg,
 		MeanWait: 50 * time.Millisecond,
 		Seed:     seed + uint64(index)*7919,
 		Codec:    wire,
@@ -193,7 +223,7 @@ func runPeer(graphPath string, k, index int, listen, peersFlag string, alg dprco
 	}
 	peer.Start()
 	fmt.Printf("ranker %d/%d listening on %s (%d pages, %v)\n",
-		index, k, peer.Addr(), groups[index].N(), alg)
+		index, k, peer.Addr(), groups[index].N(), params.Alg)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -7,6 +7,7 @@
 //	dprsim -exp fig7                # monotone average rank (K=100)
 //	dprsim -exp fig8                # iterations vs ranker count
 //	dprsim -exp transmission        # direct vs indirect measured traffic
+//	dprsim -exp traffic             # §4.4 per-iteration traffic from telemetry
 //	dprsim -exp bandwidth           # convergence vs node uplink bandwidth
 //	dprsim -exp cut                 # §4.1 partition comparison
 //	dprsim -exp hops                # overlay hop counts vs N
@@ -23,6 +24,7 @@ import (
 	"strconv"
 	"strings"
 
+	"p2prank/internal/cliflags"
 	"p2prank/internal/engine"
 	"p2prank/internal/experiments"
 	"p2prank/internal/metrics"
@@ -30,12 +32,12 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "fig6", "experiment: fig6|fig7|fig8|transmission|bandwidth|cut|hops|faults")
+		exp     = flag.String("exp", "fig6", "experiment: fig6|fig7|fig8|transmission|traffic|bandwidth|cut|hops|faults")
 		pages   = flag.Int("pages", 20000, "crawl size")
 		sites   = flag.Int("sites", 100, "site count (the paper's dataset has 100)")
-		seed    = flag.Uint64("seed", 1, "experiment seed")
+		seed    = cliflags.Seed(flag.CommandLine)
 		k       = flag.Int("k", 0, "ranker count (0 = the figure's paper value)")
-		ks      = flag.String("ks", "", "comma-separated ranker counts for sweeps (fig8/transmission/hops)")
+		ks      = flag.String("ks", "", "comma-separated ranker counts for sweeps (fig8/transmission/traffic/hops)")
 		maxTime = flag.Float64("maxtime", 90, "virtual-time horizon for fig6/fig7")
 		csvPath = flag.String("csv", "", "write curves as CSV to this file")
 	)
@@ -75,6 +77,14 @@ func main() {
 		}
 		fmt.Println("§4.4: measured per-iteration traffic vs formulas 4.1–4.4")
 		fmt.Print(experiments.RenderTransmission(rows))
+	case "traffic":
+		counts := parseKs(*ks, []int{8, 16, 32, 64})
+		rows, err := experiments.Traffic(w, counts, 30)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("§4.4: per-iteration message/data counts from the telemetry seam")
+		fmt.Print(experiments.RenderTraffic(rows))
 	case "bandwidth":
 		kk := pick(*k, 16)
 		rows, err := experiments.ConvergenceVsBandwidth(w, kk,

@@ -32,14 +32,12 @@ func main() {
 	// 3. Distributed ranking: 8 asynchronous page rankers exchanging
 	// scores by indirect transmission over Pastry.
 	res, err := core.RankDistributed(core.Config{
+		Params:       core.Params{Alg: core.DPR1, T1: 0, T2: 6},
 		Graph:        graph,
 		K:            8,
-		Alg:          core.DPR1,
 		Strategy:     core.BySite,
 		Transport:    core.Indirect,
 		Overlay:      core.Pastry,
-		T1:           0,
-		T2:           6,
 		MaxTime:      500,
 		TargetRelErr: 1e-8,
 	})

@@ -14,8 +14,8 @@ import (
 
 	"p2prank/internal/core"
 	"p2prank/internal/crawler"
+	"p2prank/internal/dprcore"
 	"p2prank/internal/engine"
-	"p2prank/internal/ranker"
 )
 
 func main() {
@@ -48,10 +48,8 @@ func main() {
 	fmt.Printf("crawled %d pages in %d snapshots\n", web.NumPages(), len(phases))
 
 	cfg := engine.Config{
+		Params:       dprcore.Params{Alg: dprcore.DPR1, T1: 5, T2: 5},
 		K:            8,
-		Alg:          ranker.DPR1,
-		T1:           5,
-		T2:           5,
 		MaxTime:      500,
 		SampleEvery:  1,
 		TargetRelErr: 1e-7,

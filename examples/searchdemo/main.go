@@ -26,8 +26,8 @@ func main() {
 
 	// 1. Distributed ranking.
 	res, err := core.RankDistributed(core.Config{
-		Graph: graph, K: k, Alg: core.DPR1,
-		T1: 0, T2: 6, MaxTime: 400, TargetRelErr: 1e-7,
+		Params: core.Params{Alg: core.DPR1, T1: 0, T2: 6},
+		Graph:  graph, K: k, MaxTime: 400, TargetRelErr: 1e-7,
 	})
 	if err != nil {
 		log.Fatal(err)

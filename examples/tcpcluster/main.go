@@ -13,8 +13,8 @@ import (
 	"time"
 
 	"p2prank/internal/core"
+	"p2prank/internal/dprcore"
 	"p2prank/internal/netpeer"
-	"p2prank/internal/ranker"
 )
 
 func main() {
@@ -23,10 +23,9 @@ func main() {
 		log.Fatal(err)
 	}
 	cluster, err := netpeer.StartCluster(graph, netpeer.ClusterConfig{
+		Params:   dprcore.Params{Alg: dprcore.DPR1, SendProb: 0.9}, // lose 10% of Y transmissions on top of TCP
 		K:        6,
-		Alg:      ranker.DPR1,
 		MeanWait: 25 * time.Millisecond,
-		SendProb: 0.9, // lose 10% of Y transmissions on top of TCP
 		Seed:     11,
 	})
 	if err != nil {

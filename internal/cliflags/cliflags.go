@@ -1,0 +1,165 @@
+// Package cliflags gives the p2prank binaries one spelling and one
+// parser per shared knob. dprsim and dprnode historically registered
+// the common flags independently and drifted (different names, help
+// text, and accepted values for the same concept); every shared flag
+// now registers through this package, so the two command lines stay
+// interchangeable. Old spellings stay accepted for one release through
+// Deprecations, which warns when a renamed flag is actually used.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"p2prank/internal/codec"
+	"p2prank/internal/dprcore"
+	"p2prank/internal/transport"
+)
+
+// Algorithm registers the shared -alg flag.
+func Algorithm(fs *flag.FlagSet) *string {
+	return fs.String("alg", "dpr1", "algorithm: dpr1|dpr2")
+}
+
+// ParseAlgorithm maps an -alg value (case-insensitive; empty = DPR1).
+func ParseAlgorithm(name string) (dprcore.Algorithm, error) {
+	switch strings.ToLower(name) {
+	case "", "dpr1":
+		return dprcore.DPR1, nil
+	case "dpr2":
+		return dprcore.DPR2, nil
+	}
+	return 0, fmt.Errorf("unknown -alg %q (dpr1|dpr2)", name)
+}
+
+// Codec registers the shared -codec flag.
+func Codec(fs *flag.FlagSet) *string {
+	return fs.String("codec", "gob", "wire encoding: gob|plain|delta|quantized-N")
+}
+
+// ParseCodec maps a -codec value to a wire codec; nil means the
+// default gob framing.
+func ParseCodec(name string) (transport.ChunkCodec, error) {
+	switch {
+	case name == "" || strings.EqualFold(name, "gob"):
+		return nil, nil
+	case strings.EqualFold(name, "plain"):
+		return codec.Plain{}, nil
+	case strings.EqualFold(name, "delta"):
+		return codec.Delta{}, nil
+	case strings.HasPrefix(strings.ToLower(name), "quantized"):
+		rest := strings.TrimPrefix(strings.ToLower(name), "quantized")
+		rest = strings.TrimLeft(rest, "-:")
+		bits := 16
+		if rest != "" {
+			var err error
+			bits, err = strconv.Atoi(rest)
+			if err != nil || bits < 4 || bits > 52 {
+				return nil, fmt.Errorf("bad -codec %q: quantized bits must be 4..52", name)
+			}
+		}
+		return codec.NewQuantized(uint(bits)), nil
+	}
+	return nil, fmt.Errorf("unknown -codec %q (gob|plain|delta|quantized-N)", name)
+}
+
+// Fault registers the shared -fault flag.
+func Fault(fs *flag.FlagSet) *string {
+	return fs.String("fault", "",
+		"message faults: drop=P[,delay=P][,meandelay=D][,dup=P] (empty = none)")
+}
+
+// ParseFault maps a -fault spec — comma-separated key=value pairs with
+// keys drop, delay, meandelay, dup — onto a dprcore.FaultConfig. The
+// delay mean defaults to 5 time units when delays are enabled without
+// an explicit meandelay.
+func ParseFault(spec string) (dprcore.FaultConfig, error) {
+	var fc dprcore.FaultConfig
+	if spec == "" {
+		return fc, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return fc, fmt.Errorf("bad -fault entry %q (want key=value)", part)
+		}
+		v, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil {
+			return fc, fmt.Errorf("bad -fault value %q: %w", part, err)
+		}
+		switch strings.ToLower(kv[0]) {
+		case "drop":
+			fc.DropProb = v
+		case "delay":
+			fc.DelayProb = v
+		case "meandelay", "mean-delay":
+			fc.MeanDelay = v
+		case "dup":
+			fc.DupProb = v
+		default:
+			return fc, fmt.Errorf("unknown -fault key %q (drop|delay|meandelay|dup)", kv[0])
+		}
+	}
+	if fc.DelayProb > 0 && fc.MeanDelay == 0 {
+		fc.MeanDelay = 5
+	}
+	if err := fc.Validate(); err != nil {
+		return fc, fmt.Errorf("bad -fault %q: %w", spec, err)
+	}
+	return fc, nil
+}
+
+// Transport registers the shared -transport flag.
+func Transport(fs *flag.FlagSet) *string {
+	return fs.String("transport", "direct", "score transmission: direct|indirect (§4.4)")
+}
+
+// ParseTransport maps a -transport value (empty = direct) and reports
+// whether indirect transmission was selected.
+func ParseTransport(name string) (indirect bool, err error) {
+	switch strings.ToLower(name) {
+	case "", "direct":
+		return false, nil
+	case "indirect":
+		return true, nil
+	}
+	return false, fmt.Errorf("unknown -transport %q (direct|indirect)", name)
+}
+
+// Seed registers the shared -seed flag.
+func Seed(fs *flag.FlagSet) *uint64 {
+	return fs.Uint64("seed", 1, "deterministic seed")
+}
+
+// Deprecations keeps renamed flags alive for one release: old
+// spellings register through it, and Warn prints a pointer at the new
+// spelling for each one the command line actually set.
+type Deprecations struct {
+	fs   *flag.FlagSet
+	repl map[string]string
+}
+
+// NewDeprecations builds a deprecation registry for fs.
+func NewDeprecations(fs *flag.FlagSet) *Deprecations {
+	return &Deprecations{fs: fs, repl: make(map[string]string)}
+}
+
+// Bool registers a deprecated boolean spelling whose replacement is
+// named by repl (e.g. "-transport indirect").
+func (d *Deprecations) Bool(name, usage, repl string) *bool {
+	d.repl[name] = repl
+	return d.fs.Bool(name, false, usage+" (deprecated: use "+repl+")")
+}
+
+// Warn writes one warning per deprecated flag the parsed command line
+// set. Call it after flag parsing.
+func (d *Deprecations) Warn(w io.Writer) {
+	d.fs.Visit(func(f *flag.Flag) {
+		if repl, ok := d.repl[f.Name]; ok {
+			fmt.Fprintf(w, "warning: -%s is deprecated and will be removed; use %s\n", f.Name, repl)
+		}
+	})
+}

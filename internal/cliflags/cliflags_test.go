@@ -1,0 +1,162 @@
+package cliflags
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+
+	"p2prank/internal/codec"
+	"p2prank/internal/dprcore"
+)
+
+func TestParseAlgorithm(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want dprcore.Algorithm
+	}{
+		{"", dprcore.DPR1},
+		{"dpr1", dprcore.DPR1},
+		{"DPR1", dprcore.DPR1},
+		{"dpr2", dprcore.DPR2},
+		{"Dpr2", dprcore.DPR2},
+	} {
+		got, err := ParseAlgorithm(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseAlgorithm(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseAlgorithm("dpr3"); err == nil {
+		t.Error("dpr3 accepted")
+	}
+}
+
+func TestParseCodec(t *testing.T) {
+	if c, err := ParseCodec(""); err != nil || c != nil {
+		t.Errorf("empty codec = %v, %v; want nil default", c, err)
+	}
+	if c, err := ParseCodec("GOB"); err != nil || c != nil {
+		t.Errorf("gob codec = %v, %v; want nil default", c, err)
+	}
+	if c, err := ParseCodec("plain"); err != nil {
+		t.Errorf("plain: %v", err)
+	} else if _, ok := c.(codec.Plain); !ok {
+		t.Errorf("plain parsed as %T", c)
+	}
+	if c, err := ParseCodec("delta"); err != nil {
+		t.Errorf("delta: %v", err)
+	} else if _, ok := c.(codec.Delta); !ok {
+		t.Errorf("delta parsed as %T", c)
+	}
+	for _, in := range []string{"quantized", "quantized-16", "quantized:8", "Quantized-4"} {
+		if c, err := ParseCodec(in); err != nil || c == nil {
+			t.Errorf("ParseCodec(%q) = %v, %v; want quantized codec", in, c, err)
+		}
+	}
+	for _, in := range []string{"quantized-3", "quantized-53", "quantized-x", "zstd"} {
+		if _, err := ParseCodec(in); err == nil {
+			t.Errorf("ParseCodec(%q) accepted", in)
+		}
+	}
+}
+
+func TestParseFault(t *testing.T) {
+	fc, err := ParseFault("")
+	if err != nil || fc.Enabled() {
+		t.Fatalf("empty spec = %+v, %v; want disabled", fc, err)
+	}
+	fc, err = ParseFault("drop=0.1,delay=0.2,meandelay=3,dup=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.DropProb != 0.1 || fc.DelayProb != 0.2 || fc.MeanDelay != 3 || fc.DupProb != 0.05 {
+		t.Fatalf("parsed %+v", fc)
+	}
+	// Delays without an explicit mean get the documented default.
+	fc, err = ParseFault("delay=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.MeanDelay != 5 {
+		t.Fatalf("MeanDelay = %v; want default 5", fc.MeanDelay)
+	}
+	for _, bad := range []string{"drop", "drop=x", "jitter=1", "drop=2"} {
+		if _, err := ParseFault(bad); err == nil {
+			t.Errorf("ParseFault(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseTransport(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want bool
+	}{{"", false}, {"direct", false}, {"Direct", false}, {"indirect", true}, {"INDIRECT", true}} {
+		got, err := ParseTransport(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseTransport(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseTransport("carrier-pigeon"); err == nil {
+		t.Error("bad transport accepted")
+	}
+}
+
+// TestSharedSpellings pins the contract of the package: both binaries
+// register the same flag names with the same defaults.
+func TestSharedSpellings(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	Algorithm(fs)
+	Codec(fs)
+	Fault(fs)
+	Transport(fs)
+	Seed(fs)
+	for name, def := range map[string]string{
+		"alg": "dpr1", "codec": "gob", "fault": "", "transport": "direct", "seed": "1",
+	} {
+		f := fs.Lookup(name)
+		if f == nil {
+			t.Errorf("flag -%s not registered", name)
+			continue
+		}
+		if f.DefValue != def {
+			t.Errorf("-%s default = %q; want %q", name, f.DefValue, def)
+		}
+	}
+}
+
+func TestDeprecationsWarnOnlyWhenSet(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	d := NewDeprecations(fs)
+	old := d.Bool("indirect", "use indirect transmission", "-transport indirect")
+
+	var sb strings.Builder
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	d.Warn(&sb)
+	if sb.Len() != 0 {
+		t.Fatalf("warned without the flag set: %q", sb.String())
+	}
+
+	fs2 := flag.NewFlagSet("x", flag.ContinueOnError)
+	fs2.SetOutput(io.Discard)
+	d2 := NewDeprecations(fs2)
+	old2 := d2.Bool("indirect", "use indirect transmission", "-transport indirect")
+	if err := fs2.Parse([]string{"-indirect"}); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	d2.Warn(&sb)
+	if !strings.Contains(sb.String(), "-indirect is deprecated") ||
+		!strings.Contains(sb.String(), "-transport indirect") {
+		t.Fatalf("warning missing or wrong: %q", sb.String())
+	}
+	if !*old2 || *old {
+		t.Fatalf("deprecated flag values: set=%v unset=%v", *old2, *old)
+	}
+	if !strings.Contains(fs2.Lookup("indirect").Usage, "(deprecated: use -transport indirect)") {
+		t.Fatalf("usage missing deprecation note: %q", fs2.Lookup("indirect").Usage)
+	}
+}

@@ -28,6 +28,9 @@ import (
 type (
 	// Config configures a distributed ranking run (see engine.Config).
 	Config = engine.Config
+	// Params are the shared DPR loop parameters every runtime config
+	// embeds (see dprcore.Params).
+	Params = dprcore.Params
 	// Result is a distributed ranking outcome (see engine.Result).
 	Result = engine.Result
 	// Sample is one time-series point of a run.

@@ -29,8 +29,8 @@ func TestRankDistributedEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	res, err := RankDistributed(Config{
-		Graph: g, K: 6, Alg: DPR1,
-		T1: 0.5, T2: 3, MaxTime: 400, TargetRelErr: 1e-6,
+		Params: Params{Alg: DPR1, T1: 0.5, T2: 3},
+		Graph:  g, K: 6, MaxTime: 400, TargetRelErr: 1e-6,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -16,11 +16,9 @@ func ExampleRankDistributed() {
 		log.Fatal(err)
 	}
 	res, err := core.RankDistributed(core.Config{
+		Params:       core.Params{Alg: core.DPR1, T1: 0, T2: 6},
 		Graph:        graph,
 		K:            8,
-		Alg:          core.DPR1,
-		T1:           0,
-		T2:           6,
 		MaxTime:      500,
 		TargetRelErr: 1e-8,
 	})

@@ -28,6 +28,7 @@ package dprcore
 import (
 	"fmt"
 
+	"p2prank/internal/telemetry"
 	"p2prank/internal/transport"
 )
 
@@ -95,44 +96,93 @@ type RNG interface {
 	Exp(mean float64) float64
 }
 
-// Config parameterizes one loop.
-type Config struct {
+// Params is the one shared configuration surface of the DPR loop
+// layer. Every runtime config embeds it — engine.Config (simulator) and
+// netpeer.Config/ClusterConfig (TCP) — so the algorithm knobs are
+// spelled identically everywhere and validated once, here. Runtime
+// specifics (graph, overlay, wire codec, network model) stay in the
+// embedding configs; see DESIGN.md §9 for the full mapping.
+type Params struct {
 	// Alg selects DPR1 or DPR2.
 	Alg Algorithm
-	// Alpha is the real-link rank fraction (must match the Group's).
+	// Alpha is the real-link rank fraction (must match the Group's;
+	// runtimes default it to 0.85).
 	Alpha float64
-	// InnerEpsilon is DPR1's GroupPageRank termination threshold.
+	// InnerEpsilon is DPR1's GroupPageRank termination threshold
+	// (runtimes default it to 1e-10).
 	InnerEpsilon float64
 	// InnerMaxIter bounds DPR1's inner loop (0 = 10000).
 	InnerMaxIter int
 	// SendProb is the probability that the Y vector for a destination
 	// group is successfully sent in a loop (the paper's parameter p;
-	// p = 1 means lossless).
+	// p = 1 means lossless; runtimes default it to 1).
 	SendProb float64
-	// MeanWait is the mean of this loop's exponentially distributed
-	// waiting time Tw between iterations, in the driving runtime's time
-	// units (virtual units in-sim, nanoseconds for live peers).
-	MeanWait float64
+	// T1 and T2 bound the per-loop mean waiting time, in the driving
+	// runtime's time units (virtual units in-sim, nanoseconds live).
+	// Each loop's mean is drawn uniformly from [T1, T2] by its runtime;
+	// T1 = T2 pins every loop to the same mean. Runtime defaults differ
+	// (engine: 15/15, the Figure 8 setting; netpeer: Config.MeanWait).
+	T1, T2 float64
+	// Fault injects deterministic message faults (drop/delay/duplicate)
+	// at the Sender seam, below the algorithm's own SendProb loss — the
+	// FaultSender both runtimes share. The zero value injects nothing.
+	Fault FaultConfig
+	// Observer receives telemetry at the loop's seams (compute phases,
+	// chunk emissions, injected faults, milestones). Nil installs
+	// nothing and keeps the hot path free of allocations and clock
+	// reads; telemetry.Noop{} is behaviorally identical.
+	Observer telemetry.Observer
 }
 
-func (c *Config) validate() error {
-	if c.Alg != DPR1 && c.Alg != DPR2 {
-		return fmt.Errorf("dprcore: unknown algorithm %d", int(c.Alg))
+// Defaults fills zero-valued algorithm fields with the shared defaults
+// and the pacing bounds with the runtime's (t1, t2). Embedding configs
+// call it from their own validation.
+func (p *Params) Defaults(t1, t2 float64) {
+	if p.Alpha == 0 {
+		p.Alpha = 0.85
 	}
-	if c.Alpha <= 0 || c.Alpha >= 1 {
-		return fmt.Errorf("dprcore: alpha = %v, must be in (0,1)", c.Alpha)
+	if p.InnerEpsilon == 0 {
+		p.InnerEpsilon = 1e-10
 	}
-	if c.InnerEpsilon < 0 {
-		return fmt.Errorf("dprcore: negative InnerEpsilon %v", c.InnerEpsilon)
+	if p.InnerMaxIter == 0 {
+		p.InnerMaxIter = 10000
 	}
-	if c.InnerMaxIter == 0 {
-		c.InnerMaxIter = 10000
+	if p.SendProb == 0 {
+		p.SendProb = 1
 	}
-	if c.SendProb < 0 || c.SendProb > 1 {
-		return fmt.Errorf("dprcore: SendProb %v outside [0,1]", c.SendProb)
+	if p.T1 == 0 && p.T2 == 0 {
+		p.T1, p.T2 = t1, t2
 	}
-	if c.MeanWait < 0 {
-		return fmt.Errorf("dprcore: negative MeanWait %v", c.MeanWait)
+}
+
+// validateLoop checks the fields a single Loop consumes.
+func (p *Params) validateLoop() error {
+	if p.Alg != DPR1 && p.Alg != DPR2 {
+		return fmt.Errorf("dprcore: unknown algorithm %d", int(p.Alg))
+	}
+	if p.Alpha <= 0 || p.Alpha >= 1 {
+		return fmt.Errorf("dprcore: alpha = %v, must be in (0,1)", p.Alpha)
+	}
+	if p.InnerEpsilon < 0 {
+		return fmt.Errorf("dprcore: negative InnerEpsilon %v", p.InnerEpsilon)
+	}
+	if p.InnerMaxIter == 0 {
+		p.InnerMaxIter = 10000
+	}
+	if p.SendProb < 0 || p.SendProb > 1 {
+		return fmt.Errorf("dprcore: SendProb %v outside [0,1]", p.SendProb)
 	}
 	return nil
+}
+
+// Validate checks the whole parameter set (loop fields, pacing range,
+// fault spec). Runtimes call it after Defaults.
+func (p *Params) Validate() error {
+	if err := p.validateLoop(); err != nil {
+		return err
+	}
+	if p.T1 < 0 || p.T2 < p.T1 {
+		return fmt.Errorf("dprcore: wait range [%v, %v] invalid", p.T1, p.T2)
+	}
+	return p.Fault.Validate()
 }

@@ -112,11 +112,11 @@ func TestSimAndDriveEmitIdenticalChunkSequences(t *testing.T) {
 	if grp == nil {
 		t.Fatal("no group has pages and efferent links; pick another seed")
 	}
-	cfg := dprcore.Config{
+	p := dprcore.Params{
 		Alg: dprcore.DPR1, Alpha: 0.85, InnerEpsilon: 1e-10,
 		SendProb: 0.7, // < 1, so commit-phase coin flips are exercised
-		MeanWait: 5,
 	}
+	const meanWait = 5.0
 	const horizon = 60.0
 	const seed = 42
 	// Scripted afferent traffic from another group, fresher each time;
@@ -136,7 +136,7 @@ func TestSimAndDriveEmitIdenticalChunkSequences(t *testing.T) {
 	// Stack 1: the simulator driving the loop through internal/ranker.
 	sim := simnet.New(1)
 	simRec := &opRecorder{}
-	rk, err := ranker.New(grp, cfg, sim, simRec, xrand.New(seed))
+	rk, err := ranker.New(grp, p, meanWait, sim, simRec, xrand.New(seed))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func TestSimAndDriveEmitIdenticalChunkSequences(t *testing.T) {
 
 	// Stack 2: dprcore.Drive under the scripted waiter, same seed.
 	drvRec := &opRecorder{}
-	loop, err := dprcore.NewLoop(grp, cfg, drvRec, xrand.New(seed))
+	loop, err := dprcore.NewLoop(grp, p, meanWait, drvRec, xrand.New(seed))
 	if err != nil {
 		t.Fatal(err)
 	}

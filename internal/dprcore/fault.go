@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"p2prank/internal/telemetry"
 	"p2prank/internal/transport"
 )
 
@@ -65,6 +66,9 @@ type FaultSender struct {
 	clock Clock
 	rng   RNG
 	cfg   FaultConfig
+	// obs, when set, is notified of every injected fault. Nil-checked
+	// like the loop's observer: no observer, no extra work.
+	obs telemetry.Observer
 
 	dropped    atomic.Int64
 	delayed    atomic.Int64
@@ -86,14 +90,24 @@ func NewFaultSender(inner Sender, clock Clock, rng RNG, cfg FaultConfig) (*Fault
 	return &FaultSender{inner: inner, clock: clock, rng: rng, cfg: cfg}, nil
 }
 
+// Observe installs o as the fault-event observer (nil uninstalls).
+// Call it before the first Send.
+func (f *FaultSender) Observe(o telemetry.Observer) { f.obs = o }
+
 // Send applies the configured faults to one chunk.
 func (f *FaultSender) Send(from int, chunk transport.ScoreChunk) error {
 	if f.cfg.DropProb > 0 && f.rng.Float64() < f.cfg.DropProb {
 		f.dropped.Add(1)
+		if f.obs != nil {
+			f.obs.FaultInjected(from, telemetry.FaultDrop)
+		}
 		return nil
 	}
 	if f.cfg.DelayProb > 0 && f.rng.Float64() < f.cfg.DelayProb {
 		f.delayed.Add(1)
+		if f.obs != nil {
+			f.obs.FaultInjected(from, telemetry.FaultDelay)
+		}
 		d := f.rng.Exp(f.cfg.MeanDelay)
 		f.clock.After(d, func() {
 			// A delayed chunk that fails to send is simply lost — the
@@ -110,6 +124,9 @@ func (f *FaultSender) Send(from int, chunk transport.ScoreChunk) error {
 	}
 	if f.cfg.DupProb > 0 && f.rng.Float64() < f.cfg.DupProb {
 		f.duplicated.Add(1)
+		if f.obs != nil {
+			f.obs.FaultInjected(from, telemetry.FaultDup)
+		}
 		return f.inner.Send(from, chunk)
 	}
 	return nil

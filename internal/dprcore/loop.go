@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"p2prank/internal/pagerank"
+	"p2prank/internal/telemetry"
 	"p2prank/internal/transport"
 	"p2prank/internal/vecmath"
 )
@@ -21,10 +22,15 @@ import (
 // same instant; CommitPhase draws randomness and emits through the
 // Sender, so runtimes must run it serially in schedule order.
 type Loop struct {
-	grp    *Group
-	cfg    Config
-	sender Sender
-	rng    RNG
+	grp      *Group
+	p        Params
+	meanWait float64
+	sender   Sender
+	rng      RNG
+	// obs receives telemetry at the phase boundaries. It is nil-checked
+	// before every hook: with no observer the hot path performs exactly
+	// one pointer comparison per hook site and allocates nothing.
+	obs telemetry.Observer
 
 	r       vecmath.Vec // current rank vector R
 	x       vecmath.Vec // assembled afferent vector X
@@ -45,11 +51,17 @@ type Loop struct {
 	stepped bool
 }
 
-// NewLoop builds the loop for grp. The rng must be a stream private to
-// this loop.
-func NewLoop(grp *Group, cfg Config, sender Sender, rng RNG) (*Loop, error) {
-	if err := cfg.validate(); err != nil {
+// NewLoop builds the loop for grp with the resolved per-loop mean wait
+// (the runtime draws it from [p.T1, p.T2]; see Params). The rng must be
+// a stream private to this loop. The loop consumes p's algorithm
+// fields and Observer; Fault and the pacing bounds are runtime
+// concerns (see FaultSender).
+func NewLoop(grp *Group, p Params, meanWait float64, sender Sender, rng RNG) (*Loop, error) {
+	if err := p.validateLoop(); err != nil {
 		return nil, err
+	}
+	if meanWait < 0 {
+		return nil, fmt.Errorf("dprcore: negative mean wait %v", meanWait)
 	}
 	if grp == nil || sender == nil || rng == nil {
 		return nil, fmt.Errorf("dprcore: nil dependency")
@@ -67,15 +79,17 @@ func NewLoop(grp *Group, cfg Config, sender Sender, rng RNG) (*Loop, error) {
 		mergedY[dst] = n
 	}
 	return &Loop{
-		grp:     grp,
-		cfg:     cfg,
-		sender:  sender,
-		rng:     rng,
-		r:       vecmath.NewVec(grp.N()), // R0 = 0, the Theorem 4.1/4.2 start
-		x:       vecmath.NewVec(grp.N()),
-		scratch: vecmath.NewVec(grp.N()),
-		mergedY: mergedY,
-		latest:  make(map[int32]transport.ScoreChunk),
+		grp:      grp,
+		p:        p,
+		meanWait: meanWait,
+		sender:   sender,
+		rng:      rng,
+		obs:      p.Observer,
+		r:        vecmath.NewVec(grp.N()), // R0 = 0, the Theorem 4.1/4.2 start
+		x:        vecmath.NewVec(grp.N()),
+		scratch:  vecmath.NewVec(grp.N()),
+		mergedY:  mergedY,
+		latest:   make(map[int32]transport.ScoreChunk),
 	}, nil
 }
 
@@ -110,7 +124,7 @@ func (l *Loop) Loops() int64 { return l.loops }
 // NextWait draws the exponentially distributed pause before the next
 // iteration. It consumes randomness, so drivers must call it from
 // commit (serial) context, in schedule order.
-func (l *Loop) NextWait() float64 { return l.rng.Exp(l.cfg.MeanWait) }
+func (l *Loop) NextWait() float64 { return l.rng.Exp(l.meanWait) }
 
 // Deliver records the chunk as the newest afferent contribution from
 // its source group. A chunk addressed to another group is a routing
@@ -129,25 +143,53 @@ func (l *Loop) Deliver(chunk transport.ScoreChunk) {
 // ComputePhase is the compute half of one main-loop body of Algorithm
 // 3 or 4: refresh X and update R, touching only this loop's private
 // vectors, so a runtime may run it concurrently with other loops'
-// compute phases at the same instant.
+// compute phases at the same instant. Observer hooks fire here from
+// that concurrent context; collectors handle per-ranker concurrency.
 func (l *Loop) ComputePhase() {
 	l.stepped = true
-	l.refreshX()
-	switch l.cfg.Alg {
+	round := l.loops + 1
+	if l.obs != nil {
+		l.obs.ComputeStart(l.grp.Index, round)
+	}
+	srcs, xEntries := l.refreshX()
+	var st telemetry.ComputeStats
+	switch l.p.Alg {
 	case DPR1:
 		opt := pagerank.Options{
-			Alpha:   l.cfg.Alpha,
-			Epsilon: l.cfg.InnerEpsilon,
-			MaxIter: l.cfg.InnerMaxIter,
+			Alpha:   l.p.Alpha,
+			Epsilon: l.p.InnerEpsilon,
+			MaxIter: l.p.InnerMaxIter,
 		}
-		if _, err := l.grp.Sys.SolveInPlace(l.r, l.x, l.scratch, opt); err != nil {
+		res, err := l.grp.Sys.SolveInPlace(l.r, l.x, l.scratch, opt)
+		if err != nil {
 			// Inner non-convergence is a configuration error (‖A‖∞ < 1
 			// guarantees convergence for any positive ε); surface loudly.
 			panic(fmt.Sprintf("dprcore: ranker %d: inner solve: %v", l.grp.Index, err))
 		}
+		st.InnerIterations = res.Iterations
+		st.Residual = res.FinalDelta
 	case DPR2:
 		l.grp.Sys.Step(l.scratch, l.r, l.x)
 		l.r, l.scratch = l.scratch, l.r
+		st.InnerIterations = 1
+		if l.obs != nil {
+			// ‖ΔR‖∞ of the single step; the old iterate sits in scratch
+			// after the swap. Computed only for the observer — it feeds
+			// nothing back into the algorithm.
+			var d float64
+			for i := range l.r {
+				if diff := l.r[i] - l.scratch[i]; diff > d {
+					d = diff
+				} else if -diff > d {
+					d = -diff
+				}
+			}
+			st.Residual = d
+		}
+	}
+	if l.obs != nil {
+		st.XSources, st.XEntries = srcs, xEntries
+		l.obs.ComputeEnd(l.grp.Index, round, st)
 	}
 }
 
@@ -165,10 +207,11 @@ func (l *Loop) Step() {
 	l.CommitPhase()
 }
 
-// refreshX assembles X from the newest chunk of every source group.
-// Sources are summed in ascending group order so floating-point
-// rounding is reproducible.
-func (l *Loop) refreshX() {
+// refreshX assembles X from the newest chunk of every source group,
+// returning the source and entry counts for telemetry. Sources are
+// summed in ascending group order so floating-point rounding is
+// reproducible.
+func (l *Loop) refreshX() (sources, entries int) {
 	l.x.Zero()
 	if len(l.srcOrder) != len(l.latest) {
 		l.srcOrder = l.srcOrder[:0]
@@ -178,10 +221,13 @@ func (l *Loop) refreshX() {
 		sort.Slice(l.srcOrder, func(i, j int) bool { return l.srcOrder[i] < l.srcOrder[j] })
 	}
 	for _, src := range l.srcOrder {
-		for _, e := range l.latest[src].Entries {
+		es := l.latest[src].Entries
+		entries += len(es)
+		for _, e := range es {
 			l.x[e.DstLocal] += e.Value
 		}
 	}
+	return len(l.srcOrder), entries
 }
 
 // publishY computes Y = BR per destination group and hands it to the
@@ -190,7 +236,7 @@ func (l *Loop) publishY() {
 	sent := false
 	for _, dstGroup := range l.grp.EffDsts {
 		entries := l.grp.Eff[dstGroup]
-		if l.cfg.SendProb < 1 && l.rng.Float64() >= l.cfg.SendProb {
+		if l.p.SendProb < 1 && l.rng.Float64() >= l.p.SendProb {
 			continue // this group's Y update is lost this round
 		}
 		chunk := transport.ScoreChunk{
@@ -205,7 +251,7 @@ func (l *Loop) publishY() {
 		// Entries are sorted by DstLocal; merge adjacent contributions
 		// to the same destination page.
 		for _, e := range entries {
-			v := float64(e.Links) * l.cfg.Alpha * l.r[e.LocalSrc] / float64(l.grp.Deg[e.LocalSrc])
+			v := float64(e.Links) * l.p.Alpha * l.r[e.LocalSrc] / float64(l.grp.Deg[e.LocalSrc])
 			chunk.Links += int64(e.Links)
 			n := len(chunk.Entries)
 			if n > 0 && chunk.Entries[n-1].DstLocal == e.DstLocal {
@@ -216,6 +262,14 @@ func (l *Loop) publishY() {
 		}
 		if err := l.sender.Send(l.grp.Index, chunk); err != nil {
 			panic(fmt.Sprintf("dprcore: ranker %d: send: %v", l.grp.Index, err))
+		}
+		if l.obs != nil {
+			l.obs.ChunkSent(l.grp.Index, telemetry.ChunkStats{
+				Dst:     int(dstGroup),
+				Round:   l.loops,
+				Entries: len(chunk.Entries),
+				Links:   chunk.Links,
+			})
 		}
 		sent = true
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"p2prank/internal/pagerank"
+	"p2prank/internal/telemetry"
 	"p2prank/internal/transport"
 	"p2prank/internal/vecmath"
 )
@@ -34,9 +35,11 @@ func testGroup(t *testing.T, idx int, eff map[int32][]EffEntry) *Group {
 	return grp
 }
 
-func testConfig() Config {
-	return Config{Alg: DPR1, Alpha: 0.85, InnerEpsilon: 1e-12, SendProb: 1, MeanWait: 10}
+func testParams() Params {
+	return Params{Alg: DPR1, Alpha: 0.85, InnerEpsilon: 1e-12, SendProb: 1}
 }
+
+const testMeanWait = 10
 
 // recordSender captures the emitted chunk/flush sequence.
 type recordSender struct {
@@ -57,7 +60,7 @@ func (s *recordSender) Flush(from int) error {
 // constRNG returns fixed draws: Float64() = f, Exp(mean) = e·mean.
 type constRNG struct{ f, e float64 }
 
-func (r constRNG) Float64() float64        { return r.f }
+func (r constRNG) Float64() float64         { return r.f }
 func (r constRNG) Exp(mean float64) float64 { return r.e * mean }
 
 func chunk(src, dst int32, round int64, values ...float64) transport.ScoreChunk {
@@ -69,7 +72,7 @@ func chunk(src, dst int32, round int64, values ...float64) transport.ScoreChunk 
 }
 
 func TestStaleChunksIgnored(t *testing.T) {
-	l, err := NewLoop(testGroup(t, 0, nil), testConfig(), &recordSender{}, constRNG{e: 1})
+	l, err := NewLoop(testGroup(t, 0, nil), testParams(), testMeanWait, &recordSender{}, constRNG{e: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +91,7 @@ func TestStaleChunksIgnored(t *testing.T) {
 }
 
 func TestRefreshXSumsSourcesInOrder(t *testing.T) {
-	l, err := NewLoop(testGroup(t, 0, nil), testConfig(), &recordSender{}, constRNG{e: 1})
+	l, err := NewLoop(testGroup(t, 0, nil), testParams(), testMeanWait, &recordSender{}, constRNG{e: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +104,7 @@ func TestRefreshXSumsSourcesInOrder(t *testing.T) {
 }
 
 func TestDeliverWrongGroupPanics(t *testing.T) {
-	l, err := NewLoop(testGroup(t, 0, nil), testConfig(), &recordSender{}, constRNG{e: 1})
+	l, err := NewLoop(testGroup(t, 0, nil), testParams(), testMeanWait, &recordSender{}, constRNG{e: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +117,7 @@ func TestDeliverWrongGroupPanics(t *testing.T) {
 }
 
 func TestSetInitialRanksAfterStepFails(t *testing.T) {
-	l, err := NewLoop(testGroup(t, 0, nil), testConfig(), &recordSender{}, constRNG{e: 1})
+	l, err := NewLoop(testGroup(t, 0, nil), testParams(), testMeanWait, &recordSender{}, constRNG{e: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +140,7 @@ func TestPublishYMergesAndScales(t *testing.T) {
 		{LocalSrc: 1, DstLocal: 1, Links: 1},
 	}}
 	s := &recordSender{}
-	l, err := NewLoop(testGroup(t, 0, eff), testConfig(), s, constRNG{e: 1})
+	l, err := NewLoop(testGroup(t, 0, eff), testParams(), testMeanWait, s, constRNG{e: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,10 +167,10 @@ func TestPublishYMergesAndScales(t *testing.T) {
 
 func TestSendProbZeroPublishesNothing(t *testing.T) {
 	eff := map[int32][]EffEntry{1: {{LocalSrc: 0, DstLocal: 0, Links: 1}}}
-	cfg := testConfig()
-	cfg.SendProb = 0
+	p := testParams()
+	p.SendProb = 0
 	s := &recordSender{}
-	l, err := NewLoop(testGroup(t, 0, eff), cfg, s, constRNG{e: 1})
+	l, err := NewLoop(testGroup(t, 0, eff), p, testMeanWait, s, constRNG{e: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +181,7 @@ func TestSendProbZeroPublishesNothing(t *testing.T) {
 }
 
 func TestDriveStopsWhenWaiterDoes(t *testing.T) {
-	l, err := NewLoop(testGroup(t, 0, nil), testConfig(), &recordSender{}, constRNG{e: 1})
+	l, err := NewLoop(testGroup(t, 0, nil), testParams(), testMeanWait, &recordSender{}, constRNG{e: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,27 +204,47 @@ func (f waiterFunc) Wait(d float64) bool { return f(d) }
 
 func TestNewLoopValidation(t *testing.T) {
 	grp := testGroup(t, 0, nil)
-	ok := testConfig()
+	ok := testParams()
 	for name, tc := range map[string]struct {
-		grp    *Group
-		cfg    Config
-		sender Sender
-		rng    RNG
-		want   string
+		grp      *Group
+		p        Params
+		meanWait float64
+		sender   Sender
+		rng      RNG
+		want     string
 	}{
-		"nil group":     {nil, ok, &recordSender{}, constRNG{}, "nil"},
-		"nil sender":    {grp, ok, nil, constRNG{}, "nil"},
-		"nil rng":       {grp, ok, &recordSender{}, nil, "nil"},
-		"bad alg":       {grp, Config{Alg: Algorithm(7), Alpha: 0.85}, &recordSender{}, constRNG{}, "algorithm"},
-		"alpha 0":       {grp, Config{Alg: DPR1}, &recordSender{}, constRNG{}, "alpha"},
-		"alpha 1.2":     {grp, Config{Alg: DPR1, Alpha: 1.2}, &recordSender{}, constRNG{}, "alpha"},
-		"neg epsilon":   {grp, Config{Alg: DPR1, Alpha: 0.85, InnerEpsilon: -1}, &recordSender{}, constRNG{}, "InnerEpsilon"},
-		"sendprob 1.5":  {grp, Config{Alg: DPR1, Alpha: 0.85, SendProb: 1.5}, &recordSender{}, constRNG{}, "SendProb"},
-		"neg mean wait": {grp, Config{Alg: DPR1, Alpha: 0.85, SendProb: 1, MeanWait: -1}, &recordSender{}, constRNG{}, "MeanWait"},
+		"nil group":     {nil, ok, 10, &recordSender{}, constRNG{}, "nil"},
+		"nil sender":    {grp, ok, 10, nil, constRNG{}, "nil"},
+		"nil rng":       {grp, ok, 10, &recordSender{}, nil, "nil"},
+		"bad alg":       {grp, Params{Alg: Algorithm(7), Alpha: 0.85}, 10, &recordSender{}, constRNG{}, "algorithm"},
+		"alpha 0":       {grp, Params{Alg: DPR1}, 10, &recordSender{}, constRNG{}, "alpha"},
+		"alpha 1.2":     {grp, Params{Alg: DPR1, Alpha: 1.2}, 10, &recordSender{}, constRNG{}, "alpha"},
+		"neg epsilon":   {grp, Params{Alg: DPR1, Alpha: 0.85, InnerEpsilon: -1}, 10, &recordSender{}, constRNG{}, "InnerEpsilon"},
+		"sendprob 1.5":  {grp, Params{Alg: DPR1, Alpha: 0.85, SendProb: 1.5}, 10, &recordSender{}, constRNG{}, "SendProb"},
+		"neg mean wait": {grp, ok, -1, &recordSender{}, constRNG{}, "mean wait"},
 	} {
-		_, err := NewLoop(tc.grp, tc.cfg, tc.sender, tc.rng)
+		_, err := NewLoop(tc.grp, tc.p, tc.meanWait, tc.sender, tc.rng)
 		if err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: err = %v, want mention of %q", name, err, tc.want)
+		}
+	}
+}
+
+func TestStepAllocationFreeWithNilAndNoopObserver(t *testing.T) {
+	for name, obs := range map[string]telemetry.Observer{"nil": nil, "noop": telemetry.Noop{}} {
+		for _, alg := range []Algorithm{DPR1, DPR2} {
+			p := testParams()
+			p.Alg = alg
+			p.Observer = obs
+			l, err := NewLoop(testGroup(t, 0, nil), p, testMeanWait, &recordSender{}, constRNG{e: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			l.Deliver(chunk(1, 0, 1, 0.25, 0.5))
+			l.Step() // warm the srcOrder cache
+			if n := testing.AllocsPerRun(50, func() { l.Step() }); n != 0 {
+				t.Errorf("%s/%v: steady-state Step allocates %.1f times, want 0", name, alg, n)
+			}
 		}
 	}
 }

@@ -7,9 +7,10 @@ import (
 	"runtime"
 	"testing"
 
+	"p2prank/internal/dprcore"
 	"p2prank/internal/engine"
 	"p2prank/internal/partition"
-	"p2prank/internal/ranker"
+	"p2prank/internal/telemetry"
 	"p2prank/internal/transport"
 	"p2prank/internal/vecmath"
 	"p2prank/internal/webgraph"
@@ -40,18 +41,18 @@ func detGraph(t *testing.T) *webgraph.Graph {
 func detPresets(g *webgraph.Graph) map[string]engine.Config {
 	return map[string]engine.Config{
 		"fig6": {
-			Graph: g, K: 8, Alg: ranker.DPR1, SendProb: 0.7, T1: 0, T2: 6,
-			Seed: 3, SampleEvery: 2, MaxTime: 30,
+			Params: dprcore.Params{Alg: dprcore.DPR1, SendProb: 0.7, T1: 0, T2: 6},
+			Graph:  g, K: 8, Seed: 3, SampleEvery: 2, MaxTime: 30,
 			Transport: transport.Indirect, Strategy: partition.BySite,
 		},
 		"fig7": {
-			Graph: g, K: 6, Alg: ranker.DPR1, T1: 0, T2: 6,
-			Seed: 4, SampleEvery: 2, MaxTime: 24,
+			Params: dprcore.Params{Alg: dprcore.DPR1, T1: 0, T2: 6},
+			Graph:  g, K: 6, Seed: 4, SampleEvery: 2, MaxTime: 24,
 			Transport: transport.Indirect, Strategy: partition.BySite,
 		},
 		"fig8": {
-			Graph: g, K: 8, Alg: ranker.DPR2, T1: 15, T2: 15,
-			Seed: 5, SampleEvery: 5, MaxTime: 120, TargetRelErr: 1e-3,
+			Params: dprcore.Params{Alg: dprcore.DPR2, T1: 15, T2: 15},
+			Graph:  g, K: 8, Seed: 5, SampleEvery: 5, MaxTime: 120, TargetRelErr: 1e-3,
 			Transport: transport.Direct, Strategy: partition.ByPage,
 		},
 	}
@@ -151,6 +152,48 @@ func TestFig6FingerprintMatchesPreRefactorGolden(t *testing.T) {
 		if got := fingerprint(t, res); got != fig6GoldenFingerprint {
 			t.Fatalf("procs=%d: fig6 fingerprint %#016x != pre-refactor golden %#016x",
 				procs, got, uint64(fig6GoldenFingerprint))
+		}
+	}
+}
+
+// TestFig6FingerprintUnchangedByObservers is the tentpole's determinism
+// claim: attaching telemetry — the no-op observer or the full in-sim
+// collector — must not move a single bit of the run. The fig6 preset
+// must reproduce the pre-refactor golden fingerprint with each observer
+// installed, serial and parallel, and the collector must actually have
+// seen the run (non-vacuous).
+func TestFig6FingerprintUnchangedByObservers(t *testing.T) {
+	g := detGraph(t)
+	base := detPresets(g)["fig6"]
+	for _, procs := range []int{1, 8} {
+		for name, obs := range map[string]telemetry.Observer{
+			"noop": telemetry.Noop{},
+			"sim":  telemetry.NewSimCollector(base.K),
+		} {
+			cfg := base
+			cfg.Observer = obs
+			prev := runtime.GOMAXPROCS(procs)
+			res, err := engine.Run(cfg)
+			runtime.GOMAXPROCS(prev)
+			if err != nil {
+				t.Fatalf("procs=%d obs=%s: %v", procs, name, err)
+			}
+			if got := fingerprint(t, res); got != fig6GoldenFingerprint {
+				t.Fatalf("procs=%d obs=%s: fingerprint %#016x != golden %#016x",
+					procs, name, got, uint64(fig6GoldenFingerprint))
+			}
+			if name == "sim" {
+				sum := res.Telemetry
+				if sum == nil {
+					t.Fatalf("procs=%d: SimCollector installed but Result.Telemetry nil", procs)
+				}
+				if sum.Rounds == 0 || sum.Chunks == 0 || sum.PayloadBytes == 0 ||
+					sum.ChunkHops < sum.Chunks || len(sum.Milestones) == 0 {
+					t.Fatalf("procs=%d: collector saw a vacuous run: %+v", procs, sum)
+				}
+			} else if res.Telemetry != nil {
+				t.Fatalf("procs=%d: Noop observer produced a Telemetry summary", procs)
+			}
 		}
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"p2prank/internal/pastry"
 	"p2prank/internal/ranker"
 	"p2prank/internal/simnet"
+	"p2prank/internal/telemetry"
 	"p2prank/internal/transport"
 	"p2prank/internal/vecmath"
 	"p2prank/internal/webgraph"
@@ -46,26 +47,23 @@ func (k OverlayKind) String() string {
 
 // Config describes one experiment. Zero values select the defaults
 // noted per field; Graph, K, and MaxTime are required.
+//
+// The algorithm knobs (Alg, Alpha, InnerEpsilon, SendProb, T1/T2,
+// Fault, Observer) live in the embedded dprcore.Params, the
+// configuration surface shared with netpeer — see DESIGN.md §9.
+// Engine-specific notes: T1/T2 are in virtual time units and default
+// to 15/15 (the Figure 8 setting); drawn means are clamped to at
+// least MinMeanWait to keep event counts finite. An Observer that is
+// a *telemetry.SimCollector additionally gets the simulator as its
+// clock, the overlay route lengths as its hop source, and its
+// aggregate published in Result.Telemetry.
 type Config struct {
+	// Params are the shared DPR loop parameters (see dprcore.Params).
+	dprcore.Params
 	// Graph is the crawl to rank.
 	Graph *webgraph.Graph
 	// K is the number of page rankers.
 	K int
-	// Alg selects DPR1 or DPR2.
-	Alg ranker.Algorithm
-	// Alpha is the real-link rank fraction (default 0.85).
-	Alpha float64
-	// InnerEpsilon is DPR1's inner termination threshold
-	// (default 1e-10).
-	InnerEpsilon float64
-	// SendProb is the paper's p: the probability a Y vector reaches a
-	// destination group each loop (default 1).
-	SendProb float64
-	// T1, T2 bound the per-ranker mean waiting time: each ranker draws
-	// its mean uniformly from [T1, T2] and waits Exp(mean) between
-	// loops. Defaults to T1 = T2 = 15 (the Figure 8 setting). Means
-	// are clamped to at least MinMeanWait to keep event counts finite.
-	T1, T2 float64
 	// Strategy selects the page-partitioning strategy (default BySite).
 	Strategy partition.Strategy
 	// Transport selects direct or indirect transmission (default
@@ -98,13 +96,6 @@ type Config struct {
 	// against centralized PageRank drops to this threshold (0 = run to
 	// MaxTime). Figure 8 uses 1e-4 (0.01%).
 	TargetRelErr float64
-	// Fault injects deterministic message faults (drop/delay/duplicate)
-	// between every ranker and the transport fabric, below the
-	// algorithm's own SendProb loss — the dprcore.FaultSender seam both
-	// stacks share, here on virtual time. Faults draw from their own
-	// RNG stream, so the zero value leaves runs bit-identical to a
-	// build without the seam. Delays are in virtual time units.
-	Fault dprcore.FaultConfig
 	// Disruptions take rankers offline for windows of virtual time —
 	// the paper's §4.2 asynchrony model taken to its extreme ("sleep
 	// for some time, suspend itself as its wish, or even shutdown").
@@ -135,20 +126,9 @@ func (c *Config) validate() error {
 	if c.MaxTime <= 0 {
 		return fmt.Errorf("engine: MaxTime = %v, must be positive", c.MaxTime)
 	}
-	if c.Alpha == 0 {
-		c.Alpha = 0.85
-	}
-	if c.InnerEpsilon == 0 {
-		c.InnerEpsilon = 1e-10
-	}
-	if c.SendProb == 0 {
-		c.SendProb = 1
-	}
-	if c.T1 == 0 && c.T2 == 0 {
-		c.T1, c.T2 = 15, 15
-	}
-	if c.T1 < 0 || c.T2 < c.T1 {
-		return fmt.Errorf("engine: wait range [%v, %v] invalid", c.T1, c.T2)
+	c.Params.Defaults(15, 15)
+	if err := c.Params.Validate(); err != nil {
+		return fmt.Errorf("engine: %w", err)
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -167,9 +147,6 @@ func (c *Config) validate() error {
 	}
 	if c.TargetRelErr < 0 {
 		return fmt.Errorf("engine: negative TargetRelErr %v", c.TargetRelErr)
-	}
-	if err := c.Fault.Validate(); err != nil {
-		return err
 	}
 	for i, d := range c.Disruptions {
 		if d.Ranker < 0 || d.Ranker >= c.K {
@@ -229,6 +206,9 @@ type Result struct {
 	// PagesPerRanker is each ranker's page-group size. Under by-site
 	// partitioning with few sites, some rankers own nothing.
 	PagesPerRanker []int
+	// Telemetry is the in-sim collector's aggregate, filled when
+	// Config.Observer is a *telemetry.SimCollector (nil otherwise).
+	Telemetry *telemetry.Summary
 }
 
 // FaultStats counts the faults a run's injector applied.
@@ -292,12 +272,23 @@ func build(cfg Config) (*cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	groups, err := ranker.BuildGroups(cfg.Graph, assign, cfg.Alpha)
+	groups, err := dprcore.BuildGroups(cfg.Graph, assign, cfg.Alpha)
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Observer != nil {
+		// Collectors that want timestamps or hop attribution get the
+		// simulator's virtual clock and the overlay's route lengths; the
+		// optional-interface probes keep telemetry a leaf package.
+		if cs, ok := cfg.Observer.(telemetry.ClockSetter); ok {
+			cs.SetClock(sim)
+		}
+		if hs, ok := cfg.Observer.(telemetry.HopsSetter); ok {
+			hs.SetHops(overlayHops(ov, cfg.Transport))
+		}
+	}
 	root := xrand.New(cfg.Seed ^ 0x9e3779b97f4a7c15)
-	var sender ranker.Sender = fab
+	var sender dprcore.Sender = fab
 	var faults *dprcore.FaultSender
 	if cfg.Fault.Enabled() {
 		// The fault stream is forked only when faults are on, so a
@@ -307,6 +298,7 @@ func build(cfg Config) (*cluster, error) {
 		if err != nil {
 			return nil, err
 		}
+		faults.Observe(cfg.Observer)
 		sender = faults
 	}
 	rankers := make([]*ranker.Ranker, cfg.K)
@@ -315,14 +307,7 @@ func build(cfg Config) (*cluster, error) {
 		if mean < MinMeanWait {
 			mean = MinMeanWait
 		}
-		rcfg := ranker.Config{
-			Alg:          cfg.Alg,
-			Alpha:        cfg.Alpha,
-			InnerEpsilon: cfg.InnerEpsilon,
-			SendProb:     cfg.SendProb,
-			MeanWait:     mean,
-		}
-		rk, err := ranker.New(groups[i], rcfg, sim, sender, root.Fork())
+		rk, err := ranker.New(groups[i], cfg.Params, mean, sim, sender, root.Fork())
 		if err != nil {
 			return nil, err
 		}
@@ -335,6 +320,30 @@ func build(cfg Config) (*cluster, error) {
 		cfg: cfg, sim: sim, net: net, ov: ov, fab: fab, faults: faults,
 		assign: assign, rankers: rankers,
 	}, nil
+}
+
+// overlayHops returns the chunk hop source for telemetry collectors:
+// the overlay route length from the sender to the destination group's
+// node under indirect transmission, 1 under direct (the payload takes
+// one trip after the lookup). Routes are memoized — the overlay is
+// static for the duration of a run.
+func overlayHops(ov overlay.Network, kind transport.Kind) func(src, dst int) int {
+	if kind != transport.Indirect {
+		return func(src, dst int) int { return 1 }
+	}
+	memo := make(map[[2]int]int)
+	return func(src, dst int) int {
+		key := [2]int{src, dst}
+		if h, ok := memo[key]; ok {
+			return h
+		}
+		h := 1
+		if path, err := overlay.Route(ov, src, ov.NodeID(dst)); err == nil && len(path) > 1 {
+			h = len(path) - 1
+		}
+		memo[key] = h
+		return h
+	}
 }
 
 // assemble copies every ranker's local ranks into a global vector.
@@ -447,7 +456,13 @@ func run(cfg Config, initial vecmath.Vec) (*Result, error) {
 				MeanLoops: cl.meanLoops(),
 			}
 			res.Samples = append(res.Samples, s)
-			if cfg.TargetRelErr > 0 && s.RelErr <= cfg.TargetRelErr && res.ConvergedAt < 0 {
+			converged := cfg.TargetRelErr > 0 && s.RelErr <= cfg.TargetRelErr && res.ConvergedAt < 0
+			if cfg.Observer != nil {
+				cfg.Observer.Milestone(telemetry.Milestone{
+					Time: t, RelErr: s.RelErr, MeanLoops: s.MeanLoops, Converged: converged,
+				})
+			}
+			if converged {
 				res.ConvergedAt = t
 				res.LoopsAtConvergence = s.MeanLoops
 				stopAll()
@@ -481,6 +496,10 @@ func run(cfg Config, initial vecmath.Vec) (*Result, error) {
 			Delayed:    cl.faults.Delayed(),
 			Duplicated: cl.faults.Duplicated(),
 		}
+	}
+	if sc, ok := cfg.Observer.(*telemetry.SimCollector); ok {
+		sum := sc.Summary()
+		res.Telemetry = &sum
 	}
 	return res, nil
 }

@@ -3,8 +3,8 @@ package engine
 import (
 	"testing"
 
+	"p2prank/internal/dprcore"
 	"p2prank/internal/partition"
-	"p2prank/internal/ranker"
 	"p2prank/internal/transport"
 	"p2prank/internal/vecmath"
 	"p2prank/internal/webgraph"
@@ -23,11 +23,9 @@ func genGraph(t testing.TB, pages int, seed uint64) *webgraph.Graph {
 
 func baseConfig(g *webgraph.Graph) Config {
 	return Config{
+		Params:      dprcore.Params{Alg: dprcore.DPR1, T1: 0.5, T2: 3},
 		Graph:       g,
 		K:           8,
-		Alg:         ranker.DPR1,
-		T1:          0.5,
-		T2:          3,
 		MaxTime:     300,
 		SampleEvery: 5,
 	}
@@ -61,7 +59,7 @@ func TestRunConvergesDPR1(t *testing.T) {
 func TestRunConvergesDPR2(t *testing.T) {
 	g := genGraph(t, 2500, 1)
 	cfg := baseConfig(g)
-	cfg.Alg = ranker.DPR2
+	cfg.Alg = dprcore.DPR2
 	cfg.MaxTime = 800
 	cfg.TargetRelErr = 1e-5
 	res, err := Run(cfg)
@@ -238,11 +236,11 @@ func TestRandomPartitionMovesMoreBytes(t *testing.T) {
 func TestConfigValidation(t *testing.T) {
 	g := genGraph(t, 200, 17)
 	bad := []Config{
-		{K: 4, MaxTime: 10},                          // no graph
-		{Graph: g, K: 0, MaxTime: 10},                // no rankers
-		{Graph: g, K: 4},                             // no horizon
-		{Graph: g, K: 4, MaxTime: 10, T1: 5, T2: 2},  // inverted range
-		{Graph: g, K: 4, MaxTime: 10, T1: -1, T2: 2}, // negative wait
+		{K: 4, MaxTime: 10},           // no graph
+		{Graph: g, K: 0, MaxTime: 10}, // no rankers
+		{Graph: g, K: 4},              // no horizon
+		{Graph: g, K: 4, MaxTime: 10, Params: dprcore.Params{T1: 5, T2: 2}},  // inverted range
+		{Graph: g, K: 4, MaxTime: 10, Params: dprcore.Params{T1: -1, T2: 2}}, // negative wait
 		{Graph: g, K: 4, MaxTime: 10, SampleEvery: -1},
 		{Graph: g, K: 4, MaxTime: 10, TargetRelErr: -1},
 		{Graph: g, K: 4, MaxTime: 10, Overlay: OverlayKind(9)},
@@ -304,7 +302,7 @@ func TestFig8Ordering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	run := func(alg ranker.Algorithm) float64 {
+	run := func(alg dprcore.Algorithm) float64 {
 		cfg := baseConfig(g)
 		cfg.Alg = alg
 		cfg.T1, cfg.T2 = 15, 15
@@ -320,8 +318,8 @@ func TestFig8Ordering(t *testing.T) {
 		}
 		return res.LoopsAtConvergence
 	}
-	dpr1 := run(ranker.DPR1)
-	dpr2 := run(ranker.DPR2)
+	dpr1 := run(dprcore.DPR1)
+	dpr2 := run(dprcore.DPR2)
 	if dpr1 >= float64(cpr) {
 		t.Fatalf("DPR1 used %.1f iterations, CPR %d — paper says DPR1 < CPR", dpr1, cpr)
 	}
@@ -349,8 +347,8 @@ func BenchmarkRunSmall(b *testing.B) {
 		b.Fatal(err)
 	}
 	ecfg := Config{
-		Graph: g, K: 8, Alg: ranker.DPR1,
-		T1: 0.5, T2: 3, MaxTime: 50, SampleEvery: 10,
+		Params: dprcore.Params{Alg: dprcore.DPR1, T1: 0.5, T2: 3},
+		Graph:  g, K: 8, MaxTime: 50, SampleEvery: 10,
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -4,7 +4,7 @@ import (
 	"testing"
 
 	"p2prank/internal/crawler"
-	"p2prank/internal/ranker"
+	"p2prank/internal/dprcore"
 	"p2prank/internal/vecmath"
 )
 
@@ -37,8 +37,8 @@ func crawlPhases(t *testing.T, pages, batches int) []Phase {
 func TestRunIncrementalConvergesEveryPhase(t *testing.T) {
 	phases := crawlPhases(t, 3000, 3)
 	cfg := Config{
-		K: 6, Alg: ranker.DPR1,
-		T1: 0.5, T2: 3, MaxTime: 400, SampleEvery: 5,
+		K: 6, Params: dprcore.Params{Alg: dprcore.DPR1, T1: 0.5, T2: 3},
+		MaxTime: 400, SampleEvery: 5,
 		TargetRelErr: 1e-6,
 	}
 	results, err := RunIncremental(cfg, phases)
@@ -61,8 +61,8 @@ func TestRunIncrementalConvergesEveryPhase(t *testing.T) {
 func TestIncrementalFixedPointMonotone(t *testing.T) {
 	phases := crawlPhases(t, 3000, 3)
 	cfg := Config{
-		K: 6, Alg: ranker.DPR1,
-		T1: 0.5, T2: 3, MaxTime: 300, SampleEvery: 5,
+		K: 6, Params: dprcore.Params{Alg: dprcore.DPR1, T1: 0.5, T2: 3},
+		MaxTime: 300, SampleEvery: 5,
 		TargetRelErr: 1e-7,
 	}
 	results, err := RunIncremental(cfg, phases)
@@ -92,8 +92,8 @@ func TestIncrementalFixedPointMonotone(t *testing.T) {
 func TestWarmStartBeatsColdStart(t *testing.T) {
 	phases := crawlPhases(t, 4000, 8)
 	cfg := Config{
-		K: 6, Alg: ranker.DPR1,
-		T1: 5, T2: 5, MaxTime: 2000, SampleEvery: 1,
+		K: 6, Params: dprcore.Params{Alg: dprcore.DPR1, T1: 5, T2: 5},
+		MaxTime: 2000, SampleEvery: 1,
 		TargetRelErr: 1e-9,
 	}
 	results, err := RunIncremental(cfg, phases)

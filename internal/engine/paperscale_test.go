@@ -4,7 +4,7 @@ import (
 	"os"
 	"testing"
 
-	"p2prank/internal/ranker"
+	"p2prank/internal/dprcore"
 	"p2prank/internal/webgraph"
 )
 
@@ -30,11 +30,9 @@ func TestPaperScale(t *testing.T) {
 		t.Fatalf("wrong scale: %+v", stats)
 	}
 	res, err := Run(Config{
+		Params:       dprcore.Params{Alg: dprcore.DPR1, T1: 0, T2: 6},
 		Graph:        g,
 		K:            1000,
-		Alg:          ranker.DPR1,
-		T1:           0,
-		T2:           6,
 		MaxTime:      300,
 		SampleEvery:  5,
 		TargetRelErr: 1e-4,

@@ -23,6 +23,7 @@ import (
 	"p2prank/internal/par"
 	"p2prank/internal/partition"
 	"p2prank/internal/simnet"
+	"p2prank/internal/telemetry"
 	"p2prank/internal/transport"
 	"p2prank/internal/webgraph"
 	"p2prank/internal/xrand"
@@ -138,12 +139,9 @@ func errorOverTime(w Workload, k int, maxTime float64, metric func(*engine.Sampl
 	par.Default().Run(len(curveParams), func(ci int) {
 		cp := curveParams[ci]
 		cfg := engine.Config{
+			Params:      dprcore.Params{Alg: dprcore.DPR1, SendProb: cp.sendProb, T1: cp.t1, T2: cp.t2},
 			Graph:       g,
 			K:           k,
-			Alg:         dprcore.DPR1,
-			SendProb:    cp.sendProb,
-			T1:          cp.t1,
-			T2:          cp.t2,
 			Seed:        w.Seed,
 			Reference:   ref,
 			SampleEvery: 1,
@@ -216,11 +214,9 @@ func Fig8(w Workload, ks []int) ([]Fig8Row, error) {
 	par.Default().Run(len(errs), func(job int) {
 		k, alg := ks[job/len(algs)], algs[job%len(algs)]
 		cfg := engine.Config{
+			Params:       dprcore.Params{Alg: alg, T1: 15, T2: 15},
 			Graph:        g,
 			K:            k,
-			Alg:          alg,
-			T1:           15,
-			T2:           15,
 			Seed:         w.Seed,
 			Reference:    ref,
 			SampleEvery:  5,
@@ -306,11 +302,9 @@ func Transmission(w Workload, ks []int, timePerRun float64) ([]TransmissionRow, 
 		ki, kind := job/len(kinds), kinds[job%len(kinds)]
 		k := ks[ki]
 		cfg := engine.Config{
+			Params:      dprcore.Params{Alg: dprcore.DPR1, T1: 3, T2: 3},
 			Graph:       g,
 			K:           k,
-			Alg:         dprcore.DPR1,
-			T1:          3,
-			T2:          3,
 			Seed:        w.Seed,
 			Reference:   ref,
 			SampleEvery: timePerRun, // one sample at the end
@@ -361,6 +355,124 @@ func RenderTransmission(rows []TransmissionRow) string {
 			fmt.Sprintf("%.0f", r.DirectMsgs), fmt.Sprintf("%.0f", r.IndirectMsgs),
 			fmt.Sprintf("%.0f", r.ModelDirectMsgs), fmt.Sprintf("%.0f", r.ModelIndirectMsgs),
 			fmt.Sprintf("%.0f", r.DirectBytes), fmt.Sprintf("%.0f", r.IndirectBytes))
+	}
+	return t.String()
+}
+
+// TrafficRow is one §4.4 traffic measurement taken at the telemetry
+// seam: per-iteration chunk, message, and payload-byte counts from the
+// in-sim collector, paired with the closed-form model predictions.
+type TrafficRow struct {
+	K int
+	// MeanRounds is the mean committed main-loop count per ranker.
+	MeanRounds float64
+	// ChunksPerIter counts score chunks emitted per iteration at the
+	// dprcore Sender seam (before transport framing).
+	ChunksPerIter float64
+	// MsgsPerIter counts overlay messages per iteration: each chunk
+	// weighted by its route's hop count.
+	MsgsPerIter float64
+	// BytesPerIter is the per-iteration payload volume (links × l).
+	BytesPerIter float64
+	// AvgHops is the measured mean overlay hops per chunk.
+	AvgHops float64
+	// ModelMsgs is formula 4.3's S_it = g·N with the measured overlay
+	// neighbor count plugged in.
+	ModelMsgs float64
+	// ModelBytes is formula 4.1's D_it = h·l·W with the measured h and
+	// the links actually shipped per iteration as W·l.
+	ModelBytes float64
+}
+
+// Traffic reproduces the §4.4 message/data cost table from telemetry:
+// each ranker population runs DPR1 under indirect transmission with a
+// SimCollector attached, and every measured column comes from the
+// collector's Summary — counted at the dprcore seam the paper's model
+// describes, not reverse-engineered from transport totals. Pages are
+// partitioned by URL hash so all ranker pairs communicate, the regime
+// the formulas assume.
+func Traffic(w Workload, ks []int, timePerRun float64) ([]TrafficRow, error) {
+	if len(ks) == 0 {
+		return nil, fmt.Errorf("experiments: no ranker counts")
+	}
+	if timePerRun <= 0 {
+		return nil, fmt.Errorf("experiments: timePerRun must be positive")
+	}
+	w.defaults()
+	g, err := w.Generate()
+	if err != nil {
+		return nil, err
+	}
+	ref, err := engine.Reference(g, defaultAlpha)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]TrafficRow, len(ks))
+	errs := make([]error, len(ks))
+	par.Default().Run(len(ks), func(i int) {
+		k := ks[i]
+		if k <= 0 {
+			errs[i] = fmt.Errorf("experiments: k = %d, must be positive", k)
+			return
+		}
+		col := telemetry.NewSimCollector(k)
+		cfg := engine.Config{
+			Params:      dprcore.Params{Alg: dprcore.DPR1, T1: 3, T2: 3, Observer: col},
+			Graph:       g,
+			K:           k,
+			Seed:        w.Seed,
+			Reference:   ref,
+			SampleEvery: timePerRun, // one sample at the end
+			MaxTime:     timePerRun,
+			Strategy:    partition.ByPage,
+			Transport:   transport.Indirect,
+		}
+		run, err := engine.Run(cfg)
+		if err != nil {
+			errs[i] = fmt.Errorf("experiments: traffic K=%d: %w", k, err)
+			return
+		}
+		sum := run.Telemetry
+		if sum == nil {
+			errs[i] = fmt.Errorf("experiments: traffic K=%d: no telemetry summary", k)
+			return
+		}
+		iters := sum.MeanRounds()
+		if iters == 0 {
+			iters = 1
+		}
+		h := sum.MeanChunkHops()
+		bytesPerIter := float64(sum.PayloadBytes) / iters
+		rows[i] = TrafficRow{
+			K:             k,
+			MeanRounds:    sum.MeanRounds(),
+			ChunksPerIter: float64(sum.Chunks) / iters,
+			MsgsPerIter:   float64(sum.ChunkHops) / iters,
+			BytesPerIter:  bytesPerIter,
+			AvgHops:       h,
+			ModelMsgs: bwmodel.Params{
+				W: float64(w.Pages), N: float64(k),
+				H: h, L: telemetry.DefaultBytesPerLink, R: 48, G: run.AvgNeighbors,
+			}.IndirectMessages(),
+			ModelBytes: h * bytesPerIter,
+		}
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// RenderTraffic formats §4.4 traffic rows as a table.
+func RenderTraffic(rows []TrafficRow) string {
+	t := metrics.NewTable("K", "rounds/ranker", "chunks/iter", "msgs/iter",
+		"payload B/iter", "hops/chunk", "model S_it", "model D_it")
+	for _, r := range rows {
+		t.AddRow(r.K,
+			fmt.Sprintf("%.1f", r.MeanRounds),
+			fmt.Sprintf("%.0f", r.ChunksPerIter), fmt.Sprintf("%.0f", r.MsgsPerIter),
+			fmt.Sprintf("%.0f", r.BytesPerIter), fmt.Sprintf("%.2f", r.AvgHops),
+			fmt.Sprintf("%.0f", r.ModelMsgs), fmt.Sprintf("%.0f", r.ModelBytes))
 	}
 	return t.String()
 }
@@ -484,11 +596,9 @@ func ConvergenceVsBandwidth(w Workload, k int, bws []float64, maxTime float64) (
 	par.Default().Run(len(bws), func(i int) {
 		bw := bws[i]
 		cfg := engine.Config{
+			Params:       dprcore.Params{Alg: dprcore.DPR1, T1: 3, T2: 3},
 			Graph:        g,
 			K:            k,
-			Alg:          dprcore.DPR1,
-			T1:           3,
-			T2:           3,
 			Seed:         w.Seed,
 			Reference:    ref,
 			SampleEvery:  1,
@@ -574,11 +684,9 @@ func Faults(w Workload, k int, drops []float64, maxTime float64) ([]FaultRow, er
 	errs := make([]error, len(drops))
 	par.Default().Run(len(drops), func(i int) {
 		cfg := engine.Config{
+			Params:       dprcore.Params{Alg: dprcore.DPR1, T1: 0, T2: 6},
 			Graph:        g,
 			K:            k,
-			Alg:          dprcore.DPR1,
-			T1:           0,
-			T2:           6,
 			Seed:         w.Seed,
 			Reference:    ref,
 			SampleEvery:  2,

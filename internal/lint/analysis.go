@@ -11,8 +11,8 @@
 //   - norand: all randomness flows through the seeded internal/xrand
 //     streams; direct math/rand imports are forbidden outside xrand.
 //   - nowallclock: simulation-path packages (simnet, engine, ranker,
-//     experiments) never read the wall clock; sim time comes from the
-//     simnet virtual clock.
+//     dprcore, experiments, par, telemetry) never read the wall clock;
+//     sim time comes from the simnet virtual clock.
 //   - floateq: rank values are never compared with ==/!= in the
 //     floating-point packages (pagerank, vecmath, ranker, rankcmp);
 //     comparisons must be epsilon-based or explicitly annotated.

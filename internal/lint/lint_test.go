@@ -38,6 +38,15 @@ func TestNoWallClockFlagsPar(t *testing.T) {
 	linttest.Run(t, "testdata", lint.NoWallClock, "p2prank/internal/par")
 }
 
+func TestTelemetryScopedForNoWallClockAndNoRand(t *testing.T) {
+	// The observability layer sits on the simulation path: collectors
+	// timestamp events through the injected Clock and must not sample
+	// with math/rand. One fixture exercises both rules.
+	linttest.RunAll(t, "testdata",
+		[]*lint.Analyzer{lint.NoWallClock, lint.NoRand},
+		"p2prank/internal/telemetry")
+}
+
 func TestFloatEqFlagsRankMath(t *testing.T) {
 	linttest.Run(t, "testdata", lint.FloatEq, "p2prank/internal/pagerank")
 }

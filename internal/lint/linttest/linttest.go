@@ -41,14 +41,23 @@ type expectation struct {
 // comments.
 func Run(t *testing.T, dir string, a *lint.Analyzer, importPath string) {
 	t.Helper()
+	RunAll(t, dir, []*lint.Analyzer{a}, importPath)
+}
+
+// RunAll is Run for several analyzers at once over one fixture: their
+// pooled diagnostics must jointly satisfy the fixture's want comments.
+// Use it when a fixture exercises rules from more than one analyzer
+// (e.g. a package scoped for both nowallclock and norand).
+func RunAll(t *testing.T, dir string, as []*lint.Analyzer, importPath string) {
+	t.Helper()
 	fixdir := filepath.Join(dir, "src", filepath.FromSlash(importPath))
 	pkg, err := lint.LoadDir(fixdir, importPath)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", fixdir, err)
 	}
-	diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	diags, err := lint.Run([]*lint.Package{pkg}, as)
 	if err != nil {
-		t.Fatalf("running %s on %s: %v", a.Name, importPath, err)
+		t.Fatalf("running on %s: %v", importPath, err)
 	}
 	wants, err := parseWants(fixdir)
 	if err != nil {
@@ -69,13 +78,13 @@ func Run(t *testing.T, dir string, a *lint.Analyzer, importPath string) {
 			}
 		}
 		if !ok {
-			t.Errorf("%s: unexpected diagnostic: %s", a.Name, d)
+			t.Errorf("%s: unexpected diagnostic: %s", d.Analyzer, d)
 		}
 	}
 	for i, w := range wants {
 		if !matched[i] {
-			t.Errorf("%s: %s:%d: expected diagnostic matching %q, got none",
-				a.Name, w.file, w.line, w.rx)
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none",
+				w.file, w.line, w.rx)
 		}
 	}
 }

@@ -40,6 +40,11 @@ var simPathPackages = []string{
 	// executor: it must block on channels, never sleep or poll the
 	// host clock, or virtual time would leak scheduling jitter.
 	"internal/par",
+	// The observability layer: collectors timestamp events with the
+	// Clock injected by their runtime (the simnet virtual clock in-sim,
+	// wall time only in the netpeer driver), so the in-sim traffic
+	// tables stay pure functions of seed and configuration.
+	"internal/telemetry",
 }
 
 // NoWallClock forbids wall-clock reads and waits in simulation-path

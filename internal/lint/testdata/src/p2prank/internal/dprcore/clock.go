@@ -9,8 +9,8 @@ import "time"
 // Wait is what a hurried driver shortcut would look like: blocking the
 // core on host time instead of the runtime's Waiter.
 func Wait(d time.Duration) float64 {
-	time.Sleep(d)                         // want `time.Sleep reads the wall clock`
-	deadline := time.Now().Add(d)         // want `time.Now reads the wall clock`
+	time.Sleep(d)                                // want `time.Sleep reads the wall clock`
+	deadline := time.Now().Add(d)                // want `time.Now reads the wall clock`
 	timer := time.NewTimer(time.Until(deadline)) // want `time.NewTimer reads the wall clock` `time.Until reads the wall clock`
 	<-timer.C
 	return float64(d)

@@ -1,0 +1,39 @@
+// Fixture: the observability layer is a simulation-path package — the
+// in-sim collector's timestamps must come from the Clock its runtime
+// injects (virtual time in the simulator), and any sampling decision
+// from a seeded xrand stream, or the §4.4 traffic tables stop being
+// pure functions of seed and configuration.
+package telemetry
+
+import (
+	"math/rand" // want `import of "math/rand" is forbidden outside internal/xrand`
+	"time"
+)
+
+// Event is one trace record as a collector would stamp it.
+type Event struct {
+	Time float64
+	Kind int
+}
+
+// Stamp is the shortcut a live-only collector would take: reading host
+// time for an event the simulator replays on virtual time.
+func Stamp(kind int) Event {
+	return Event{Time: float64(time.Now().UnixNano()), Kind: kind} // want `time.Now reads the wall clock`
+}
+
+// Sample downsamples the trace with the global rand source and paces
+// flushes on host time — the import above and both calls below are
+// what the analyzers must catch.
+func Sample(kind int) (Event, bool) {
+	if rand.Float64() < 0.5 {
+		return Event{}, false
+	}
+	e := Stamp(kind)
+	time.Sleep(time.Millisecond) // want `time.Sleep reads the wall clock`
+	return e, true
+}
+
+// Elapsed shows the legal use: durations as configuration values,
+// converted without consulting the host clock.
+func Elapsed(d time.Duration) float64 { return float64(d) }

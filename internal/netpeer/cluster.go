@@ -14,20 +14,20 @@ import (
 	"p2prank/internal/webgraph"
 )
 
-// ClusterConfig parameterizes StartCluster.
+// ClusterConfig parameterizes StartCluster. The algorithm knobs (Alg,
+// Alpha, SendProb, Fault, Observer, …) live in the embedded
+// dprcore.Params and are handed to every peer unchanged; an Observer
+// is shared by all peers of the cluster (the collectors are
+// goroutine-safe and keyed by ranker index).
 type ClusterConfig struct {
+	// Params are the shared DPR loop parameters (see dprcore.Params).
+	dprcore.Params
 	// K is the number of peers.
 	K int
-	// Alg selects DPR1 or DPR2.
-	Alg dprcore.Algorithm
-	// Alpha is the rank-transmission fraction (default 0.85).
-	Alpha float64
 	// Strategy is the partitioning strategy (default BySite).
 	Strategy partition.Strategy
 	// MeanWait is each peer's mean loop pause (default 30ms).
 	MeanWait time.Duration
-	// SendProb is the per-destination loss parameter p (default 1).
-	SendProb float64
 	// Indirect switches the cluster to §4.4 indirect transmission:
 	// score frames hop along the Pastry overlay through intermediate
 	// peers instead of going point-to-point.
@@ -35,9 +35,6 @@ type ClusterConfig struct {
 	// Codec optionally replaces gob framing with a compact wire codec
 	// shared by all peers (see internal/codec).
 	Codec transport.ChunkCodec
-	// Fault injects deterministic message faults into every peer's
-	// sender (see dprcore.FaultConfig). The zero value injects nothing.
-	Fault dprcore.FaultConfig
 	// Seed makes partitioning and waits reproducible (default 1).
 	Seed uint64
 }
@@ -64,14 +61,17 @@ func StartCluster(g *webgraph.Graph, cfg ClusterConfig) (*Cluster, error) {
 	if cfg.K <= 0 {
 		return nil, fmt.Errorf("netpeer: K = %d, must be positive", cfg.K)
 	}
-	if cfg.Alpha == 0 {
-		cfg.Alpha = 0.85
+	if cfg.MeanWait < 0 {
+		return nil, fmt.Errorf("netpeer: negative MeanWait")
 	}
-	if cfg.MeanWait == 0 {
+	if cfg.MeanWait == 0 && cfg.T1 == 0 && cfg.T2 == 0 {
 		cfg.MeanWait = 30 * time.Millisecond
 	}
-	if cfg.SendProb == 0 {
-		cfg.SendProb = 1
+	// Resolve the shared parameters up front: Alpha feeds the reference
+	// and group construction below, before any peer validates them again.
+	cfg.Params.Defaults(float64(cfg.MeanWait), float64(cfg.MeanWait))
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, fmt.Errorf("netpeer: %w", err)
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
@@ -99,14 +99,11 @@ func StartCluster(g *webgraph.Graph, cfg ClusterConfig) (*Cluster, error) {
 	cl := &Cluster{Assignment: assign, Reference: ref.Ranks, graph: g}
 	for i := 0; i < cfg.K; i++ {
 		pcfg := Config{
+			Params:   cfg.Params,
 			Group:    groups[i],
-			Alg:      cfg.Alg,
-			Alpha:    cfg.Alpha,
-			SendProb: cfg.SendProb,
 			MeanWait: cfg.MeanWait,
 			Seed:     cfg.Seed + uint64(i)*7919,
 			Codec:    cfg.Codec,
-			Fault:    cfg.Fault,
 		}
 		if cfg.Indirect {
 			pcfg.Overlay = ov

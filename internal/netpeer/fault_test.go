@@ -15,8 +15,8 @@ import (
 func TestClusterConvergesUnderFaultDrops(t *testing.T) {
 	g := genGraph(t, 1200, 1)
 	cl, err := StartCluster(g, ClusterConfig{
-		K: 4, Alg: dprcore.DPR1, MeanWait: 10 * time.Millisecond,
-		Fault: dprcore.FaultConfig{DropProb: 0.3},
+		Params: dprcore.Params{Alg: dprcore.DPR1, Fault: dprcore.FaultConfig{DropProb: 0.3}},
+		K:      4, MeanWait: 10 * time.Millisecond,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -41,12 +41,12 @@ func TestClusterConvergesUnderFaultDrops(t *testing.T) {
 func TestClusterConvergesUnderDelayAndDup(t *testing.T) {
 	g := genGraph(t, 1000, 3)
 	cl, err := StartCluster(g, ClusterConfig{
-		K: 3, Alg: dprcore.DPR1, MeanWait: 10 * time.Millisecond,
-		Fault: dprcore.FaultConfig{
+		Params: dprcore.Params{Alg: dprcore.DPR1, Fault: dprcore.FaultConfig{
 			DelayProb: 0.25,
 			MeanDelay: float64(20 * time.Millisecond),
 			DupProb:   0.25,
-		},
+		}},
+		K: 3, MeanWait: 10 * time.Millisecond,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -30,26 +30,30 @@ import (
 
 	"p2prank/internal/dprcore"
 	"p2prank/internal/overlay"
+	"p2prank/internal/telemetry"
 	"p2prank/internal/transport"
 	"p2prank/internal/vecmath"
 	"p2prank/internal/xrand"
 )
 
 // Config parameterizes one peer.
+//
+// The algorithm knobs (Alg, Alpha, InnerEpsilon, SendProb, T1/T2,
+// Fault, Observer) live in the embedded dprcore.Params, the same
+// configuration surface the simulator's engine.Config embeds — see
+// DESIGN.md §9. On the live stack T1/T2 are wall-clock nanoseconds;
+// most callers leave them zero and set MeanWait instead. An Observer
+// that is a *telemetry.LiveCollector additionally gets the wall clock
+// for trace timestamps and overlay route lengths for hop attribution.
 type Config struct {
+	// Params are the shared DPR loop parameters (see dprcore.Params).
+	dprcore.Params
 	// Group is the peer's page group (from dprcore.BuildGroups).
 	Group *dprcore.Group
-	// Alg selects DPR1 or DPR2.
-	Alg dprcore.Algorithm
-	// Alpha is the real-link rank fraction (default 0.85).
-	Alpha float64
-	// InnerEpsilon is DPR1's inner threshold (default 1e-10).
-	InnerEpsilon float64
-	// SendProb is the paper's p, applied per destination per loop
-	// (default 1).
-	SendProb float64
 	// MeanWait is the mean of the exponentially distributed pause
-	// between loops (default 50ms).
+	// between loops (default 50ms) — the convenience spelling of the
+	// common fixed-mean case. When T1/T2 are zero it maps onto
+	// T1 = T2 = MeanWait nanoseconds; explicit T1/T2 win.
 	MeanWait time.Duration
 	// Seed drives the peer's private randomness (default 1).
 	Seed uint64
@@ -63,48 +67,26 @@ type Config struct {
 	// genuinely quantize the exchanged scores. All peers of a cluster
 	// must use the same codec.
 	Codec transport.ChunkCodec
-	// Fault injects deterministic message faults (drop/delay/duplicate)
-	// between the loop and the wire — the same dprcore.FaultSender the
-	// simulator uses, here running on the wall clock. The zero value
-	// injects nothing.
-	Fault dprcore.FaultConfig
 }
 
 func (c *Config) validate() error {
 	if c.Group == nil {
 		return errors.New("netpeer: Group is required")
 	}
-	if c.Alg != dprcore.DPR1 && c.Alg != dprcore.DPR2 {
-		return fmt.Errorf("netpeer: unknown algorithm %d", int(c.Alg))
-	}
-	if c.Alpha == 0 {
-		c.Alpha = 0.85
-	}
-	if c.Alpha <= 0 || c.Alpha >= 1 {
-		return fmt.Errorf("netpeer: alpha = %v out of range", c.Alpha)
-	}
-	if c.InnerEpsilon == 0 {
-		c.InnerEpsilon = 1e-10
-	}
-	if c.InnerEpsilon < 0 {
-		return fmt.Errorf("netpeer: negative InnerEpsilon")
-	}
-	if c.SendProb == 0 {
-		c.SendProb = 1
-	}
-	if c.SendProb < 0 || c.SendProb > 1 {
-		return fmt.Errorf("netpeer: SendProb %v out of range", c.SendProb)
-	}
-	if c.MeanWait == 0 {
-		c.MeanWait = 50 * time.Millisecond
-	}
 	if c.MeanWait < 0 {
 		return fmt.Errorf("netpeer: negative MeanWait")
+	}
+	if c.MeanWait == 0 && c.T1 == 0 && c.T2 == 0 {
+		c.MeanWait = 50 * time.Millisecond
+	}
+	c.Params.Defaults(float64(c.MeanWait), float64(c.MeanWait))
+	if err := c.Params.Validate(); err != nil {
+		return fmt.Errorf("netpeer: %w", err)
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
-	return c.Fault.Validate()
+	return nil
 }
 
 // frame is the single wire message: a batch of score chunks.
@@ -240,16 +222,30 @@ func Listen(addr string, cfg Config) (*Peer, error) {
 			ln.Close()
 			return nil, err
 		}
+		fs.Observe(cfg.Observer)
 		sender = fs
 		p.faults = fs
 	}
-	loop, err := dprcore.NewLoop(cfg.Group, dprcore.Config{
-		Alg:          cfg.Alg,
-		Alpha:        cfg.Alpha,
-		InnerEpsilon: cfg.InnerEpsilon,
-		SendProb:     cfg.SendProb,
-		MeanWait:     float64(cfg.MeanWait),
-	}, sender, xrand.New(cfg.Seed))
+	if cfg.Observer != nil {
+		// A collector that wants timestamps gets the wall clock (the live
+		// stack's Clock), and one that wants hop counts gets overlay
+		// route lengths — mirroring the simulator's wiring in
+		// engine.build.
+		if cs, ok := cfg.Observer.(telemetry.ClockSetter); ok {
+			cs.SetClock(wallClock{})
+		}
+		if hs, ok := cfg.Observer.(telemetry.HopsSetter); ok {
+			hs.SetHops(peerHops(cfg.Overlay))
+		}
+	}
+	// Each peer resolves its loop's mean wait from [T1, T2] with its own
+	// seed-keyed stream, so a heterogeneous wait range gives every peer a
+	// distinct pace — the live analogue of the engine's per-ranker draw.
+	mean := cfg.T1
+	if cfg.T2 > cfg.T1 {
+		mean += xrand.New(cfg.Seed^0x94d049bb133111eb).Float64() * (cfg.T2 - cfg.T1)
+	}
+	loop, err := dprcore.NewLoop(cfg.Group, cfg.Params, mean, sender, xrand.New(cfg.Seed))
 	if err != nil {
 		ln.Close()
 		return nil, err
@@ -461,6 +457,29 @@ func (p *Peer) sendFrame(group int32, chunks []transport.ScoreChunk) {
 		return
 	}
 	p.sent.Add(int64(len(chunks)))
+}
+
+// peerHops builds the hop-attribution function handed to a collector:
+// constant 1 under direct transmission, overlay route length under
+// indirect. Memoization is safe without a lock because collectors call
+// the function under their own mutex and the overlay is static.
+func peerHops(ov overlay.Network) func(src, dst int) int {
+	if ov == nil {
+		return func(src, dst int) int { return 1 }
+	}
+	memo := make(map[[2]int]int)
+	return func(src, dst int) int {
+		key := [2]int{src, dst}
+		if h, ok := memo[key]; ok {
+			return h
+		}
+		h := 1
+		if path, err := overlay.Route(ov, src, ov.NodeID(dst)); err == nil && len(path) > 1 {
+			h = len(path) - 1
+		}
+		memo[key] = h
+		return h
+	}
 }
 
 func (p *Peer) conn(group int32, addr string) (*peerConn, error) {

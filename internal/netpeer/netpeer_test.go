@@ -5,7 +5,7 @@ import (
 	"time"
 
 	"p2prank/internal/codec"
-	"p2prank/internal/ranker"
+	"p2prank/internal/dprcore"
 	"p2prank/internal/transport"
 	"p2prank/internal/vecmath"
 	"p2prank/internal/webgraph"
@@ -24,7 +24,7 @@ func genGraph(t testing.TB, pages int, seed uint64) *webgraph.Graph {
 
 func TestClusterConvergesDPR1(t *testing.T) {
 	g := genGraph(t, 1200, 1)
-	cl, err := StartCluster(g, ClusterConfig{K: 4, Alg: ranker.DPR1, MeanWait: 10 * time.Millisecond})
+	cl, err := StartCluster(g, ClusterConfig{Params: dprcore.Params{Alg: dprcore.DPR1}, K: 4, MeanWait: 10 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +36,7 @@ func TestClusterConvergesDPR1(t *testing.T) {
 
 func TestClusterConvergesDPR2(t *testing.T) {
 	g := genGraph(t, 1200, 1)
-	cl, err := StartCluster(g, ClusterConfig{K: 4, Alg: ranker.DPR2, MeanWait: 5 * time.Millisecond})
+	cl, err := StartCluster(g, ClusterConfig{Params: dprcore.Params{Alg: dprcore.DPR2}, K: 4, MeanWait: 5 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func TestClusterConvergesDPR2(t *testing.T) {
 
 func TestClusterSurvivesPeerLoss(t *testing.T) {
 	g := genGraph(t, 1000, 3)
-	cl, err := StartCluster(g, ClusterConfig{K: 4, Alg: ranker.DPR1, MeanWait: 10 * time.Millisecond})
+	cl, err := StartCluster(g, ClusterConfig{Params: dprcore.Params{Alg: dprcore.DPR1}, K: 4, MeanWait: 10 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,8 @@ func TestClusterSurvivesPeerLoss(t *testing.T) {
 func TestClusterWithLossConverges(t *testing.T) {
 	g := genGraph(t, 1000, 5)
 	cl, err := StartCluster(g, ClusterConfig{
-		K: 4, Alg: ranker.DPR1, MeanWait: 8 * time.Millisecond, SendProb: 0.7,
+		Params: dprcore.Params{Alg: dprcore.DPR1, SendProb: 0.7},
+		K:      4, MeanWait: 8 * time.Millisecond,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -90,7 +91,7 @@ func TestClusterWithLossConverges(t *testing.T) {
 
 func TestPeerMonotoneUnderRealAsync(t *testing.T) {
 	g := genGraph(t, 800, 7)
-	cl, err := StartCluster(g, ClusterConfig{K: 3, Alg: ranker.DPR1, MeanWait: 10 * time.Millisecond})
+	cl, err := StartCluster(g, ClusterConfig{Params: dprcore.Params{Alg: dprcore.DPR1}, K: 3, MeanWait: 10 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +205,8 @@ func TestIndirectClusterConverges(t *testing.T) {
 		t.Fatal(err)
 	}
 	cl, err := StartCluster(g, ClusterConfig{
-		K: 40, Alg: ranker.DPR1, MeanWait: 10 * time.Millisecond, Indirect: true,
+		Params: dprcore.Params{Alg: dprcore.DPR1},
+		K:      40, MeanWait: 10 * time.Millisecond, Indirect: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -227,7 +229,7 @@ func TestIndirectClusterConverges(t *testing.T) {
 
 func TestDirectClusterNeverRelays(t *testing.T) {
 	g := genGraph(t, 800, 19)
-	cl, err := StartCluster(g, ClusterConfig{K: 4, Alg: ranker.DPR1, MeanWait: 10 * time.Millisecond})
+	cl, err := StartCluster(g, ClusterConfig{Params: dprcore.Params{Alg: dprcore.DPR1}, K: 4, MeanWait: 10 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +246,8 @@ func TestCodecWireCluster(t *testing.T) {
 	g := genGraph(t, 1000, 21)
 	for _, cd := range []transport.ChunkCodec{codec.Plain{}, codec.Delta{}, codec.NewQuantized(20)} {
 		cl, err := StartCluster(g, ClusterConfig{
-			K: 4, Alg: ranker.DPR1, MeanWait: 8 * time.Millisecond, Codec: cd,
+			Params: dprcore.Params{Alg: dprcore.DPR1},
+			K:      4, MeanWait: 8 * time.Millisecond, Codec: cd,
 		})
 		if err != nil {
 			t.Fatalf("%s: %v", cd.Name(), err)
@@ -266,7 +269,8 @@ func TestCodecWireIndirectCluster(t *testing.T) {
 		t.Fatal(err)
 	}
 	cl, err := StartCluster(g, ClusterConfig{
-		K: 32, Alg: ranker.DPR1, MeanWait: 10 * time.Millisecond,
+		Params: dprcore.Params{Alg: dprcore.DPR1},
+		K:      32, MeanWait: 10 * time.Millisecond,
 		Indirect: true, Codec: codec.Delta{},
 	})
 	if err != nil {

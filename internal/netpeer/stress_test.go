@@ -5,7 +5,7 @@ import (
 	"testing"
 	"time"
 
-	"p2prank/internal/ranker"
+	"p2prank/internal/dprcore"
 )
 
 // TestStressPeerStopUnderLoad is the CI race-detector stress test: a
@@ -18,8 +18,8 @@ import (
 func TestStressPeerStopUnderLoad(t *testing.T) {
 	g := genGraph(t, 900, 11)
 	cl, err := StartCluster(g, ClusterConfig{
+		Params:   dprcore.Params{Alg: dprcore.DPR1},
 		K:        5,
-		Alg:      ranker.DPR1,
 		MeanWait: 5 * time.Millisecond,
 		Indirect: true,
 		Seed:     11,
@@ -91,8 +91,8 @@ func TestStressCloseDuringDial(t *testing.T) {
 	g := genGraph(t, 400, 13)
 	for i := 0; i < 3; i++ {
 		cl, err := StartCluster(g, ClusterConfig{
+			Params:   dprcore.Params{Alg: dprcore.DPR2},
 			K:        4,
-			Alg:      ranker.DPR2,
 			MeanWait: time.Millisecond,
 			Seed:     uint64(17 + i),
 		})

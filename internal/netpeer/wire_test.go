@@ -5,7 +5,7 @@ import (
 	"testing"
 
 	"p2prank/internal/codec"
-	"p2prank/internal/ranker"
+	"p2prank/internal/dprcore"
 	"p2prank/internal/transport"
 )
 
@@ -138,13 +138,15 @@ func TestPeerConfigValidation(t *testing.T) {
 	defer cl.Close()
 	grp := cl.Peers[0].cfg.Group
 	bad := []Config{
-		{Group: grp, Alg: ranker.Algorithm(9)},
-		{Group: grp, Alpha: 2},
-		{Group: grp, Alpha: -1},
-		{Group: grp, InnerEpsilon: -1},
-		{Group: grp, SendProb: -0.5},
-		{Group: grp, SendProb: 1.5},
+		{Group: grp, Params: dprcore.Params{Alg: dprcore.Algorithm(9)}},
+		{Group: grp, Params: dprcore.Params{Alpha: 2}},
+		{Group: grp, Params: dprcore.Params{Alpha: -1}},
+		{Group: grp, Params: dprcore.Params{InnerEpsilon: -1}},
+		{Group: grp, Params: dprcore.Params{SendProb: -0.5}},
+		{Group: grp, Params: dprcore.Params{SendProb: 1.5}},
 		{Group: grp, MeanWait: -1},
+		{Group: grp, Params: dprcore.Params{T1: 5, T2: 1}},
+		{Group: grp, Params: dprcore.Params{Fault: dprcore.FaultConfig{DropProb: 2}}},
 	}
 	for i, cfg := range bad {
 		if _, err := Listen("127.0.0.1:0", cfg); err == nil {

@@ -108,6 +108,7 @@ func (s *GroupSystem) SolveInPlace(r, x, scratch vecmath.Vec, opt Options) (Resu
 		delta := s.A.StepDelta(next, cur, s.BetaE, x)
 		cur, next = next, cur
 		res.Iterations = it + 1
+		res.FinalDelta = delta
 		if opt.TrackResiduals {
 			res.Residuals = append(res.Residuals, delta)
 		}

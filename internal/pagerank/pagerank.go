@@ -71,6 +71,11 @@ type Result struct {
 	// Converged reports whether the ε threshold was reached before
 	// MaxIter.
 	Converged bool
+	// FinalDelta is ‖R_{i+1} − R_i‖₁ of the last step — the residual
+	// the termination check compared against ε. Recorded always (a
+	// scalar, unlike Residuals), so telemetry can report it without
+	// turning on per-step tracking.
+	FinalDelta float64
 	// Residuals, if requested, holds ‖R_{i+1} − R_i‖₁ per step.
 	Residuals []float64
 }

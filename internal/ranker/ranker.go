@@ -18,36 +18,6 @@ import (
 	"p2prank/internal/xrand"
 )
 
-// Algorithm selects the distributed iteration style of §4.2 (see
-// dprcore.Algorithm).
-type Algorithm = dprcore.Algorithm
-
-const (
-	// DPR1 runs GroupPageRank to convergence inside every loop
-	// (Algorithm 3).
-	DPR1 = dprcore.DPR1
-	// DPR2 performs a single Jacobi step per loop (Algorithm 4).
-	DPR2 = dprcore.DPR2
-)
-
-// Sender is the transport surface a ranker needs; *transport.Fabric
-// implements it (see dprcore.Sender).
-type Sender = dprcore.Sender
-
-// Config parameterizes one ranker's loop (see dprcore.Config;
-// MeanWait is in virtual time units here).
-type Config = dprcore.Config
-
-// Group is one ranker's slice of the web graph (see dprcore.Group).
-type Group = dprcore.Group
-
-// EffEntry is an aggregated efferent edge (see dprcore.EffEntry).
-type EffEntry = dprcore.EffEntry
-
-// BuildGroups slices the graph into one Group per ranker according to
-// the assignment (see dprcore.BuildGroups).
-var BuildGroups = dprcore.BuildGroups
-
 // Ranker is one asynchronous page-ranking node. It is driven entirely
 // by simulator events; all methods must be called from the simulation
 // goroutine.
@@ -60,12 +30,14 @@ type Ranker struct {
 	suspended bool
 }
 
-// New builds a ranker for grp. The rng must be private to this ranker.
-func New(grp *Group, cfg Config, sim *simnet.Simulator, sender Sender, rng *xrand.Rand) (*Ranker, error) {
+// New builds a ranker for grp with the resolved per-loop mean wait in
+// virtual time units (the engine draws it from [T1, T2]). The rng must
+// be private to this ranker.
+func New(grp *dprcore.Group, p dprcore.Params, meanWait float64, sim *simnet.Simulator, sender dprcore.Sender, rng *xrand.Rand) (*Ranker, error) {
 	if sim == nil {
 		return nil, fmt.Errorf("ranker: nil simulator")
 	}
-	loop, err := dprcore.NewLoop(grp, cfg, sender, rng)
+	loop, err := dprcore.NewLoop(grp, p, meanWait, sender, rng)
 	if err != nil {
 		return nil, err
 	}
@@ -73,7 +45,7 @@ func New(grp *Group, cfg Config, sim *simnet.Simulator, sender Sender, rng *xran
 }
 
 // Group returns the ranker's page group.
-func (rk *Ranker) Group() *Group { return rk.loop.Group() }
+func (rk *Ranker) Group() *dprcore.Group { return rk.loop.Group() }
 
 // SetInitialRanks warm-starts the ranker from a previous run's ranks —
 // how an incremental recrawl avoids ranking from scratch (§4.3's

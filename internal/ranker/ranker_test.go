@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"p2prank/internal/dprcore"
 	"p2prank/internal/nodeid"
 	"p2prank/internal/pagerank"
 	"p2prank/internal/partition"
@@ -46,7 +47,7 @@ func makeAssignment(t testing.TB, g *webgraph.Graph, k int, strat partition.Stra
 func TestBuildGroupsCoverage(t *testing.T) {
 	g := genGraph(t, 4000, 3)
 	a := makeAssignment(t, g, 8, partition.BySite)
-	groups, err := BuildGroups(g, a, 0.85)
+	groups, err := dprcore.BuildGroups(g, a, 0.85)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestBuildGroupsBadAlpha(t *testing.T) {
 	g := genGraph(t, 200, 1)
 	a := makeAssignment(t, g, 4, partition.BySite)
 	for _, alpha := range []float64{0, 1, -1, 2} {
-		if _, err := BuildGroups(g, a, alpha); err == nil {
+		if _, err := dprcore.BuildGroups(g, a, alpha); err == nil {
 			t.Errorf("alpha %v accepted", alpha)
 		}
 	}
@@ -120,11 +121,15 @@ func (s *instantSender) Send(from int, c transport.ScoreChunk) error {
 }
 func (s *instantSender) Flush(from int) error { return nil }
 
+// clusterMeanWait is the per-loop mean wait every test ranker uses, in
+// virtual time units.
+const clusterMeanWait = 3
+
 // cluster builds K rankers over an instant sender, ready to Start.
-func cluster(t *testing.T, g *webgraph.Graph, k int, cfg Config, seed uint64) (*simnet.Simulator, []*Ranker, *instantSender) {
+func cluster(t *testing.T, g *webgraph.Graph, k int, p dprcore.Params, seed uint64) (*simnet.Simulator, []*Ranker, *instantSender) {
 	t.Helper()
 	a := makeAssignment(t, g, k, partition.BySite)
-	groups, err := BuildGroups(g, a, cfg.Alpha)
+	groups, err := dprcore.BuildGroups(g, a, p.Alpha)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +138,7 @@ func cluster(t *testing.T, g *webgraph.Graph, k int, cfg Config, seed uint64) (*
 	root := xrand.New(seed)
 	rankers := make([]*Ranker, k)
 	for i := 0; i < k; i++ {
-		rk, err := New(groups[i], cfg, sim, sender, root.Fork())
+		rk, err := New(groups[i], p, clusterMeanWait, sim, sender, root.Fork())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -154,13 +159,12 @@ func assemble(g *webgraph.Graph, a *partition.Assignment, rankers []*Ranker) vec
 	return out
 }
 
-func baseConfig(alg Algorithm) Config {
-	return Config{
+func baseParams(alg dprcore.Algorithm) dprcore.Params {
+	return dprcore.Params{
 		Alg:          alg,
 		Alpha:        0.85,
 		InnerEpsilon: 1e-10,
 		SendProb:     1,
-		MeanWait:     3,
 	}
 }
 
@@ -171,7 +175,7 @@ func TestDPR1ConvergesToCentralized(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim, rankers, _ := cluster(t, g, 6, baseConfig(DPR1), 11)
+	sim, rankers, _ := cluster(t, g, 6, baseParams(dprcore.DPR1), 11)
 	for _, rk := range rankers {
 		rk.Start()
 	}
@@ -192,7 +196,7 @@ func TestDPR2ConvergesToCentralized(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim, rankers, _ := cluster(t, g, 6, baseConfig(DPR2), 13)
+	sim, rankers, _ := cluster(t, g, 6, baseParams(dprcore.DPR2), 13)
 	for _, rk := range rankers {
 		rk.Start()
 	}
@@ -210,7 +214,7 @@ func TestDPR2ConvergesToCentralized(t *testing.T) {
 // vector is monotone non-decreasing across loops, even under loss.
 func TestDPR1Monotone(t *testing.T) {
 	g := genGraph(t, 2000, 9)
-	cfg := baseConfig(DPR1)
+	cfg := baseParams(dprcore.DPR1)
 	cfg.SendProb = 0.7
 	sim, rankers, _ := cluster(t, g, 5, cfg, 17)
 	for _, rk := range rankers {
@@ -244,7 +248,7 @@ func TestDPR1BoundedByCentralized(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := baseConfig(DPR1)
+	cfg := baseParams(dprcore.DPR1)
 	cfg.SendProb = 0.6
 	sim, rankers, _ := cluster(t, g, 5, cfg, 19)
 	for _, rk := range rankers {
@@ -270,7 +274,7 @@ func TestLossSlowsButDoesNotPreventConvergence(t *testing.T) {
 		t.Fatal(err)
 	}
 	errAt := func(sendProb float64, seed uint64) float64 {
-		cfg := baseConfig(DPR1)
+		cfg := baseParams(dprcore.DPR1)
 		cfg.SendProb = sendProb
 		sim, rankers, _ := cluster(t, g, 5, cfg, seed)
 		for _, rk := range rankers {
@@ -289,7 +293,7 @@ func TestLossSlowsButDoesNotPreventConvergence(t *testing.T) {
 		t.Fatalf("loss did not slow convergence: lossless %v, lossy %v", lossless, lossy)
 	}
 	// And the lossy run still converges eventually.
-	cfg := baseConfig(DPR1)
+	cfg := baseParams(dprcore.DPR1)
 	cfg.SendProb = 0.3
 	sim, rankers, _ := cluster(t, g, 5, cfg, 23)
 	for _, rk := range rankers {
@@ -310,7 +314,7 @@ func TestLossSlowsButDoesNotPreventConvergence(t *testing.T) {
 
 func TestDeliverWrongGroupPanics(t *testing.T) {
 	g := genGraph(t, 500, 25)
-	_, rankers, _ := cluster(t, g, 4, baseConfig(DPR1), 29)
+	_, rankers, _ := cluster(t, g, 4, baseParams(dprcore.DPR1), 29)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("misrouted chunk accepted")
@@ -321,7 +325,7 @@ func TestDeliverWrongGroupPanics(t *testing.T) {
 
 func TestStopHaltsLoops(t *testing.T) {
 	g := genGraph(t, 500, 31)
-	sim, rankers, _ := cluster(t, g, 4, baseConfig(DPR1), 31)
+	sim, rankers, _ := cluster(t, g, 4, baseParams(dprcore.DPR1), 31)
 	for _, rk := range rankers {
 		rk.Start()
 	}
@@ -341,7 +345,7 @@ func TestStopHaltsLoops(t *testing.T) {
 
 func TestStartIdempotent(t *testing.T) {
 	g := genGraph(t, 300, 33)
-	sim, rankers, _ := cluster(t, g, 4, baseConfig(DPR2), 33)
+	sim, rankers, _ := cluster(t, g, 4, baseParams(dprcore.DPR2), 33)
 	rankers[0].Start()
 	rankers[0].Start() // must not double-schedule
 	sim.RunUntil(20)
@@ -356,40 +360,34 @@ func TestStartIdempotent(t *testing.T) {
 func TestConfigValidation(t *testing.T) {
 	g := genGraph(t, 300, 35)
 	a := makeAssignment(t, g, 2, partition.BySite)
-	groups, err := BuildGroups(g, a, 0.85)
+	groups, err := dprcore.BuildGroups(g, a, 0.85)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sim := simnet.New(1)
 	sender := &instantSender{}
 	rng := xrand.New(1)
-	bad := []Config{
-		{Alg: Algorithm(9), Alpha: 0.85, SendProb: 1, MeanWait: 1},
-		{Alg: DPR1, Alpha: 0, SendProb: 1, MeanWait: 1},
-		{Alg: DPR1, Alpha: 0.85, SendProb: -0.1, MeanWait: 1},
-		{Alg: DPR1, Alpha: 0.85, SendProb: 2, MeanWait: 1},
-		{Alg: DPR1, Alpha: 0.85, SendProb: 1, MeanWait: -1},
-		{Alg: DPR1, Alpha: 0.85, InnerEpsilon: -1, SendProb: 1, MeanWait: 1},
+	bad := []struct {
+		p        dprcore.Params
+		meanWait float64
+	}{
+		{dprcore.Params{Alg: dprcore.Algorithm(9), Alpha: 0.85, SendProb: 1}, 1},
+		{dprcore.Params{Alg: dprcore.DPR1, Alpha: 0, SendProb: 1}, 1},
+		{dprcore.Params{Alg: dprcore.DPR1, Alpha: 0.85, SendProb: -0.1}, 1},
+		{dprcore.Params{Alg: dprcore.DPR1, Alpha: 0.85, SendProb: 2}, 1},
+		{dprcore.Params{Alg: dprcore.DPR1, Alpha: 0.85, SendProb: 1}, -1},
+		{dprcore.Params{Alg: dprcore.DPR1, Alpha: 0.85, InnerEpsilon: -1, SendProb: 1}, 1},
 	}
-	for i, cfg := range bad {
-		if _, err := New(groups[0], cfg, sim, sender, rng); err == nil {
-			t.Errorf("config %d accepted: %+v", i, cfg)
+	for i, tc := range bad {
+		if _, err := New(groups[0], tc.p, tc.meanWait, sim, sender, rng); err == nil {
+			t.Errorf("params %d accepted: %+v", i, tc)
 		}
 	}
-	if _, err := New(nil, baseConfig(DPR1), sim, sender, rng); err == nil {
+	if _, err := New(nil, baseParams(dprcore.DPR1), 1, sim, sender, rng); err == nil {
 		t.Error("nil group accepted")
 	}
-	if _, err := New(groups[0], baseConfig(DPR1), nil, sender, rng); err == nil {
+	if _, err := New(groups[0], baseParams(dprcore.DPR1), 1, nil, sender, rng); err == nil {
 		t.Error("nil simulator accepted")
-	}
-}
-
-func TestAlgorithmString(t *testing.T) {
-	if DPR1.String() != "DPR1" || DPR2.String() != "DPR2" {
-		t.Fatal("algorithm names wrong")
-	}
-	if Algorithm(5).String() == "" {
-		t.Fatal("unknown algorithm name empty")
 	}
 }
 
@@ -397,7 +395,7 @@ func TestRankerDeterminism(t *testing.T) {
 	g := genGraph(t, 1000, 37)
 	run := func() vecmath.Vec {
 		a := makeAssignment(t, g, 4, partition.BySite)
-		sim, rankers, _ := cluster(t, g, 4, baseConfig(DPR1), 41)
+		sim, rankers, _ := cluster(t, g, 4, baseParams(dprcore.DPR1), 41)
 		for _, rk := range rankers {
 			rk.Start()
 		}
@@ -434,17 +432,17 @@ func BenchmarkDPR1Loop(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	groups, err := BuildGroups(g, a, 0.85)
+	groups, err := dprcore.BuildGroups(g, a, 0.85)
 	if err != nil {
 		b.Fatal(err)
 	}
 	sim := simnet.New(1)
 	sender := &instantSender{}
 	rankers := make([]*Ranker, 8)
-	rcfg := Config{Alg: DPR1, Alpha: 0.85, InnerEpsilon: 1e-10, SendProb: 1, MeanWait: 1}
+	rp := dprcore.Params{Alg: dprcore.DPR1, Alpha: 0.85, InnerEpsilon: 1e-10, SendProb: 1}
 	root := xrand.New(1)
 	for i := range rankers {
-		rk, err := New(groups[i], rcfg, sim, sender, root.Fork())
+		rk, err := New(groups[i], rp, 1, sim, sender, root.Fork())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -2,11 +2,13 @@ package ranker
 
 import (
 	"testing"
+
+	"p2prank/internal/dprcore"
 )
 
 func TestSuspendResume(t *testing.T) {
 	g := genGraph(t, 800, 51)
-	sim, rankers, _ := cluster(t, g, 4, baseConfig(DPR1), 51)
+	sim, rankers, _ := cluster(t, g, 4, baseParams(dprcore.DPR1), 51)
 	for _, rk := range rankers {
 		rk.Start()
 	}
@@ -37,7 +39,7 @@ func TestSuspendResume(t *testing.T) {
 
 func TestResumeWithoutSuspendIsNoop(t *testing.T) {
 	g := genGraph(t, 400, 53)
-	sim, rankers, _ := cluster(t, g, 4, baseConfig(DPR2), 53)
+	sim, rankers, _ := cluster(t, g, 4, baseParams(dprcore.DPR2), 53)
 	rk := rankers[0]
 	rk.Start()
 	rk.Resume() // not suspended: must not double-schedule
@@ -52,7 +54,7 @@ func TestResumeWithoutSuspendIsNoop(t *testing.T) {
 
 func TestSuspendBeforeStart(t *testing.T) {
 	g := genGraph(t, 400, 55)
-	sim, rankers, _ := cluster(t, g, 4, baseConfig(DPR1), 55)
+	sim, rankers, _ := cluster(t, g, 4, baseParams(dprcore.DPR1), 55)
 	rk := rankers[0]
 	rk.Suspend()
 	rk.Start()
@@ -70,7 +72,7 @@ func TestSuspendBeforeStart(t *testing.T) {
 
 func TestSetInitialRanksValidation(t *testing.T) {
 	g := genGraph(t, 400, 57)
-	sim, rankers, _ := cluster(t, g, 2, baseConfig(DPR1), 57)
+	sim, rankers, _ := cluster(t, g, 2, baseParams(dprcore.DPR1), 57)
 	rk := rankers[0]
 	if err := rk.SetInitialRanks(make([]float64, 3)); err == nil {
 		t.Error("wrong-length initial ranks accepted")

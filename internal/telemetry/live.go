@@ -1,0 +1,303 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// innerIterBuckets are the histogram boundaries for per-compute-phase
+// inner solver steps (DPR1's inner loop length; DPR2 always lands in
+// the first bucket).
+var innerIterBuckets = [...]int64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// TraceEvent is one entry of the live collector's per-round JSONL
+// trace. T is the runtime clock minus the collector's first-event time
+// (nanoseconds live); zero-valued fields are omitted from the JSON.
+type TraceEvent struct {
+	T      float64 `json:"t"`
+	Ranker int     `json:"ranker"`
+	Event  string  `json:"event"`
+	Round  int64   `json:"round,omitempty"`
+	Inner  int     `json:"inner,omitempty"`
+	Resid  float64 `json:"residual,omitempty"`
+	Dst    int     `json:"dst,omitempty"`
+	Links  int64   `json:"links,omitempty"`
+	Kind   string  `json:"kind,omitempty"`
+	RelErr float64 `json:"rel_err,omitempty"`
+}
+
+type liveSlot struct {
+	rounds   int64
+	inner    int64
+	chunks   int64
+	entries  int64
+	links    int64
+	hops     int64
+	residual float64
+}
+
+// LiveCollector is the Observer for real network runs: mutex-guarded
+// counters, gauges, and histograms exported in Prometheus text format
+// (WriteMetrics), plus a fixed-size ring of per-round trace events
+// dumped as JSONL (DumpTrace — dprnode wires it to SIGQUIT). One
+// collector serves a whole in-process cluster; hooks arrive from many
+// peer goroutines.
+type LiveCollector struct {
+	mu           sync.Mutex
+	clock        Clock
+	hops         func(src, dst int) int
+	bytesPerLink int64
+	slots        []liveSlot
+
+	faults      [numFaultKinds]int64
+	milestones  int64
+	lastRelErr  float64
+	converged   bool
+	histoBucket [len(innerIterBuckets) + 1]int64
+	histoSum    int64
+	histoCount  int64
+
+	ring     []TraceEvent
+	ringNext int
+	ringLen  int
+	epoch    float64
+	started  bool
+}
+
+// DefaultTraceCap is the default trace ring capacity.
+const DefaultTraceCap = 4096
+
+// NewLiveCollector builds a collector for k rankers with the default
+// trace capacity.
+func NewLiveCollector(k int) *LiveCollector {
+	return &LiveCollector{
+		bytesPerLink: DefaultBytesPerLink,
+		slots:        make([]liveSlot, k),
+		ring:         make([]TraceEvent, DefaultTraceCap),
+	}
+}
+
+// SetClock injects the runtime's clock (ClockSetter). Peers of one
+// cluster all inject the same wall-clock adapter; repeat calls are
+// harmless.
+func (c *LiveCollector) SetClock(clk Clock) {
+	c.mu.Lock()
+	c.clock = clk
+	c.mu.Unlock()
+}
+
+// SetHops injects the runtime's overlay hop function (HopsSetter).
+func (c *LiveCollector) SetHops(h func(src, dst int) int) {
+	c.mu.Lock()
+	c.hops = h
+	c.mu.Unlock()
+}
+
+// SetTraceCap resizes the trace ring (discarding recorded events).
+func (c *LiveCollector) SetTraceCap(n int) {
+	if n <= 0 {
+		n = 1
+	}
+	c.mu.Lock()
+	c.ring = make([]TraceEvent, n)
+	c.ringNext, c.ringLen = 0, 0
+	c.mu.Unlock()
+}
+
+// now returns the trace timestamp: runtime units since the collector's
+// first event. Callers hold mu.
+func (c *LiveCollector) now() float64 {
+	if c.clock == nil {
+		return 0
+	}
+	t := c.clock.Now()
+	if !c.started {
+		c.epoch = t
+		c.started = true
+	}
+	return t - c.epoch
+}
+
+// trace appends one event to the ring, overwriting the oldest. Callers
+// hold mu.
+func (c *LiveCollector) trace(ev TraceEvent) {
+	c.ring[c.ringNext] = ev
+	c.ringNext = (c.ringNext + 1) % len(c.ring)
+	if c.ringLen < len(c.ring) {
+		c.ringLen++
+	}
+}
+
+// ComputeStart implements Observer.
+func (c *LiveCollector) ComputeStart(ranker int, round int64) {}
+
+// ComputeEnd implements Observer.
+func (c *LiveCollector) ComputeEnd(ranker int, round int64, s ComputeStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sl := &c.slots[ranker]
+	sl.rounds = round
+	sl.inner += int64(s.InnerIterations)
+	sl.residual = s.Residual
+	for i, b := range innerIterBuckets {
+		if int64(s.InnerIterations) <= b {
+			c.histoBucket[i]++
+			break
+		}
+		if i == len(innerIterBuckets)-1 {
+			c.histoBucket[len(innerIterBuckets)]++ // +Inf
+		}
+	}
+	c.histoSum += int64(s.InnerIterations)
+	c.histoCount++
+	c.trace(TraceEvent{T: c.now(), Ranker: ranker, Event: "compute",
+		Round: round, Inner: s.InnerIterations, Resid: s.Residual})
+}
+
+// ChunkSent implements Observer.
+func (c *LiveCollector) ChunkSent(ranker int, ch ChunkStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sl := &c.slots[ranker]
+	sl.chunks++
+	sl.entries += int64(ch.Entries)
+	sl.links += ch.Links
+	if c.hops != nil {
+		sl.hops += int64(c.hops(ranker, ch.Dst))
+	} else {
+		sl.hops++
+	}
+	c.trace(TraceEvent{T: c.now(), Ranker: ranker, Event: "chunk",
+		Round: ch.Round, Dst: ch.Dst, Links: ch.Links})
+}
+
+// FaultInjected implements Observer.
+func (c *LiveCollector) FaultInjected(ranker int, kind FaultKind) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if int(kind) < len(c.faults) {
+		c.faults[kind]++
+	}
+	c.trace(TraceEvent{T: c.now(), Ranker: ranker, Event: "fault", Kind: kind.String()})
+}
+
+// Milestone implements Observer.
+func (c *LiveCollector) Milestone(m Milestone) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.milestones++
+	c.lastRelErr = m.RelErr
+	if m.Converged {
+		c.converged = true
+	}
+	c.trace(TraceEvent{T: c.now(), Ranker: -1, Event: "milestone", RelErr: m.RelErr})
+}
+
+// Rounds returns the total committed loop count across rankers — the
+// smoke tests' "round counters advance" probe, without a scrape.
+func (c *LiveCollector) Rounds() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var sum int64
+	for i := range c.slots {
+		sum += c.slots[i].rounds
+	}
+	return sum
+}
+
+// DumpTrace writes the ring's events, oldest first, one JSON object per
+// line.
+func (c *LiveCollector) DumpTrace(w io.Writer) error {
+	c.mu.Lock()
+	events := make([]TraceEvent, 0, c.ringLen)
+	start := c.ringNext - c.ringLen
+	for i := 0; i < c.ringLen; i++ {
+		events = append(events, c.ring[(start+i+len(c.ring))%len(c.ring)])
+	}
+	c.mu.Unlock()
+	enc := json.NewEncoder(w)
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteMetrics renders the collector in Prometheus text exposition
+// format (version 0.0.4): per-ranker counters for rounds, inner
+// iterations, chunks, links, payload bytes, and hops; fault counters by
+// kind; residual and relative-error gauges; and the inner-iteration
+// histogram.
+func (c *LiveCollector) WriteMetrics(w io.Writer) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var b []byte
+	counter := func(name, help string, get func(*liveSlot) int64) {
+		b = append(b, "# HELP p2prank_"+name+" "+help+"\n# TYPE p2prank_"+name+" counter\n"...)
+		for i := range c.slots {
+			b = append(b, "p2prank_"+name+"{ranker=\""...)
+			b = strconv.AppendInt(b, int64(i), 10)
+			b = append(b, "\"} "...)
+			b = strconv.AppendInt(b, get(&c.slots[i]), 10)
+			b = append(b, '\n')
+		}
+	}
+	counter("rounds_total", "Main-loop iterations committed.", func(s *liveSlot) int64 { return s.rounds })
+	counter("inner_iterations_total", "Inner solver steps executed.", func(s *liveSlot) int64 { return s.inner })
+	counter("chunks_sent_total", "Score chunks emitted at the Sender seam.", func(s *liveSlot) int64 { return s.chunks })
+	counter("links_sent_total", "Inter-group link records emitted.", func(s *liveSlot) int64 { return s.links })
+	counter("chunk_bytes_total", "Payload bytes emitted (links x size model).", func(s *liveSlot) int64 { return s.links * c.bytesPerLink })
+	counter("chunk_hops_total", "Overlay hops attributed to emitted chunks.", func(s *liveSlot) int64 { return s.hops })
+
+	b = append(b, "# HELP p2prank_faults_total Injected transport faults by kind.\n# TYPE p2prank_faults_total counter\n"...)
+	for k := FaultKind(0); k < numFaultKinds; k++ {
+		b = append(b, "p2prank_faults_total{kind=\""+k.String()+"\"} "...)
+		b = strconv.AppendInt(b, c.faults[k], 10)
+		b = append(b, '\n')
+	}
+
+	b = append(b, "# HELP p2prank_residual Last inner residual per ranker.\n# TYPE p2prank_residual gauge\n"...)
+	for i := range c.slots {
+		b = append(b, "p2prank_residual{ranker=\""...)
+		b = strconv.AppendInt(b, int64(i), 10)
+		b = append(b, "\"} "...)
+		b = strconv.AppendFloat(b, c.slots[i].residual, 'e', -1, 64)
+		b = append(b, '\n')
+	}
+
+	b = append(b, "# HELP p2prank_milestones_total Convergence checkpoints recorded.\n# TYPE p2prank_milestones_total counter\n"...)
+	b = append(b, "p2prank_milestones_total "...)
+	b = strconv.AppendInt(b, c.milestones, 10)
+	b = append(b, "\n# HELP p2prank_rel_err Relative error at the last checkpoint.\n# TYPE p2prank_rel_err gauge\np2prank_rel_err "...)
+	b = strconv.AppendFloat(b, c.lastRelErr, 'e', -1, 64)
+	b = append(b, '\n')
+
+	b = append(b, "# HELP p2prank_inner_iterations Inner solver steps per compute phase.\n# TYPE p2prank_inner_iterations histogram\n"...)
+	var cum int64
+	for i, le := range innerIterBuckets {
+		cum += c.histoBucket[i]
+		b = append(b, "p2prank_inner_iterations_bucket{le=\""...)
+		b = strconv.AppendInt(b, le, 10)
+		b = append(b, "\"} "...)
+		b = strconv.AppendInt(b, cum, 10)
+		b = append(b, '\n')
+	}
+	cum += c.histoBucket[len(innerIterBuckets)]
+	b = append(b, "p2prank_inner_iterations_bucket{le=\"+Inf\"} "...)
+	b = strconv.AppendInt(b, cum, 10)
+	b = append(b, "\np2prank_inner_iterations_sum "...)
+	b = strconv.AppendInt(b, c.histoSum, 10)
+	b = append(b, "\np2prank_inner_iterations_count "...)
+	b = strconv.AppendInt(b, c.histoCount, 10)
+	b = append(b, '\n')
+
+	_, err := w.Write(b)
+	if err != nil {
+		return fmt.Errorf("telemetry: write metrics: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,213 @@
+package telemetry
+
+import "fmt"
+
+// DefaultBytesPerLink mirrors the paper's l = 100 bytes per link record
+// (transport.DefaultSizeModel); collectors use it to attribute payload
+// bytes to emitted chunks without depending on the transport package.
+const DefaultBytesPerLink = 100
+
+// simSlot is one ranker's private accumulator. Each ranker's hooks
+// write only its own slot, so concurrent compute phases never contend
+// and aggregation order cannot perturb the totals.
+type simSlot struct {
+	rounds   int64
+	inner    int64
+	chunks   int64
+	entries  int64
+	links    int64
+	hops     int64
+	faults   [numFaultKinds]int64
+	residual float64
+	firstT   float64
+	lastT    float64
+	seen     bool
+}
+
+// SimCollector is the deterministic in-sim Observer: per-ranker slot
+// accumulators (no locks, no order-dependent float math) with virtual
+// timestamps from the simulator's clock. Attach one via
+// engine.Config.Observer; engine.Run injects the clock and the overlay
+// hop function and copies Summary() into Result.Telemetry. Attaching a
+// SimCollector never perturbs the schedule — runs stay byte-identical
+// to observer-free runs (see the engine determinism tests).
+type SimCollector struct {
+	clock        Clock
+	hops         func(src, dst int) int
+	bytesPerLink int64
+	slots        []simSlot
+	milestones   []Milestone
+}
+
+// NewSimCollector builds a collector for k rankers.
+func NewSimCollector(k int) *SimCollector {
+	return &SimCollector{
+		bytesPerLink: DefaultBytesPerLink,
+		slots:        make([]simSlot, k),
+	}
+}
+
+// SetClock injects the runtime's clock (ClockSetter).
+func (c *SimCollector) SetClock(clk Clock) { c.clock = clk }
+
+// SetHops injects the runtime's overlay hop function (HopsSetter).
+func (c *SimCollector) SetHops(h func(src, dst int) int) { c.hops = h }
+
+// SetBytesPerLink overrides the per-link payload size used for byte
+// attribution (default DefaultBytesPerLink).
+func (c *SimCollector) SetBytesPerLink(l int64) { c.bytesPerLink = l }
+
+func (c *SimCollector) stamp(s *simSlot) {
+	if c.clock == nil {
+		return
+	}
+	t := c.clock.Now()
+	if !s.seen {
+		s.firstT = t
+		s.seen = true
+	}
+	s.lastT = t
+}
+
+// ComputeStart implements Observer.
+func (c *SimCollector) ComputeStart(ranker int, round int64) {
+	c.stamp(&c.slots[ranker])
+}
+
+// ComputeEnd implements Observer.
+func (c *SimCollector) ComputeEnd(ranker int, round int64, s ComputeStats) {
+	sl := &c.slots[ranker]
+	sl.rounds = round
+	sl.inner += int64(s.InnerIterations)
+	sl.residual = s.Residual
+	c.stamp(sl)
+}
+
+// ChunkSent implements Observer.
+func (c *SimCollector) ChunkSent(ranker int, ch ChunkStats) {
+	sl := &c.slots[ranker]
+	sl.chunks++
+	sl.entries += int64(ch.Entries)
+	sl.links += ch.Links
+	if c.hops != nil {
+		sl.hops += int64(c.hops(ranker, ch.Dst))
+	} else {
+		sl.hops++
+	}
+	c.stamp(sl)
+}
+
+// FaultInjected implements Observer.
+func (c *SimCollector) FaultInjected(ranker int, kind FaultKind) {
+	sl := &c.slots[ranker]
+	if int(kind) < len(sl.faults) {
+		sl.faults[kind]++
+	}
+	c.stamp(sl)
+}
+
+// Milestone implements Observer. Milestones fire from the serial
+// sampling context, so a plain append is safe.
+func (c *SimCollector) Milestone(m Milestone) {
+	c.milestones = append(c.milestones, m)
+}
+
+// RankerTotals is one ranker's share of a Summary.
+type RankerTotals struct {
+	// Rounds is the ranker's committed main-loop count.
+	Rounds int64
+	// InnerIterations is the ranker's total inner solver steps.
+	InnerIterations int64
+	// Chunks, Entries, Links count the ranker's emitted score traffic.
+	Chunks, Entries, Links int64
+	// LastResidual is the inner residual of the last compute phase.
+	LastResidual float64
+}
+
+// Summary is the deterministic aggregate of one run's telemetry.
+type Summary struct {
+	// Rankers is the collector's slot count (the run's K).
+	Rankers int
+	// Rounds is the total committed main-loop count across rankers.
+	Rounds int64
+	// InnerIterations is the total inner solver step count.
+	InnerIterations int64
+	// Chunks, Entries, Links count all emitted score chunks at the
+	// dprcore Sender seam (before transport framing).
+	Chunks, Entries, Links int64
+	// PayloadBytes is Links × the per-link size model — the paper's
+	// l·W data term measured at the seam.
+	PayloadBytes int64
+	// ChunkHops is the total overlay hop count attributed to emitted
+	// chunks (1 per chunk when no hop function was injected).
+	ChunkHops int64
+	// Dropped, Delayed, Duplicated count injected transport faults.
+	Dropped, Delayed, Duplicated int64
+	// FirstEvent and LastEvent bound the observed activity in the
+	// runtime's clock (virtual time in-sim); zero without a clock.
+	FirstEvent, LastEvent float64
+	// Milestones are the convergence checkpoints in emission order.
+	Milestones []Milestone
+	// PerRanker holds each ranker's totals, indexed by group.
+	PerRanker []RankerTotals
+}
+
+// MeanRounds returns the mean committed loop count per ranker.
+func (s Summary) MeanRounds() float64 {
+	if s.Rankers == 0 {
+		return 0
+	}
+	return float64(s.Rounds) / float64(s.Rankers)
+}
+
+// MeanChunkHops returns the mean overlay hops per emitted chunk.
+func (s Summary) MeanChunkHops() float64 {
+	if s.Chunks == 0 {
+		return 0
+	}
+	return float64(s.ChunkHops) / float64(s.Chunks)
+}
+
+// String renders the headline totals.
+func (s Summary) String() string {
+	return fmt.Sprintf("telemetry: %d rankers, %d rounds, %d chunks (%d links, %d B payload, %.2f hops/chunk), faults %d/%d/%d",
+		s.Rankers, s.Rounds, s.Chunks, s.Links, s.PayloadBytes, s.MeanChunkHops(), s.Dropped, s.Delayed, s.Duplicated)
+}
+
+// Summary folds the slots in ranker order. Call it after the run; the
+// simulator's final barrier orders every slot write before this read.
+func (c *SimCollector) Summary() Summary {
+	s := Summary{Rankers: len(c.slots)}
+	s.Milestones = append(s.Milestones, c.milestones...)
+	s.PerRanker = make([]RankerTotals, len(c.slots))
+	for i := range c.slots {
+		sl := &c.slots[i]
+		s.PerRanker[i] = RankerTotals{
+			Rounds:          sl.rounds,
+			InnerIterations: sl.inner,
+			Chunks:          sl.chunks,
+			Entries:         sl.entries,
+			Links:           sl.links,
+			LastResidual:    sl.residual,
+		}
+		s.Rounds += sl.rounds
+		s.InnerIterations += sl.inner
+		s.Chunks += sl.chunks
+		s.Entries += sl.entries
+		s.Links += sl.links
+		s.ChunkHops += sl.hops
+		s.Dropped += sl.faults[FaultDrop]
+		s.Delayed += sl.faults[FaultDelay]
+		s.Duplicated += sl.faults[FaultDup]
+		if sl.seen {
+			if s.FirstEvent == 0 || sl.firstT < s.FirstEvent {
+				s.FirstEvent = sl.firstT
+			}
+			if sl.lastT > s.LastEvent {
+				s.LastEvent = sl.lastT
+			}
+		}
+	}
+	s.PayloadBytes = s.Links * c.bytesPerLink
+	return s
+}

@@ -1,0 +1,189 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// fakeClock is a scripted Clock for tests.
+type fakeClock struct{ t float64 }
+
+func (c *fakeClock) Now() float64 { return c.t }
+
+func TestSimCollectorAggregates(t *testing.T) {
+	c := NewSimCollector(2)
+	clk := &fakeClock{t: 10}
+	c.SetClock(clk)
+	c.SetHops(func(src, dst int) int { return 3 })
+
+	c.ComputeStart(0, 1)
+	c.ComputeEnd(0, 1, ComputeStats{InnerIterations: 5, Residual: 1e-9, XSources: 1, XEntries: 4})
+	c.ChunkSent(0, ChunkStats{Dst: 1, Round: 1, Entries: 2, Links: 7})
+	clk.t = 20
+	c.ComputeStart(1, 1)
+	c.ComputeEnd(1, 1, ComputeStats{InnerIterations: 3})
+	c.ChunkSent(1, ChunkStats{Dst: 0, Round: 1, Entries: 1, Links: 2})
+	c.FaultInjected(1, FaultDrop)
+	c.FaultInjected(1, FaultDelay)
+	c.FaultInjected(1, FaultDup)
+	c.Milestone(Milestone{Time: 20, RelErr: 0.5})
+
+	s := c.Summary()
+	if s.Rankers != 2 || s.Rounds != 2 || s.InnerIterations != 8 {
+		t.Fatalf("bad totals: %+v", s)
+	}
+	if s.Chunks != 2 || s.Entries != 3 || s.Links != 9 {
+		t.Fatalf("bad chunk totals: %+v", s)
+	}
+	if s.PayloadBytes != 9*DefaultBytesPerLink {
+		t.Fatalf("PayloadBytes = %d", s.PayloadBytes)
+	}
+	if s.ChunkHops != 6 {
+		t.Fatalf("ChunkHops = %d, want 6", s.ChunkHops)
+	}
+	if s.Dropped != 1 || s.Delayed != 1 || s.Duplicated != 1 {
+		t.Fatalf("bad fault totals: %+v", s)
+	}
+	if s.FirstEvent != 10 || s.LastEvent != 20 {
+		t.Fatalf("event window [%v, %v]", s.FirstEvent, s.LastEvent)
+	}
+	if len(s.Milestones) != 1 || s.Milestones[0].RelErr != 0.5 {
+		t.Fatalf("milestones %+v", s.Milestones)
+	}
+	if s.PerRanker[0].InnerIterations != 5 || s.PerRanker[1].Rounds != 1 {
+		t.Fatalf("per-ranker %+v", s.PerRanker)
+	}
+	if s.MeanRounds() != 1 || s.MeanChunkHops() != 3 {
+		t.Fatalf("means: %v %v", s.MeanRounds(), s.MeanChunkHops())
+	}
+	if !strings.Contains(s.String(), "2 rankers") {
+		t.Fatalf("String() = %q", s.String())
+	}
+}
+
+func TestLiveCollectorMetricsText(t *testing.T) {
+	c := NewLiveCollector(2)
+	c.SetClock(&fakeClock{t: 100})
+	c.ComputeEnd(0, 1, ComputeStats{InnerIterations: 4, Residual: 1e-8})
+	c.ComputeEnd(0, 2, ComputeStats{InnerIterations: 200})
+	c.ChunkSent(0, ChunkStats{Dst: 1, Round: 1, Entries: 3, Links: 5})
+	c.FaultInjected(1, FaultDrop)
+	c.Milestone(Milestone{RelErr: 1e-3, Converged: true})
+
+	var buf bytes.Buffer
+	if err := c.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`p2prank_rounds_total{ranker="0"} 2`,
+		`p2prank_rounds_total{ranker="1"} 0`,
+		`p2prank_inner_iterations_total{ranker="0"} 204`,
+		`p2prank_chunks_sent_total{ranker="0"} 1`,
+		`p2prank_links_sent_total{ranker="0"} 5`,
+		`p2prank_chunk_bytes_total{ranker="0"} 500`,
+		`p2prank_faults_total{kind="drop"} 1`,
+		`p2prank_faults_total{kind="delay"} 0`,
+		`p2prank_milestones_total 1`,
+		`p2prank_rel_err 1e-03`,
+		`p2prank_inner_iterations_bucket{le="4"} 1`,
+		`p2prank_inner_iterations_bucket{le="+Inf"} 2`,
+		`p2prank_inner_iterations_sum 204`,
+		`p2prank_inner_iterations_count 2`,
+		"# TYPE p2prank_inner_iterations histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q\n%s", want, out)
+		}
+	}
+	if c.Rounds() != 2 {
+		t.Fatalf("Rounds() = %d", c.Rounds())
+	}
+}
+
+func TestLiveCollectorTraceRingWraps(t *testing.T) {
+	c := NewLiveCollector(1)
+	c.SetTraceCap(3)
+	for round := int64(1); round <= 5; round++ {
+		c.ComputeEnd(0, round, ComputeStats{InnerIterations: 1})
+	}
+	var buf bytes.Buffer
+	if err := c.DumpTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var rounds []int64
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var ev TraceEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		rounds = append(rounds, ev.Round)
+	}
+	if len(rounds) != 3 || rounds[0] != 3 || rounds[2] != 5 {
+		t.Fatalf("ring kept rounds %v, want [3 4 5]", rounds)
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	c := NewLiveCollector(1)
+	c.ComputeEnd(0, 1, ComputeStats{InnerIterations: 2})
+	s, err := Serve("127.0.0.1:0", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get(s.URL() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	if out := get("/metrics"); !strings.Contains(out, `p2prank_rounds_total{ranker="0"} 1`) {
+		t.Fatalf("metrics body:\n%s", out)
+	}
+	if out := get("/trace"); !strings.Contains(out, `"event":"compute"`) {
+		t.Fatalf("trace body:\n%s", out)
+	}
+	if out := get("/debug/pprof/cmdline"); out == "" {
+		t.Fatal("pprof cmdline empty")
+	}
+}
+
+// TestNoopIsAllocationFree pins the hot-path contract: hooks through
+// the Noop observer must not allocate.
+func TestNoopIsAllocationFree(t *testing.T) {
+	var obs Observer = Noop{}
+	allocs := testing.AllocsPerRun(100, func() {
+		obs.ComputeStart(0, 1)
+		obs.ComputeEnd(0, 1, ComputeStats{InnerIterations: 3, Residual: 1e-9})
+		obs.ChunkSent(0, ChunkStats{Dst: 1, Round: 1, Entries: 2, Links: 5})
+		obs.FaultInjected(0, FaultDrop)
+	})
+	if allocs != 0 {
+		t.Fatalf("Noop observer hooks allocate %v per run", allocs)
+	}
+}
+
+func TestFaultKindString(t *testing.T) {
+	for k, want := range map[FaultKind]string{FaultDrop: "drop", FaultDelay: "delay", FaultDup: "dup", FaultKind(9): "unknown"} {
+		if k.String() != want {
+			t.Fatalf("FaultKind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

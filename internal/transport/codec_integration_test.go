@@ -8,11 +8,11 @@ import (
 	"testing"
 
 	"p2prank/internal/codec"
+	"p2prank/internal/dprcore"
 	"p2prank/internal/engine"
 	"p2prank/internal/nodeid"
 	"p2prank/internal/pastry"
 	"p2prank/internal/rankcmp"
-	"p2prank/internal/ranker"
 	"p2prank/internal/simnet"
 	"p2prank/internal/transport"
 	"p2prank/internal/vecmath"
@@ -33,8 +33,8 @@ func codecGraph(t testing.TB) *webgraph.Graph {
 func runWithCodec(t *testing.T, g *webgraph.Graph, c transport.ChunkCodec, kind transport.Kind) *engine.Result {
 	t.Helper()
 	res, err := engine.Run(engine.Config{
-		Graph: g, K: 8, Alg: ranker.DPR1,
-		T1: 0.5, T2: 3, MaxTime: 300, SampleEvery: 5,
+		Params: dprcore.Params{Alg: dprcore.DPR1, T1: 0.5, T2: 3},
+		Graph:  g, K: 8, MaxTime: 300, SampleEvery: 5,
 		Transport: kind,
 		Codec:     c,
 	})
