@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race bench obs-smoke verify
+.PHONY: build vet lint test race bench chaos obs-smoke verify
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,13 @@ race:
 		./internal/simnet/... ./internal/vecmath/... ./internal/pagerank/... \
 		./internal/engine/... ./internal/par/... ./internal/telemetry/...
 
+# Failure-path suite under the race detector: crash/restart churn in
+# both runtimes, checkpointed recovery, the supervisor, and the
+# reliable ack/retry/backoff layer (see DESIGN.md §11).
+chaos:
+	$(GO) test -race -count=1 -run 'Churn|KillRestart|Supervisor|Snapshot|Checkpoint|Reliable' \
+		./internal/dprcore/... ./internal/engine/... ./internal/netpeer/...
+
 # End-to-end observability check: boot a 3-ranker dprnode cluster with
 # -obs, scrape /metrics while it runs, and require the round counters
 # to advance between scrapes (internal/clitest).
@@ -38,8 +45,8 @@ obs-smoke:
 # JSON so runs are diffable (see BENCH_kernels.json for the committed
 # reference numbers).
 bench:
-	$(GO) test -run '^$$' -bench 'MulVec|StepDelta|NewCSR|Fig6RelativeError|TransmissionScaling' \
-		-benchmem ./internal/vecmath/ . | $(GO) run ./cmd/benchjson > BENCH_kernels.json
+	$(GO) test -run '^$$' -bench 'MulVec|StepDelta|NewCSR|Fig6RelativeError|TransmissionScaling|ReliableSend' \
+		-benchmem ./internal/vecmath/ ./internal/dprcore/ . | $(GO) run ./cmd/benchjson > BENCH_kernels.json
 	@cat BENCH_kernels.json
 
 verify: build vet lint test race obs-smoke

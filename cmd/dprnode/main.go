@@ -15,7 +15,9 @@
 // Both modes accept -transport indirect (route score frames hop-by-hop
 // along the Pastry overlay, §4.4), -codec (wire encoding: gob, plain,
 // delta, or quantized-N for N mantissa bits), -fault (injected message
-// faults), and -obs addr:port, which serves live telemetry over HTTP:
+// faults), -reliable (ack/retry/backoff delivery — pair it with -fault
+// to ride out real loss), and -obs addr:port, which serves live
+// telemetry over HTTP:
 // Prometheus text on /metrics, the JSONL event trace on /trace, and
 // pprof under /debug/pprof/. SIGQUIT dumps the trace ring to stderr.
 package main
@@ -55,13 +57,11 @@ func main() {
 		algName   = cliflags.Algorithm(flag.CommandLine)
 		codecName = cliflags.Codec(flag.CommandLine)
 		faultSpec = cliflags.Fault(flag.CommandLine)
+		relSpec   = cliflags.Reliable(flag.CommandLine)
 		transName = cliflags.Transport(flag.CommandLine)
 		seed      = cliflags.Seed(flag.CommandLine)
 	)
-	dep := cliflags.NewDeprecations(flag.CommandLine)
-	oldIndirect := dep.Bool("indirect", "route score frames hop-by-hop along the overlay (§4.4)", "-transport indirect")
 	flag.Parse()
-	dep.Warn(os.Stderr)
 
 	algorithm, err := cliflags.ParseAlgorithm(*algName)
 	if err != nil {
@@ -81,11 +81,21 @@ func main() {
 		// to nothing. Interpret small meandelay values as milliseconds.
 		fault.MeanDelay *= float64(time.Millisecond)
 	}
+	reliable, err := cliflags.ParseReliable(*relSpec)
+	if err != nil {
+		fatal(err)
+	}
+	if reliable.Enabled() && reliable.Timeout < float64(time.Millisecond) {
+		// Same unit bridge as -fault: the shared spec's small values are
+		// meant as milliseconds on the nanosecond-clock live peers.
+		reliable.Timeout *= float64(time.Millisecond)
+		reliable.MaxTimeout *= float64(time.Millisecond)
+		reliable.Cooldown *= float64(time.Millisecond)
+	}
 	indirect, err := cliflags.ParseTransport(*transName)
 	if err != nil {
 		fatal(err)
 	}
-	indirect = indirect || *oldIndirect
 
 	// -obs: one live collector shared by every ranker this process
 	// hosts, served over HTTP and dumpable via SIGQUIT.
@@ -110,7 +120,7 @@ func main() {
 		}()
 	}
 
-	params := dprcore.Params{Alg: algorithm, Fault: fault}
+	params := dprcore.Params{Alg: algorithm, Fault: fault, Reliable: reliable}
 	if col != nil {
 		params.Observer = col
 	}

@@ -12,6 +12,7 @@
 //	dprsim -exp cut                 # §4.1 partition comparison
 //	dprsim -exp hops                # overlay hop counts vs N
 //	dprsim -exp faults              # convergence under injected message faults
+//	dprsim -exp churn               # convergence with rankers crashing mid-run
 //
 // Scale the workload with -pages / -sites; write curves as CSV with
 // -csv FILE.
@@ -32,7 +33,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "fig6", "experiment: fig6|fig7|fig8|transmission|traffic|bandwidth|cut|hops|faults")
+		exp     = flag.String("exp", "fig6", "experiment: fig6|fig7|fig8|transmission|traffic|bandwidth|cut|hops|faults|churn")
 		pages   = flag.Int("pages", 20000, "crawl size")
 		sites   = flag.Int("sites", 100, "site count (the paper's dataset has 100)")
 		seed    = cliflags.Seed(flag.CommandLine)
@@ -102,6 +103,20 @@ func main() {
 		}
 		fmt.Printf("Fault injection: DPR1 convergence under message drops, K=%d\n", kk)
 		fmt.Print(experiments.RenderFaults(rows))
+	case "churn":
+		kk := pick(*k, 16)
+		// Sweep none → half the rankers crashing (0, 2, 4, 8 at the
+		// default K=16), scaled to whatever -k was given.
+		crashes := []int{0}
+		for c := kk / 8; c <= kk/2 && c > 0; c *= 2 {
+			crashes = append(crashes, c)
+		}
+		rows, err := experiments.Churn(w, kk, crashes, *maxTime*10)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Churn: DPR1 convergence with crash/checkpoint-restart rankers, K=%d\n", kk)
+		fmt.Print(experiments.RenderChurn(rows))
 	case "cut":
 		kk := pick(*k, 32)
 		rows, err := experiments.PartitionCut(w, kk)

@@ -112,6 +112,60 @@ func ParseFault(spec string) (dprcore.FaultConfig, error) {
 	return fc, nil
 }
 
+// Reliable registers the shared -reliable flag.
+func Reliable(fs *flag.FlagSet) *string {
+	return fs.String("reliable", "",
+		"reliable delivery: timeout=D[,backoff=F][,maxtimeout=D][,jitter=F][,attempts=N][,cooldown=D] (empty = off)")
+}
+
+// ParseReliable maps a -reliable spec — comma-separated key=value pairs
+// with keys timeout, backoff, maxtimeout, jitter, attempts, cooldown —
+// onto a dprcore.ReliableConfig. A bare number is shorthand for
+// timeout=N. Durations are in the runtime's time units (virtual units
+// in-sim, nanoseconds live).
+func ParseReliable(spec string) (dprcore.ReliableConfig, error) {
+	var rc dprcore.ReliableConfig
+	if spec == "" {
+		return rc, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) == 1 {
+			v, err := strconv.ParseFloat(kv[0], 64)
+			if err != nil {
+				return rc, fmt.Errorf("bad -reliable entry %q (want key=value or a bare timeout)", part)
+			}
+			rc.Timeout = v
+			continue
+		}
+		v, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil {
+			return rc, fmt.Errorf("bad -reliable value %q: %w", part, err)
+		}
+		switch strings.ToLower(kv[0]) {
+		case "timeout":
+			rc.Timeout = v
+		case "backoff":
+			rc.Backoff = v
+		case "maxtimeout", "max-timeout":
+			rc.MaxTimeout = v
+		case "jitter":
+			rc.Jitter = v
+		case "attempts", "maxattempts":
+			rc.MaxAttempts = int(v)
+		case "cooldown":
+			rc.Cooldown = v
+		default:
+			return rc, fmt.Errorf("unknown -reliable key %q (timeout|backoff|maxtimeout|jitter|attempts|cooldown)", kv[0])
+		}
+	}
+	if err := rc.Validate(); err != nil {
+		return rc, fmt.Errorf("bad -reliable %q: %w", spec, err)
+	}
+	return rc, nil
+}
+
 // Transport registers the shared -transport flag.
 func Transport(fs *flag.FlagSet) *string {
 	return fs.String("transport", "direct", "score transmission: direct|indirect (§4.4)")

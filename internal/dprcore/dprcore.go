@@ -127,6 +127,16 @@ type Params struct {
 	// at the Sender seam, below the algorithm's own SendProb loss — the
 	// FaultSender both runtimes share. The zero value injects nothing.
 	Fault FaultConfig
+	// Reliable layers acknowledged delivery — retransmission with
+	// exponential backoff and a dead-peer circuit breaker — above the
+	// fault seam (see ReliableSender), so retries are exercised under
+	// injected loss. The zero value disables it; enabling it draws
+	// jitter from a private RNG stream and never perturbs the loop's.
+	Reliable ReliableConfig
+	// Checkpoint snapshots each loop's recoverable state on a round
+	// cadence (see CheckpointConfig), enabling restart-from-checkpoint
+	// after a crash. The zero value checkpoints nothing.
+	Checkpoint CheckpointConfig
 	// Observer receives telemetry at the loop's seams (compute phases,
 	// chunk emissions, injected faults, milestones). Nil installs
 	// nothing and keeps the hot path free of allocations and clock
@@ -184,5 +194,11 @@ func (p *Params) Validate() error {
 	if p.T1 < 0 || p.T2 < p.T1 {
 		return fmt.Errorf("dprcore: wait range [%v, %v] invalid", p.T1, p.T2)
 	}
-	return p.Fault.Validate()
+	if err := p.Fault.Validate(); err != nil {
+		return err
+	}
+	if err := p.Reliable.Validate(); err != nil {
+		return err
+	}
+	return p.Checkpoint.Validate()
 }

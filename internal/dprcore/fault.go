@@ -69,10 +69,21 @@ type FaultSender struct {
 	// obs, when set, is notified of every injected fault. Nil-checked
 	// like the loop's observer: no observer, no extra work.
 	obs telemetry.Observer
+	// rec, when the wrapped sender exposes it, is told about every drop
+	// so transport stats keep injected loss separate from send-time
+	// drops (see transport.Stats.FaultDrops).
+	rec dropRecorder
 
 	dropped    atomic.Int64
 	delayed    atomic.Int64
 	duplicated atomic.Int64
+}
+
+// dropRecorder is the probe a wrapped sender may implement to account
+// for chunks the fault injector discarded above it. *transport.Fabric
+// implements it.
+type dropRecorder interface {
+	RecordFaultDrop(from int)
 }
 
 // NewFaultSender wraps inner. clock may be nil when DelayProb is zero;
@@ -87,7 +98,11 @@ func NewFaultSender(inner Sender, clock Clock, rng RNG, cfg FaultConfig) (*Fault
 	if cfg.DelayProb > 0 && clock == nil {
 		return nil, fmt.Errorf("dprcore: DelayProb %v needs a Clock", cfg.DelayProb)
 	}
-	return &FaultSender{inner: inner, clock: clock, rng: rng, cfg: cfg}, nil
+	f := &FaultSender{inner: inner, clock: clock, rng: rng, cfg: cfg}
+	if r, ok := inner.(dropRecorder); ok {
+		f.rec = r
+	}
+	return f, nil
 }
 
 // Observe installs o as the fault-event observer (nil uninstalls).
@@ -98,6 +113,9 @@ func (f *FaultSender) Observe(o telemetry.Observer) { f.obs = o }
 func (f *FaultSender) Send(from int, chunk transport.ScoreChunk) error {
 	if f.cfg.DropProb > 0 && f.rng.Float64() < f.cfg.DropProb {
 		f.dropped.Add(1)
+		if f.rec != nil {
+			f.rec.RecordFaultDrop(from)
+		}
 		if f.obs != nil {
 			f.obs.FaultInjected(from, telemetry.FaultDrop)
 		}

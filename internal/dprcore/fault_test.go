@@ -1,7 +1,6 @@
 package dprcore
 
 import (
-	"sort"
 	"testing"
 
 	"p2prank/internal/transport"
@@ -25,18 +24,25 @@ func (c *fakeClock) After(d float64, fn func()) {
 	c.q = append(c.q, timer{at: c.now + d, fn: fn})
 }
 
+// advance fires every timer due by to, in deadline order, including
+// timers the callbacks arm along the way (a retransmission timer
+// re-arms itself from its own expiry).
 func (c *fakeClock) advance(to float64) {
 	c.now = to
-	sort.SliceStable(c.q, func(i, j int) bool { return c.q[i].at < c.q[j].at })
-	var rest []timer
-	for _, tm := range c.q {
-		if tm.at <= to {
-			tm.fn()
-		} else {
-			rest = append(rest, tm)
+	for {
+		best := -1
+		for i, tm := range c.q {
+			if tm.at <= to && (best < 0 || tm.at < c.q[best].at) {
+				best = i
+			}
 		}
+		if best < 0 {
+			return
+		}
+		tm := c.q[best]
+		c.q = append(c.q[:best], c.q[best+1:]...)
+		tm.fn()
 	}
-	c.q = rest
 }
 
 func TestFaultConfigValidate(t *testing.T) {

@@ -49,6 +49,15 @@ type Loop struct {
 
 	loops   int64
 	stepped bool
+
+	// pending is the sender's unacked-chunk probe (set when the sender
+	// is a ReliableSender), so snapshots capture the in-flight outbox.
+	pending PendingSource
+	// Reusable snapshot scratch: checkpointing on a cadence must not
+	// grow the steady-state allocation profile.
+	ckptBuf     []byte
+	snapSrcs    []int32
+	snapPending []transport.ScoreChunk
 }
 
 // NewLoop builds the loop for grp with the resolved per-loop mean wait
@@ -78,7 +87,7 @@ func NewLoop(grp *Group, p Params, meanWait float64, sender Sender, rng RNG) (*L
 		}
 		mergedY[dst] = n
 	}
-	return &Loop{
+	l := &Loop{
 		grp:      grp,
 		p:        p,
 		meanWait: meanWait,
@@ -90,7 +99,11 @@ func NewLoop(grp *Group, p Params, meanWait float64, sender Sender, rng RNG) (*L
 		scratch:  vecmath.NewVec(grp.N()),
 		mergedY:  mergedY,
 		latest:   make(map[int32]transport.ScoreChunk),
-	}, nil
+	}
+	if ps, ok := sender.(PendingSource); ok {
+		l.pending = ps
+	}
+	return l, nil
 }
 
 // Group returns the loop's page group.
@@ -194,10 +207,19 @@ func (l *Loop) ComputePhase() {
 }
 
 // CommitPhase is the serial half of an iteration: everything that
-// draws randomness or sends.
+// draws randomness or sends, plus the checkpoint cadence.
 func (l *Loop) CommitPhase() {
 	l.loops++
 	l.publishY()
+	if ck := l.p.Checkpoint; ck.Sink != nil && ck.Every > 0 && l.loops%ck.Every == 0 {
+		l.ckptBuf = l.AppendSnapshot(l.ckptBuf[:0])
+		if err := ck.Sink.Save(l.grp.Index, l.loops, l.ckptBuf); err != nil {
+			// A checkpoint sink that cannot persist is an operational
+			// error, not an algorithmic one, but running on silently
+			// would fake the durability the config asked for.
+			panic(fmt.Sprintf("dprcore: ranker %d: checkpoint: %v", l.grp.Index, err))
+		}
+	}
 }
 
 // Step runs one full iteration. Drivers that interleave many loops

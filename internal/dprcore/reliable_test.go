@@ -1,0 +1,263 @@
+package dprcore
+
+import (
+	"testing"
+
+	"p2prank/internal/telemetry"
+	"p2prank/internal/transport"
+)
+
+// nullSender discards everything — the zero-allocation baseline.
+type nullSender struct{}
+
+func (nullSender) Send(from int, c transport.ScoreChunk) error { return nil }
+func (nullSender) Flush(from int) error                        { return nil }
+
+// countObs records the reliability hooks it saw.
+type countObs struct {
+	telemetry.Noop
+	retried, acked, recovered int
+}
+
+func (o *countObs) ChunkRetried(ranker, dst, attempt int) { o.retried++ }
+func (o *countObs) AckReceived(ranker, dst int, r int64)  { o.acked++ }
+func (o *countObs) Recovered(ranker int, r int64)         { o.recovered++ }
+
+func TestReliableConfigValidate(t *testing.T) {
+	for name, cfg := range map[string]ReliableConfig{
+		"negative timeout": {Timeout: -1},
+		"backoff < 1":      {Timeout: 1, Backoff: 0.5},
+		"jitter >= 1":      {Timeout: 1, Jitter: 1},
+		"negative max":     {Timeout: 1, MaxTimeout: -1},
+		"negative cool":    {Timeout: 1, Cooldown: -1},
+		"negative tries":   {Timeout: 1, MaxAttempts: -1},
+	} {
+		if cfg.Validate() == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if err := (ReliableConfig{}).Validate(); err != nil {
+		t.Errorf("zero config rejected: %v", err)
+	}
+	if (ReliableConfig{}).Enabled() {
+		t.Error("zero config reports enabled")
+	}
+	if !(ReliableConfig{Timeout: 1}).Enabled() {
+		t.Error("timeout config reports disabled")
+	}
+}
+
+func TestNewReliableSenderValidation(t *testing.T) {
+	if _, err := NewReliableSender(nil, &fakeClock{}, constRNG{}, ReliableConfig{Timeout: 1}); err == nil {
+		t.Error("nil inner accepted")
+	}
+	if _, err := NewReliableSender(nullSender{}, nil, constRNG{}, ReliableConfig{Timeout: 1}); err == nil {
+		t.Error("nil clock accepted")
+	}
+	if _, err := NewReliableSender(nullSender{}, &fakeClock{}, nil, ReliableConfig{Timeout: 1}); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := NewReliableSender(nullSender{}, &fakeClock{}, constRNG{}, ReliableConfig{}); err == nil {
+		t.Error("disabled config accepted")
+	}
+}
+
+// relFixture builds a reliable sender over a recordSender on a
+// hand-cranked clock, with jitter disabled so deadlines are exact.
+func relFixture(t *testing.T, cfg ReliableConfig) (*ReliableSender, *recordSender, *fakeClock) {
+	t.Helper()
+	inner := &recordSender{}
+	clk := &fakeClock{}
+	cfg.Jitter = -1
+	rel, err := NewReliableSender(inner, clk, constRNG{f: 0.5, e: 1}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel, inner, clk
+}
+
+func TestReliableSenderRetriesWithBackoffUntilAck(t *testing.T) {
+	rel, inner, clk := relFixture(t, ReliableConfig{Timeout: 10, Backoff: 2, MaxTimeout: 100})
+	obs := &countObs{}
+	rel.Observe(obs)
+	if err := rel.Send(0, chunk(0, 1, 1, 1.0)); err != nil {
+		t.Fatal(err)
+	}
+	if len(inner.sends) != 1 {
+		t.Fatalf("got %d sends, want the original", len(inner.sends))
+	}
+	clk.advance(9.9)
+	if len(inner.sends) != 1 {
+		t.Fatal("retried before the timeout")
+	}
+	clk.advance(10) // first retry at 10
+	if len(inner.sends) != 2 {
+		t.Fatalf("got %d sends, want retry at t=10", len(inner.sends))
+	}
+	clk.advance(29.9) // next deadline is 10 + 20 (backed off)
+	if len(inner.sends) != 2 {
+		t.Fatal("retried before the backed-off timeout")
+	}
+	clk.advance(30)
+	if len(inner.sends) != 3 {
+		t.Fatalf("got %d sends, want retry at t=30", len(inner.sends))
+	}
+	rel.Ack(0, 1, 1)
+	clk.advance(1000)
+	if len(inner.sends) != 3 {
+		t.Fatalf("got %d sends, retried after the ack", len(inner.sends))
+	}
+	st := rel.Stats()
+	if st.Retries != 2 || st.Acks != 1 {
+		t.Fatalf("stats = %+v, want 2 retries and 1 ack", st)
+	}
+	if obs.retried != 2 || obs.acked != 1 {
+		t.Fatalf("observer saw %d retries, %d acks, want 2 and 1", obs.retried, obs.acked)
+	}
+}
+
+func TestReliableNewerSendSupersedesPending(t *testing.T) {
+	rel, inner, clk := relFixture(t, ReliableConfig{Timeout: 10})
+	if err := rel.Send(0, chunk(0, 1, 1, 1.0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rel.Send(0, chunk(0, 1, 2, 2.0)); err != nil {
+		t.Fatal(err)
+	}
+	rel.Ack(0, 1, 1) // stale ack: the pending chunk is round 2
+	clk.advance(50)
+	last := inner.sends[len(inner.sends)-1]
+	if last.Round != 2 {
+		t.Fatalf("retransmitted round %d, want the superseding round 2", last.Round)
+	}
+	rel.Ack(0, 1, 2)
+	n := len(inner.sends)
+	clk.advance(1000)
+	if len(inner.sends) != n {
+		t.Fatal("retried after the cumulative ack")
+	}
+}
+
+func TestReliableBreakerTripsSuppressesAndRecovers(t *testing.T) {
+	rel, inner, clk := relFixture(t, ReliableConfig{Timeout: 10, Backoff: 1.001, MaxAttempts: 2, Cooldown: 1000})
+	if err := rel.Send(0, chunk(0, 1, 1, 1.0)); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(10) // retry 1
+	clk.advance(21) // retry 2
+	clk.advance(32) // attempts exhausted: the breaker trips
+	st := rel.Stats()
+	if st.BreakerTrips != 1 || st.Retries != 2 {
+		t.Fatalf("stats = %+v, want 1 trip after 2 retries", st)
+	}
+	if !rel.Broken(1) {
+		t.Fatal("Broken(1) = false with the circuit open")
+	}
+	n := len(inner.sends)
+	if err := rel.Send(0, chunk(0, 1, 2, 2.0)); err != nil {
+		t.Fatal(err)
+	}
+	if len(inner.sends) != n {
+		t.Fatal("send reached the wire with the circuit open")
+	}
+	if rel.Stats().Suppressed != 1 {
+		t.Fatalf("Suppressed = %d, want 1", rel.Stats().Suppressed)
+	}
+	// Clearing the breaker (the supervisor restarted the peer) re-arms
+	// the suppressed chunk for immediate retransmission.
+	rel.ClearBreaker(1)
+	if rel.Broken(1) {
+		t.Fatal("Broken(1) = true after ClearBreaker")
+	}
+	clk.advance(clk.now)
+	if len(inner.sends) != n+1 || inner.sends[len(inner.sends)-1].Round != 2 {
+		t.Fatalf("suppressed chunk not retransmitted after ClearBreaker (%d sends)", len(inner.sends))
+	}
+	rel.Ack(0, 1, 2)
+	if rel.Broken(1) {
+		t.Fatal("ack left the circuit open")
+	}
+}
+
+func TestReliableForgetDropsPending(t *testing.T) {
+	rel, inner, clk := relFixture(t, ReliableConfig{Timeout: 10})
+	if err := rel.Send(0, chunk(0, 1, 1, 1.0)); err != nil {
+		t.Fatal(err)
+	}
+	rel.Forget(0)
+	n := len(inner.sends)
+	clk.advance(1000)
+	if len(inner.sends) != n {
+		t.Fatal("forgotten chunk was retransmitted")
+	}
+	if got := rel.PendingChunks(0, nil); len(got) != 0 {
+		t.Fatalf("PendingChunks = %v after Forget, want none", got)
+	}
+}
+
+func TestReliablePendingChunksAscending(t *testing.T) {
+	rel, _, _ := relFixture(t, ReliableConfig{Timeout: 10})
+	if err := rel.Send(0, chunk(0, 3, 1, 1.0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rel.Send(0, chunk(0, 1, 1, 2.0)); err != nil {
+		t.Fatal(err)
+	}
+	got := rel.PendingChunks(0, nil)
+	if len(got) != 2 || got[0].DstGroup != 1 || got[1].DstGroup != 3 {
+		t.Fatalf("PendingChunks = %v, want dst 1 then dst 3", got)
+	}
+	rel.Ack(0, 1, 1)
+	if got := rel.PendingChunks(0, nil); len(got) != 1 || got[0].DstGroup != 3 {
+		t.Fatalf("PendingChunks = %v after ack, want only dst 3", got)
+	}
+}
+
+// TestReliableSenderZeroAllocs pins the zero-fault hot path: once a
+// slot and its timer exist, a send/ack round trip allocates nothing.
+func TestReliableSenderZeroAllocs(t *testing.T) {
+	clk := &fakeClock{}
+	rel, err := NewReliableSender(nullSender{}, clk, constRNG{f: 0.5}, ReliableConfig{Timeout: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := chunk(0, 1, 0, 0.5)
+	round := int64(0)
+	round++
+	c.Round = round
+	if err := rel.Send(0, c); err != nil { // prewarm: slot + timer
+		t.Fatal(err)
+	}
+	rel.Ack(0, 1, round)
+	avg := testing.AllocsPerRun(1000, func() {
+		round++
+		c.Round = round
+		if err := rel.Send(0, c); err != nil {
+			t.Fatal(err)
+		}
+		rel.Ack(0, 1, round)
+	})
+	if avg != 0 {
+		t.Fatalf("send/ack path allocates %v allocs/op, want 0", avg)
+	}
+}
+
+// BenchmarkReliableSend measures the zero-fault send/ack round trip —
+// the overhead the reliable layer adds when nothing goes wrong.
+func BenchmarkReliableSend(b *testing.B) {
+	clk := &fakeClock{}
+	rel, err := NewReliableSender(nullSender{}, clk, constRNG{f: 0.5}, ReliableConfig{Timeout: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := chunk(0, 1, 0, 0.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Round = int64(i + 1)
+		if err := rel.Send(0, c); err != nil {
+			b.Fatal(err)
+		}
+		rel.Ack(0, 1, c.Round)
+	}
+}

@@ -1,0 +1,322 @@
+package dprcore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"p2prank/internal/transport"
+)
+
+// snapMagic identifies an encoded loop snapshot; snapVersion gates the
+// layout so future fields can evolve it.
+const (
+	snapMagic   = "DPRS"
+	snapVersion = 1
+)
+
+// Checkpointer persists encoded loop snapshots. Save is called from the
+// loop's commit context with a buffer the loop reuses on the next
+// cadence, so implementations must copy data if they retain it.
+type Checkpointer interface {
+	Save(ranker int, round int64, data []byte) error
+}
+
+// CheckpointConfig schedules periodic snapshots of a loop's recoverable
+// state through Params. The zero value checkpoints nothing.
+type CheckpointConfig struct {
+	// Every is the round cadence: a snapshot is taken after every Every
+	// committed loops (0 disables).
+	Every int64
+	// Sink receives the snapshots. Runtimes may install it themselves
+	// (the engine defaults to an in-memory sink when churn restarts
+	// from checkpoints; netpeer clusters use a FileCheckpointer).
+	Sink Checkpointer
+}
+
+// Enabled reports whether loops will actually checkpoint.
+func (c CheckpointConfig) Enabled() bool { return c.Every > 0 && c.Sink != nil }
+
+// Validate checks the cadence. A positive Every with a nil Sink is
+// legal at validation time — runtimes install their sink during build.
+func (c CheckpointConfig) Validate() error {
+	if c.Every < 0 {
+		return fmt.Errorf("dprcore: checkpoint cadence %d negative", c.Every)
+	}
+	return nil
+}
+
+// PendingSource is implemented by senders that track unacknowledged
+// chunks (ReliableSender). A loop whose sender implements it includes
+// the pending outbox in its snapshots, so a restart retransmits what
+// the crash left in flight.
+type PendingSource interface {
+	PendingChunks(from int, dst []transport.ScoreChunk) []transport.ScoreChunk
+}
+
+// Snapshot returns the loop's recoverable state — R, the newest
+// afferent chunk per source (the X table), the loop counter, and any
+// pending unacked chunks — encoded deterministically: fixed-width
+// little-endian fields, chunk tables in ascending group order. Byte
+// equality of two snapshots therefore means state equality.
+func (l *Loop) Snapshot() []byte { return l.AppendSnapshot(nil) }
+
+// AppendSnapshot appends the loop's encoded snapshot to buf and returns
+// the extended slice. Call from commit (serial) context.
+func (l *Loop) AppendSnapshot(buf []byte) []byte {
+	buf = append(buf, snapMagic...)
+	buf = append(buf, snapVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(l.grp.Index))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(l.loops))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(l.r)))
+	for _, v := range l.r {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	l.snapSrcs = l.snapSrcs[:0]
+	for src := range l.latest {
+		l.snapSrcs = append(l.snapSrcs, src)
+	}
+	sort.Slice(l.snapSrcs, func(i, j int) bool { return l.snapSrcs[i] < l.snapSrcs[j] })
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(l.snapSrcs)))
+	for _, src := range l.snapSrcs {
+		buf = appendChunk(buf, l.latest[src])
+	}
+	l.snapPending = l.snapPending[:0]
+	if l.pending != nil {
+		l.snapPending = l.pending.PendingChunks(l.grp.Index, l.snapPending)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(l.snapPending)))
+	for _, c := range l.snapPending {
+		buf = appendChunk(buf, c)
+	}
+	return buf
+}
+
+func appendChunk(buf []byte, c transport.ScoreChunk) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.SrcGroup))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.DstGroup))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(c.Round))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(c.Links))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.Entries)))
+	for _, e := range c.Entries {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.DstLocal))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Value))
+	}
+	return buf
+}
+
+// snapReader walks an encoded snapshot, remembering the first decode
+// failure so call sites check once.
+type snapReader struct {
+	data []byte
+	err  error
+}
+
+func (r *snapReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.data) < n {
+		r.err = fmt.Errorf("dprcore: snapshot truncated")
+		return nil
+	}
+	b := r.data[:n]
+	r.data = r.data[n:]
+	return b
+}
+
+func (r *snapReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *snapReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *snapReader) chunk() transport.ScoreChunk {
+	c := transport.ScoreChunk{
+		SrcGroup: int32(r.u32()),
+		DstGroup: int32(r.u32()),
+		Round:    int64(r.u64()),
+		Links:    int64(r.u64()),
+	}
+	n := int(r.u32())
+	if r.err != nil || n > len(r.data)/12 {
+		if r.err == nil {
+			r.err = fmt.Errorf("dprcore: snapshot chunk entry count %d exceeds data", n)
+		}
+		return c
+	}
+	c.Entries = make([]transport.ScoreEntry, 0, n)
+	for i := 0; i < n; i++ {
+		c.Entries = append(c.Entries, transport.ScoreEntry{
+			DstLocal: int32(r.u32()),
+			Value:    math.Float64frombits(r.u64()),
+		})
+	}
+	return c
+}
+
+// Restore rebuilds the loop's state from an encoded snapshot — the
+// crash-recovery path. It restores R, the X table, and the loop
+// counter, then re-sends the snapshot's pending chunks through the
+// Sender so the reliable layer re-adopts them (receivers that already
+// saw those rounds discard them as stale — re-delivery is idempotent).
+// Everything else (srcOrder, X itself) is reconstructed lazily from the
+// restored tables and from Y-chunks that keep arriving.
+//
+// Call it on a freshly built Loop for the same Group, from serial
+// context, before the next ComputePhase.
+func (l *Loop) Restore(data []byte) error {
+	r := &snapReader{data: data}
+	magic := r.take(len(snapMagic))
+	if r.err != nil || string(magic) != snapMagic {
+		return fmt.Errorf("dprcore: ranker %d: not a snapshot", l.grp.Index)
+	}
+	ver := r.take(1)
+	if r.err != nil || ver[0] != snapVersion {
+		return fmt.Errorf("dprcore: ranker %d: unsupported snapshot version", l.grp.Index)
+	}
+	if idx := int(r.u32()); r.err == nil && idx != l.grp.Index {
+		return fmt.Errorf("dprcore: ranker %d: snapshot belongs to group %d", l.grp.Index, idx)
+	}
+	loops := int64(r.u64())
+	if n := int(r.u32()); r.err == nil && n != len(l.r) {
+		return fmt.Errorf("dprcore: ranker %d: snapshot rank length %d, want %d", l.grp.Index, n, len(l.r))
+	}
+	for i := range l.r {
+		l.r[i] = math.Float64frombits(r.u64())
+	}
+	nLatest := int(r.u32())
+	clear(l.latest)
+	for i := 0; i < nLatest && r.err == nil; i++ {
+		c := r.chunk()
+		l.latest[c.SrcGroup] = c
+	}
+	nPending := int(r.u32())
+	pending := l.snapPending[:0]
+	for i := 0; i < nPending && r.err == nil; i++ {
+		pending = append(pending, r.chunk())
+	}
+	l.snapPending = pending
+	if r.err != nil {
+		return r.err
+	}
+	l.loops = loops
+	l.stepped = true
+	l.srcOrder = l.srcOrder[:0]
+	for _, c := range pending {
+		if err := l.sender.Send(l.grp.Index, c); err != nil {
+			return fmt.Errorf("dprcore: ranker %d: resend pending: %w", l.grp.Index, err)
+		}
+	}
+	if len(pending) > 0 {
+		if err := l.sender.Flush(l.grp.Index); err != nil {
+			return fmt.Errorf("dprcore: ranker %d: flush pending: %w", l.grp.Index, err)
+		}
+	}
+	if l.obs != nil {
+		l.obs.Recovered(l.grp.Index, l.loops)
+	}
+	return nil
+}
+
+// MemCheckpointer keeps the newest snapshot per ranker in memory — the
+// engine's sink for in-sim churn (copy-on-save, so the loop's reused
+// buffer never aliases a stored snapshot).
+type MemCheckpointer struct {
+	mu    sync.Mutex
+	snaps map[int]memSnap
+}
+
+type memSnap struct {
+	round int64
+	data  []byte
+}
+
+// NewMemCheckpointer builds an empty in-memory checkpoint store.
+func NewMemCheckpointer() *MemCheckpointer {
+	return &MemCheckpointer{snaps: make(map[int]memSnap)}
+}
+
+// Save implements Checkpointer.
+func (m *MemCheckpointer) Save(ranker int, round int64, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m.mu.Lock()
+	m.snaps[ranker] = memSnap{round: round, data: cp}
+	m.mu.Unlock()
+	return nil
+}
+
+// Load returns the ranker's newest snapshot and its round, or ok=false
+// if none was saved. The returned slice is the stored copy; callers
+// must not mutate it.
+func (m *MemCheckpointer) Load(ranker int) (data []byte, round int64, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.snaps[ranker]
+	return s.data, s.round, ok
+}
+
+// FileCheckpointer persists one snapshot file per ranker
+// (ranker-NNN.ckpt) in a directory, written atomically via a temp file
+// and rename so a crash mid-write never corrupts the last good
+// checkpoint — the netpeer supervisor's restart source.
+type FileCheckpointer struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// NewFileCheckpointer creates the directory if needed.
+func NewFileCheckpointer(dir string) (*FileCheckpointer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dprcore: checkpoint dir: %w", err)
+	}
+	return &FileCheckpointer{dir: dir}, nil
+}
+
+func (f *FileCheckpointer) path(ranker int) string {
+	return filepath.Join(f.dir, fmt.Sprintf("ranker-%03d.ckpt", ranker))
+}
+
+// Save implements Checkpointer.
+func (f *FileCheckpointer) Save(ranker int, round int64, data []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	tmp := f.path(ranker) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("dprcore: checkpoint write: %w", err)
+	}
+	if err := os.Rename(tmp, f.path(ranker)); err != nil {
+		return fmt.Errorf("dprcore: checkpoint rename: %w", err)
+	}
+	return nil
+}
+
+// Load returns the ranker's last checkpoint, or ok=false if none
+// exists.
+func (f *FileCheckpointer) Load(ranker int) (data []byte, ok bool, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	data, err = os.ReadFile(f.path(ranker))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("dprcore: checkpoint read: %w", err)
+	}
+	return data, true, nil
+}

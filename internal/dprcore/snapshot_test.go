@@ -1,0 +1,180 @@
+package dprcore
+
+import (
+	"bytes"
+	"testing"
+)
+
+// snapLoop builds a loop with some efferent structure, feeds it chunks,
+// and runs a few iterations so every snapshot table is non-trivial.
+func snapLoop(t *testing.T, sender Sender) *Loop {
+	t.Helper()
+	eff := map[int32][]EffEntry{1: {{LocalSrc: 0, DstLocal: 0, Links: 1}}}
+	l, err := NewLoop(testGroup(t, 0, eff), testParams(), testMeanWait, sender, constRNG{f: 0.5, e: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Deliver(chunk(1, 0, 3, 0.25))
+	l.Deliver(chunk(2, 0, 7, 0.5, 0.125))
+	for i := 0; i < 3; i++ {
+		l.ComputePhase()
+		l.CommitPhase()
+	}
+	return l
+}
+
+func TestSnapshotRestoreRoundtrip(t *testing.T) {
+	l := snapLoop(t, &recordSender{})
+	snap := l.Snapshot()
+
+	restored, err := NewLoop(l.Group(), testParams(), testMeanWait, &recordSender{}, constRNG{f: 0.5, e: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Loops() != l.Loops() {
+		t.Fatalf("loops = %d, want %d", restored.Loops(), l.Loops())
+	}
+	for i, v := range l.Ranks() {
+		if restored.Ranks()[i] != v {
+			t.Fatalf("r[%d] = %v, want %v", i, restored.Ranks()[i], v)
+		}
+	}
+	// Byte equality of snapshots means state equality: the restored
+	// loop must re-encode to the identical bytes.
+	if !bytes.Equal(restored.Snapshot(), snap) {
+		t.Fatal("restored loop snapshots differently")
+	}
+}
+
+func TestSnapshotDeterministicEncoding(t *testing.T) {
+	a := snapLoop(t, &recordSender{}).Snapshot()
+	b := snapLoop(t, &recordSender{}).Snapshot()
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical loops encode different snapshots")
+	}
+}
+
+func TestSnapshotIncludesPendingChunks(t *testing.T) {
+	// A loop whose sender is a ReliableSender snapshots the unacked
+	// outbox, and Restore re-sends it through the (new) sender chain.
+	inner := &recordSender{}
+	rel, err := NewReliableSender(inner, &fakeClock{}, constRNG{f: 0.5}, ReliableConfig{Timeout: 10, Jitter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := snapLoop(t, rel)
+	if len(rel.PendingChunks(0, nil)) == 0 {
+		t.Fatal("fixture produced no pending chunks")
+	}
+	snap := l.Snapshot()
+
+	inner2 := &recordSender{}
+	rel2, err := NewReliableSender(inner2, &fakeClock{}, constRNG{f: 0.5}, ReliableConfig{Timeout: 10, Jitter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := &countObs{}
+	p := testParams()
+	p.Observer = obs
+	restored, err := NewLoop(l.Group(), p, testMeanWait, rel2, constRNG{f: 0.5, e: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(inner2.sends) == 0 || inner2.flushes != 1 {
+		t.Fatalf("pending chunks not re-sent on restore: %d sends, %d flushes", len(inner2.sends), inner2.flushes)
+	}
+	if got := rel2.PendingChunks(0, nil); len(got) != len(rel.PendingChunks(0, nil)) {
+		t.Fatalf("reliable layer re-adopted %d pending chunks, want %d", len(got), len(rel.PendingChunks(0, nil)))
+	}
+	if obs.recovered != 1 {
+		t.Fatalf("observer saw %d recoveries, want 1", obs.recovered)
+	}
+}
+
+func TestRestoreRejectsCorruptSnapshots(t *testing.T) {
+	l := snapLoop(t, &recordSender{})
+	snap := l.Snapshot()
+	fresh := func() *Loop {
+		loop, err := NewLoop(l.Group(), testParams(), testMeanWait, &recordSender{}, constRNG{f: 0.5, e: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return loop
+	}
+	if err := fresh().Restore([]byte("not a snapshot")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if err := fresh().Restore(snap[:len(snap)-1]); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+	bad := append([]byte(nil), snap...)
+	bad[4] = 99 // version byte
+	if err := fresh().Restore(bad); err == nil {
+		t.Error("unknown version accepted")
+	}
+	other, err := NewLoop(testGroup(t, 1, nil), testParams(), testMeanWait, &recordSender{}, constRNG{f: 0.5, e: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Restore(snap); err == nil {
+		t.Error("snapshot for another group accepted")
+	}
+}
+
+func TestCheckpointCadence(t *testing.T) {
+	mem := NewMemCheckpointer()
+	p := testParams()
+	p.Checkpoint = CheckpointConfig{Every: 2, Sink: mem}
+	l, err := NewLoop(testGroup(t, 0, nil), p, testMeanWait, &recordSender{}, constRNG{f: 0.5, e: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.ComputePhase()
+	l.CommitPhase() // loop 1: no checkpoint
+	if _, _, ok := mem.Load(0); ok {
+		t.Fatal("checkpointed off cadence")
+	}
+	l.ComputePhase()
+	l.CommitPhase() // loop 2: checkpoint
+	data, round, ok := mem.Load(0)
+	if !ok || round != 2 {
+		t.Fatalf("checkpoint at round %d (ok=%v), want 2", round, ok)
+	}
+	restored, err := NewLoop(l.Group(), testParams(), testMeanWait, &recordSender{}, constRNG{f: 0.5, e: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Restore(data); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Loops() != 2 {
+		t.Fatalf("restored loops = %d, want 2", restored.Loops())
+	}
+}
+
+func TestFileCheckpointerRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	fc, err := NewFileCheckpointer(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := fc.Load(3); err != nil || ok {
+		t.Fatalf("Load on empty dir = ok=%v err=%v, want miss", ok, err)
+	}
+	if err := fc.Save(3, 7, []byte("snap-a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.Save(3, 9, []byte("snap-b")); err != nil {
+		t.Fatal(err)
+	}
+	data, ok, err := fc.Load(3)
+	if err != nil || !ok || string(data) != "snap-b" {
+		t.Fatalf("Load = %q ok=%v err=%v, want newest snapshot", data, ok, err)
+	}
+}

@@ -1,0 +1,163 @@
+package dprcore
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// SupervisorConfig parameterizes a Supervisor. Times are in the driving
+// runtime's units (nanoseconds for netpeer's wall clock).
+type SupervisorConfig struct {
+	// ProbeEvery is the liveness probe cadence (required, > 0).
+	ProbeEvery float64
+	// RestartBackoff is the wait before retrying a failed restart of
+	// the same ranker (default ProbeEvery).
+	RestartBackoff float64
+	// BackoffFactor multiplies the per-ranker backoff after every
+	// failed restart (default 2).
+	BackoffFactor float64
+	// MaxBackoff caps the grown backoff (default 16 × RestartBackoff).
+	MaxBackoff float64
+	// Jitter stretches every probe wait and backoff by a uniform factor
+	// in [1, 1+Jitter) from the supervisor's private RNG stream
+	// (default 0.1; negative disables).
+	Jitter float64
+	// MaxRestarts bounds restart attempts per ranker (0 = unlimited).
+	MaxRestarts int
+}
+
+func (c SupervisorConfig) withDefaults() SupervisorConfig {
+	if c.RestartBackoff == 0 {
+		c.RestartBackoff = c.ProbeEvery
+	}
+	if c.BackoffFactor == 0 {
+		c.BackoffFactor = 2
+	}
+	if c.MaxBackoff == 0 {
+		c.MaxBackoff = 16 * c.RestartBackoff
+	}
+	if c.Jitter == 0 {
+		c.Jitter = 0.1
+	} else if c.Jitter < 0 {
+		c.Jitter = 0
+	}
+	return c
+}
+
+// Supervised is the set a Supervisor watches. The netpeer cluster
+// implements it: Alive combines socket liveness with the reliable
+// layer's missed-ack breaker, Restart rebuilds the peer from its last
+// checkpoint file and re-dials the mesh.
+type Supervised interface {
+	// NumRankers is the fixed size of the supervised set.
+	NumRankers() int
+	// Alive reports whether ranker i currently looks healthy.
+	Alive(i int) bool
+	// Restart brings a dead ranker back. It is called from the
+	// supervisor's driving context and may block (dial, file IO).
+	Restart(i int) error
+}
+
+// Supervisor probes a Supervised set on a jittered cadence and restarts
+// rankers that look dead, backing off per ranker when restarts fail.
+// Like the loop core it is runtime-agnostic and deterministic: time
+// comes only from the injected Clock and Waiter, jitter only from the
+// injected RNG (no wall clock, no global randomness — same p2plint
+// scope as the rest of this package).
+type Supervisor struct {
+	set   Supervised
+	clock Clock
+	rng   RNG
+	cfg   SupervisorConfig
+
+	// Per-ranker restart state, touched only from Run's context.
+	failures []int
+	nextTry  []float64
+
+	restarts atomic.Int64
+	giveUps  atomic.Int64
+}
+
+// NewSupervisor builds a supervisor over set. The rng must be a private
+// stream.
+func NewSupervisor(set Supervised, clock Clock, rng RNG, cfg SupervisorConfig) (*Supervisor, error) {
+	if set == nil || clock == nil || rng == nil {
+		return nil, fmt.Errorf("dprcore: nil dependency")
+	}
+	if cfg.ProbeEvery <= 0 {
+		return nil, fmt.Errorf("dprcore: supervisor ProbeEvery %v must be positive", cfg.ProbeEvery)
+	}
+	if cfg.BackoffFactor != 0 && cfg.BackoffFactor < 1 {
+		return nil, fmt.Errorf("dprcore: supervisor BackoffFactor %v < 1", cfg.BackoffFactor)
+	}
+	if cfg.MaxRestarts < 0 {
+		return nil, fmt.Errorf("dprcore: supervisor MaxRestarts %d negative", cfg.MaxRestarts)
+	}
+	n := set.NumRankers()
+	return &Supervisor{
+		set:      set,
+		clock:    clock,
+		rng:      rng,
+		cfg:      cfg.withDefaults(),
+		failures: make([]int, n),
+		nextTry:  make([]float64, n),
+	}, nil
+}
+
+// jittered stretches d by the configured jitter fraction.
+func (s *Supervisor) jittered(d float64) float64 {
+	if s.cfg.Jitter > 0 {
+		d *= 1 + s.cfg.Jitter*s.rng.Float64()
+	}
+	return d
+}
+
+// Run probes until w.Wait reports shutdown. It owns the restart state,
+// so run it from exactly one goroutine.
+func (s *Supervisor) Run(w Waiter) {
+	for w.Wait(s.jittered(s.cfg.ProbeEvery)) {
+		s.Probe()
+	}
+}
+
+// Probe scans the set once, restarting dead rankers whose backoff has
+// passed. Exposed for event-driven drivers and tests; Run calls it on
+// the cadence.
+func (s *Supervisor) Probe() {
+	now := s.clock.Now()
+	for i := 0; i < s.set.NumRankers(); i++ {
+		if s.set.Alive(i) {
+			s.failures[i] = 0
+			s.nextTry[i] = 0
+			continue
+		}
+		if now < s.nextTry[i] {
+			continue // still backing off from a failed restart
+		}
+		if s.cfg.MaxRestarts > 0 && s.failures[i] >= s.cfg.MaxRestarts {
+			continue // given up on this ranker
+		}
+		if err := s.set.Restart(i); err != nil {
+			s.failures[i]++
+			if s.cfg.MaxRestarts > 0 && s.failures[i] >= s.cfg.MaxRestarts {
+				s.giveUps.Add(1)
+			}
+			b := s.cfg.RestartBackoff
+			for f := 1; f < s.failures[i] && b < s.cfg.MaxBackoff; f++ {
+				b *= s.cfg.BackoffFactor
+			}
+			if b > s.cfg.MaxBackoff {
+				b = s.cfg.MaxBackoff
+			}
+			s.nextTry[i] = now + s.jittered(b)
+			continue
+		}
+		s.failures[i] = 0
+		s.nextTry[i] = 0
+		s.restarts.Add(1)
+	}
+}
+
+// Restarts returns how many successful restarts the supervisor
+// performed. Safe to read while Run is going.
+func (s *Supervisor) Restarts() int64 { return s.restarts.Load() }

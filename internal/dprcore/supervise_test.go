@@ -1,0 +1,142 @@
+package dprcore
+
+import (
+	"fmt"
+	"testing"
+)
+
+// fakeSet is a scriptable Supervised: per-ranker liveness flags and a
+// per-ranker error the next Restart returns.
+type fakeSet struct {
+	alive    []bool
+	fail     []error
+	restarts []int
+}
+
+func (s *fakeSet) NumRankers() int  { return len(s.alive) }
+func (s *fakeSet) Alive(i int) bool { return s.alive[i] }
+func (s *fakeSet) Restart(i int) error {
+	s.restarts[i]++
+	if s.fail[i] != nil {
+		return s.fail[i]
+	}
+	s.alive[i] = true
+	return nil
+}
+
+func newFakeSet(n int) *fakeSet {
+	return &fakeSet{alive: make([]bool, n), fail: make([]error, n), restarts: make([]int, n)}
+}
+
+func TestNewSupervisorValidation(t *testing.T) {
+	set := newFakeSet(1)
+	clk := &fakeClock{}
+	if _, err := NewSupervisor(nil, clk, constRNG{}, SupervisorConfig{ProbeEvery: 1}); err == nil {
+		t.Error("nil set accepted")
+	}
+	if _, err := NewSupervisor(set, clk, constRNG{}, SupervisorConfig{}); err == nil {
+		t.Error("zero ProbeEvery accepted")
+	}
+	if _, err := NewSupervisor(set, clk, constRNG{}, SupervisorConfig{ProbeEvery: 1, BackoffFactor: 0.5}); err == nil {
+		t.Error("BackoffFactor < 1 accepted")
+	}
+}
+
+func TestSupervisorRestartsDeadRankers(t *testing.T) {
+	set := newFakeSet(3)
+	set.alive[0], set.alive[2] = true, true
+	sup, err := NewSupervisor(set, &fakeClock{}, constRNG{f: 0.5}, SupervisorConfig{ProbeEvery: 10, Jitter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup.Probe()
+	if set.restarts[0] != 0 || set.restarts[1] != 1 || set.restarts[2] != 0 {
+		t.Fatalf("restarts = %v, want only ranker 1 restarted", set.restarts)
+	}
+	if !set.alive[1] || sup.Restarts() != 1 {
+		t.Fatalf("ranker 1 alive=%v, Restarts()=%d, want true and 1", set.alive[1], sup.Restarts())
+	}
+	sup.Probe()
+	if set.restarts[1] != 1 {
+		t.Fatal("healthy ranker restarted again")
+	}
+}
+
+func TestSupervisorBacksOffFailedRestarts(t *testing.T) {
+	set := newFakeSet(1)
+	set.fail[0] = fmt.Errorf("still dead")
+	clk := &fakeClock{}
+	sup, err := NewSupervisor(set, clk, constRNG{f: 0.5}, SupervisorConfig{
+		ProbeEvery: 1, RestartBackoff: 10, BackoffFactor: 2, MaxBackoff: 40, Jitter: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup.Probe() // t=0: fails, next try at 10
+	clk.now = 5
+	sup.Probe() // still backing off
+	if set.restarts[0] != 1 {
+		t.Fatalf("restarts = %d, probe ignored the backoff", set.restarts[0])
+	}
+	clk.now = 10
+	sup.Probe() // fails again, backoff 20 → next try at 30
+	clk.now = 25
+	sup.Probe()
+	if set.restarts[0] != 2 {
+		t.Fatalf("restarts = %d, backoff did not grow", set.restarts[0])
+	}
+	clk.now = 30
+	set.fail[0] = nil
+	sup.Probe()
+	if set.restarts[0] != 3 || !set.alive[0] || sup.Restarts() != 1 {
+		t.Fatalf("restarts = %d, alive = %v, Restarts() = %d; want a successful third try",
+			set.restarts[0], set.alive[0], sup.Restarts())
+	}
+}
+
+func TestSupervisorGivesUpAfterMaxRestarts(t *testing.T) {
+	set := newFakeSet(1)
+	set.fail[0] = fmt.Errorf("still dead")
+	clk := &fakeClock{}
+	sup, err := NewSupervisor(set, clk, constRNG{f: 0.5}, SupervisorConfig{
+		ProbeEvery: 1, RestartBackoff: 1, MaxRestarts: 2, Jitter: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		clk.now = float64(i * 100) // far past any backoff
+		sup.Probe()
+	}
+	if set.restarts[0] != 2 {
+		t.Fatalf("restarts = %d, want exactly MaxRestarts", set.restarts[0])
+	}
+}
+
+func TestSupervisorRunStopsWithWaiter(t *testing.T) {
+	set := newFakeSet(1)
+	set.alive[0] = true
+	sup, err := NewSupervisor(set, &fakeClock{}, constRNG{f: 0.5}, SupervisorConfig{ProbeEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	sup.Run(countWaiter{n: &n, max: 3})
+	if n != 3 {
+		t.Fatalf("waited %d times, want 3", n)
+	}
+}
+
+// countWaiter allows max waits then reports shutdown.
+type countWaiter struct {
+	n   *int
+	max int
+}
+
+func (w countWaiter) Wait(d float64) bool {
+	if *w.n >= w.max {
+		return false
+	}
+	*w.n++
+	return true
+}

@@ -102,6 +102,16 @@ type Config struct {
 	// While down, a ranker's host drops all traffic and its loops
 	// no-op; on recovery it resumes from its pre-outage state.
 	Disruptions []Disruption
+	// Churn schedules ranker crash/restart cycles — full node failure,
+	// one step beyond Disruptions' suspend/resume: a crashed ranker
+	// loses its in-memory state and its host drops traffic; at restart
+	// it resumes cold (R0 = 0) or warm from its last checkpoint (see
+	// Params.Checkpoint; the engine installs an in-memory sink when a
+	// FromCheckpoint event needs one). Crash and restart are serial
+	// virtual-time events, so a seeded churn schedule is part of the
+	// deterministic run: same seed + schedule, byte-identical results
+	// at any GOMAXPROCS.
+	Churn []ChurnEvent
 }
 
 // Disruption is one ranker outage window.
@@ -110,6 +120,18 @@ type Disruption struct {
 	Ranker int
 	// From and To bound the outage in virtual time (From < To).
 	From, To float64
+}
+
+// ChurnEvent is one ranker crash/restart cycle.
+type ChurnEvent struct {
+	// Ranker is the index of the ranker to crash.
+	Ranker int
+	// CrashAt and RestartAt bound the outage in virtual time
+	// (CrashAt < RestartAt <= MaxTime).
+	CrashAt, RestartAt float64
+	// FromCheckpoint restarts the ranker from its last checkpoint
+	// instead of cold (R0 = 0).
+	FromCheckpoint bool
 }
 
 // MinMeanWait is the lower clamp for a ranker's mean waiting time. A
@@ -159,6 +181,29 @@ func (c *Config) validate() error {
 			return fmt.Errorf("engine: disruption %d ends at %v, beyond MaxTime %v", i, d.To, c.MaxTime)
 		}
 	}
+	needLoad := false
+	for i, ev := range c.Churn {
+		if ev.Ranker < 0 || ev.Ranker >= c.K {
+			return fmt.Errorf("engine: churn %d targets ranker %d of %d", i, ev.Ranker, c.K)
+		}
+		if ev.CrashAt < 0 || ev.RestartAt <= ev.CrashAt {
+			return fmt.Errorf("engine: churn %d window [%v, %v) invalid", i, ev.CrashAt, ev.RestartAt)
+		}
+		if ev.RestartAt > c.MaxTime {
+			return fmt.Errorf("engine: churn %d restarts at %v, beyond MaxTime %v", i, ev.RestartAt, c.MaxTime)
+		}
+		if ev.FromCheckpoint {
+			needLoad = true
+		}
+	}
+	if needLoad && c.Checkpoint.Every == 0 {
+		c.Checkpoint.Every = 5
+	}
+	if needLoad && c.Checkpoint.Sink != nil {
+		if _, ok := c.Checkpoint.Sink.(*dprcore.MemCheckpointer); !ok {
+			return fmt.Errorf("engine: FromCheckpoint churn needs a *dprcore.MemCheckpointer sink (or nil for the default)")
+		}
+	}
 	return nil
 }
 
@@ -193,6 +238,12 @@ type Result struct {
 	// FaultStats counts injected message faults (all zero when
 	// Config.Fault is disabled).
 	FaultStats FaultStats
+	// ReliableStats counts the reliable-delivery layer's retries, acks,
+	// and breaker trips (all zero when Config.Reliable is disabled).
+	ReliableStats dprcore.ReliableStats
+	// Recoveries is the number of checkpoint restores performed by
+	// Config.Churn restarts (cold restarts don't count).
+	Recoveries int64
 	// NetStats are network-level counters for the whole run.
 	NetStats simnet.Stats
 	// TransportStats are transport-level counters for the whole run.
@@ -228,7 +279,9 @@ type cluster struct {
 	net     *simnet.Network
 	ov      overlay.Network
 	fab     *transport.Fabric
-	faults  *dprcore.FaultSender // nil unless cfg.Fault.Enabled()
+	faults  *dprcore.FaultSender     // nil unless cfg.Fault.Enabled()
+	rel     *dprcore.ReliableSender  // nil unless cfg.Reliable.Enabled()
+	ckpt    *dprcore.MemCheckpointer // nil unless checkpoint restarts need loads
 	assign  *partition.Assignment
 	rankers []*ranker.Ranker
 }
@@ -301,6 +354,31 @@ func build(cfg Config) (*cluster, error) {
 		faults.Observe(cfg.Observer)
 		sender = faults
 	}
+	var rel *dprcore.ReliableSender
+	if cfg.Reliable.Enabled() {
+		// Reliability layers above the fault injector so retransmissions
+		// are themselves subject to injected loss. Its jitter stream is
+		// forked only when enabled — same bit-identity rule as faults.
+		rel, err = dprcore.NewReliableSender(sender, sim, root.Fork(), cfg.Reliable)
+		if err != nil {
+			return nil, err
+		}
+		rel.Observe(cfg.Observer)
+		sender = rel
+	}
+	var ckpt *dprcore.MemCheckpointer
+	needLoad := false
+	for _, ev := range cfg.Churn {
+		if ev.FromCheckpoint {
+			needLoad = true
+		}
+	}
+	if needLoad {
+		if cfg.Checkpoint.Sink == nil {
+			cfg.Checkpoint.Sink = dprcore.NewMemCheckpointer()
+		}
+		ckpt = cfg.Checkpoint.Sink.(*dprcore.MemCheckpointer) // validate() pinned the type
+	}
 	rankers := make([]*ranker.Ranker, cfg.K)
 	for i := 0; i < cfg.K; i++ {
 		mean := cfg.T1 + root.Float64()*(cfg.T2-cfg.T1)
@@ -311,14 +389,31 @@ func build(cfg Config) (*cluster, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := fab.Register(i, rk.Deliver); err != nil {
+		deliver := rk.Deliver
+		if rel != nil {
+			// Acked delivery: every chunk that reaches its owner is
+			// acknowledged straight back to its source (end-to-end, one
+			// hop). Wrapped only when reliability is on, so disabled
+			// configs keep the exact pre-existing delivery path.
+			i, rk := i, rk
+			deliver = func(c transport.ScoreChunk) {
+				rk.Deliver(c)
+				fab.SendAck(i, c.SrcGroup, c.Round)
+			}
+			if err := fab.RegisterAck(i, func(src int32, round int64) {
+				rel.Ack(i, src, round)
+			}); err != nil {
+				return nil, err
+			}
+		}
+		if err := fab.Register(i, deliver); err != nil {
 			return nil, err
 		}
 		rankers[i] = rk
 	}
 	return &cluster{
 		cfg: cfg, sim: sim, net: net, ov: ov, fab: fab, faults: faults,
-		assign: assign, rankers: rankers,
+		rel: rel, ckpt: ckpt, assign: assign, rankers: rankers,
 	}, nil
 }
 
@@ -439,6 +534,38 @@ func run(cfg Config, initial vecmath.Vec) (*Result, error) {
 			cl.rankers[d.Ranker].Resume()
 		})
 	}
+	for _, ev := range cfg.Churn {
+		ev := ev
+		cl.sim.At(ev.CrashAt, func() {
+			// Crash: host down (in-flight traffic toward it is lost),
+			// loop state destroyed, and the reliable layer forgets the
+			// crashed sender's pending chunks — the checkpoint, not the
+			// wrapper, is the surviving record of what was in flight.
+			cl.net.SetDown(cl.fab.Addr(ev.Ranker), true)
+			cl.rankers[ev.Ranker].Crash()
+			if cl.rel != nil {
+				cl.rel.Forget(ev.Ranker)
+			}
+		})
+		cl.sim.At(ev.RestartAt, func() {
+			cl.net.SetDown(cl.fab.Addr(ev.Ranker), false)
+			var snap []byte
+			if ev.FromCheckpoint && cl.ckpt != nil {
+				if data, _, ok := cl.ckpt.Load(ev.Ranker); ok {
+					snap = data
+					res.Recoveries++
+				}
+			}
+			if err := cl.rankers[ev.Ranker].Restart(snap); err != nil {
+				panic(fmt.Sprintf("engine: restart ranker %d: %v", ev.Ranker, err))
+			}
+			if cl.rel != nil {
+				// Senders whose breaker gave the crashed ranker up resume
+				// immediately on restart instead of waiting out the cooldown.
+				cl.rel.ClearBreaker(ev.Ranker)
+			}
+		})
+	}
 	global := vecmath.NewVec(cfg.Graph.NumPages())
 	stopAll := func() {
 		for _, rk := range cl.rankers {
@@ -496,6 +623,9 @@ func run(cfg Config, initial vecmath.Vec) (*Result, error) {
 			Delayed:    cl.faults.Delayed(),
 			Duplicated: cl.faults.Duplicated(),
 		}
+	}
+	if cl.rel != nil {
+		res.ReliableStats = cl.rel.Stats()
 	}
 	if sc, ok := cfg.Observer.(*telemetry.SimCollector); ok {
 		sum := sc.Summary()

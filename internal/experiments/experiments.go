@@ -721,6 +721,121 @@ func Faults(w Workload, k int, drops []float64, maxTime float64) ([]FaultRow, er
 	return rows, nil
 }
 
+// ChurnRow records convergence under one churn severity: a number of
+// rankers crashed mid-run and restarted from their checkpoints.
+type ChurnRow struct {
+	// Crashes is how many rankers crash (and later restart) in the run.
+	Crashes int
+	// ConvergedAt is the virtual time the target error was reached, or
+	// -1 when the horizon expired first.
+	ConvergedAt float64
+	// FinalRelErr is the relative error at the end of the run.
+	FinalRelErr float64
+	// Retries and Acks are the reliable layer's counters.
+	Retries, Acks int64
+	// Recoveries is the number of checkpoint restores performed.
+	Recoveries int64
+}
+
+// Churn reruns the same DPR1 workload while crashing an increasing
+// number of rankers mid-run. Every run carries 10% injected loss, the
+// reliable delivery layer, and round-cadence checkpoints; each crashed
+// ranker restarts from its last checkpoint a fixed outage later. The
+// outage windows sit early in the run so convergence has to ride out
+// the churn rather than finish before it.
+func Churn(w Workload, k int, crashes []int, maxTime float64) ([]ChurnRow, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("experiments: k = %d, must be positive", k)
+	}
+	if len(crashes) == 0 {
+		return nil, fmt.Errorf("experiments: no crash counts")
+	}
+	for _, c := range crashes {
+		if c < 0 || c >= k {
+			return nil, fmt.Errorf("experiments: %d crashes with %d rankers", c, k)
+		}
+	}
+	w.defaults()
+	g, err := w.Generate()
+	if err != nil {
+		return nil, err
+	}
+	ref, err := engine.Reference(g, defaultAlpha)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ChurnRow, len(crashes))
+	errs := make([]error, len(crashes))
+	par.Default().Run(len(crashes), func(i int) {
+		// Stagger the outages across the convergence ramp (these
+		// T1/T2 settings reach 1e-4 around t≈16-20): ranker j crashes
+		// at 6+2j and returns 7 time units later, so the run has to
+		// converge through the churn, not after it.
+		events := make([]engine.ChurnEvent, crashes[i])
+		for j := range events {
+			events[j] = engine.ChurnEvent{
+				Ranker:         j,
+				CrashAt:        6 + 2*float64(j),
+				RestartAt:      13 + 2*float64(j),
+				FromCheckpoint: true,
+			}
+		}
+		cfg := engine.Config{
+			Params: dprcore.Params{
+				Alg: dprcore.DPR1, T1: 0.5, T2: 3,
+				Fault:    dprcore.FaultConfig{DropProb: 0.1},
+				Reliable: dprcore.ReliableConfig{Timeout: 10},
+				// Per-round checkpoints: the crashes land early in the
+				// ramp, and a sparser cadence would turn them into cold
+				// restarts instead of recoveries.
+				Checkpoint: dprcore.CheckpointConfig{Every: 1},
+			},
+			Graph:        g,
+			K:            k,
+			Seed:         w.Seed,
+			Reference:    ref,
+			SampleEvery:  2,
+			MaxTime:      maxTime,
+			TargetRelErr: 1e-4,
+			Strategy:     partition.BySite,
+			Transport:    transport.Indirect,
+			Churn:        events,
+		}
+		run, err := engine.Run(cfg)
+		if err != nil {
+			errs[i] = fmt.Errorf("experiments: churn %d: %w", crashes[i], err)
+			return
+		}
+		rows[i] = ChurnRow{
+			Crashes:     crashes[i],
+			ConvergedAt: run.ConvergedAt,
+			FinalRelErr: run.RelErr,
+			Retries:     run.ReliableStats.Retries,
+			Acks:        run.ReliableStats.Acks,
+			Recoveries:  run.Recoveries,
+		}
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// RenderChurn formats churn-sweep rows.
+func RenderChurn(rows []ChurnRow) string {
+	t := metrics.NewTable("crashes", "converged at", "final rel err",
+		"retries", "acks", "recoveries")
+	for _, r := range rows {
+		conv := "never"
+		if r.ConvergedAt >= 0 {
+			conv = fmt.Sprintf("%.0f", r.ConvergedAt)
+		}
+		t.AddRow(r.Crashes, conv, fmt.Sprintf("%.2e", r.FinalRelErr),
+			r.Retries, r.Acks, r.Recoveries)
+	}
+	return t.String()
+}
+
 // RenderFaults formats fault-sweep rows.
 func RenderFaults(rows []FaultRow) string {
 	t := metrics.NewTable("drop prob", "converged at", "final rel err", "chunks dropped")

@@ -207,6 +207,42 @@ func TestConvergenceVsBandwidth(t *testing.T) {
 	}
 }
 
+// Churn sweep: the zero-crash row converges cleanly, churned rows
+// still converge and their counters show the recovery machinery ran.
+func TestChurnSweep(t *testing.T) {
+	rows, err := Churn(smallWorkload(), 8, []int{0, 2}, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calm, churned := rows[0], rows[1]
+	if calm.ConvergedAt < 0 || churned.ConvergedAt < 0 {
+		t.Fatalf("runs did not converge: %+v", rows)
+	}
+	if calm.Recoveries != 0 || churned.Recoveries != 2 {
+		t.Fatalf("recoveries = %d and %d, want 0 and 2", calm.Recoveries, churned.Recoveries)
+	}
+	if churned.Retries == 0 || churned.Acks == 0 {
+		t.Fatalf("churned row never exercised the reliable layer: %+v", churned)
+	}
+	out := RenderChurn(rows)
+	if !strings.Contains(out, "recoveries") {
+		t.Fatalf("render missing recoveries column:\n%s", out)
+	}
+}
+
+func TestChurnValidation(t *testing.T) {
+	w := smallWorkload()
+	if _, err := Churn(w, 0, []int{0}, 10); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Churn(w, 4, nil, 10); err == nil {
+		t.Error("empty crash list accepted")
+	}
+	if _, err := Churn(w, 4, []int{4}, 10); err == nil {
+		t.Error("crashes >= k accepted")
+	}
+}
+
 func TestConvergenceVsBandwidthValidation(t *testing.T) {
 	w := smallWorkload()
 	if _, err := ConvergenceVsBandwidth(w, 0, []float64{0}, 10); err == nil {

@@ -25,9 +25,13 @@ func TestNoWallClockFlagsSimPackages(t *testing.T) {
 
 func TestNoWallClockFlagsDprcore(t *testing.T) {
 	// The loop core is sim-path: time enters only through its Clock
-	// interface. (norand needs no scope entry — it is global outside
-	// internal/xrand, so dprcore is covered by the own-tree suite.)
-	linttest.Run(t, "testdata", lint.NoWallClock, "p2prank/internal/dprcore")
+	// interface, randomness only through its RNG interface. The fixture
+	// covers both the plain loop shortcuts (clock.go) and the recovery
+	// layer's — retry deadlines, backoff jitter, supervisor probes
+	// (retry.go) — so both analyzers run over the package together.
+	linttest.RunAll(t, "testdata",
+		[]*lint.Analyzer{lint.NoWallClock, lint.NoRand},
+		"p2prank/internal/dprcore")
 }
 
 func TestNoWallClockExemptsNetpeer(t *testing.T) {

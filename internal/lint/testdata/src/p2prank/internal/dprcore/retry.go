@@ -1,0 +1,38 @@
+// Fixture: the recovery layer — retransmission timers, backoff jitter,
+// supervisor probes — must draw time from the injected Clock and
+// randomness from the injected *xrand.Rand. This is the shortcut
+// version a hurried port would write, and every host-time or
+// global-rand touch in it must be flagged.
+package dprcore
+
+import (
+	"math/rand" // want `import of "math/rand" is forbidden outside internal/xrand`
+	"time"
+)
+
+// RetryAfter is the forbidden retransmission deadline: host timers and
+// global jitter instead of the layer's Clock and RNG streams.
+func RetryAfter(timeout float64, retransmit func()) float64 {
+	jitter := 1 + rand.Float64()
+	deadline := time.Now()                                    // want `time.Now reads the wall clock`
+	time.AfterFunc(time.Duration(timeout*jitter), retransmit) // want `time.AfterFunc reads the wall clock`
+	return float64(deadline.UnixNano())
+}
+
+// ProbeLoop is the forbidden supervisor cadence: polling liveness on a
+// host ticker instead of the runtime's Waiter.
+func ProbeLoop(every time.Duration, probe func()) {
+	for range time.Tick(every) { // want `time.Tick reads the wall clock`
+		probe()
+	}
+}
+
+// Backoff shows the legal shape: pure arithmetic on configured
+// durations, with no clock or randomness consulted.
+func Backoff(timeout, factor, cap float64) float64 {
+	next := timeout * factor
+	if next > cap {
+		next = cap
+	}
+	return next
+}

@@ -89,9 +89,19 @@ func (c *Config) validate() error {
 	return nil
 }
 
-// frame is the single wire message: a batch of score chunks.
+// frame is the single wire message: a batch of score chunks plus any
+// cumulative delivery acknowledgements riding back (reliable mode).
 type frame struct {
 	Chunks []transport.ScoreChunk
+	// Acks, when non-empty, acknowledges delivery end-to-end: group From
+	// has delivered the receiver's chunks up to and including Round.
+	Acks []wireAck
+}
+
+// wireAck is one cumulative acknowledgement for the reliable layer.
+type wireAck struct {
+	From  int32
+	Round int64
 }
 
 // Peer is one live page ranker: a dprcore.Loop plus the TCP runtime
@@ -110,7 +120,8 @@ type Peer struct {
 	loop *dprcore.Loop
 
 	out    *outbox
-	faults *dprcore.FaultSender // nil unless cfg.Fault.Enabled()
+	faults *dprcore.FaultSender    // nil unless cfg.Fault.Enabled()
+	rel    *dprcore.ReliableSender // nil unless cfg.Reliable.Enabled()
 
 	peersMu sync.Mutex
 	peers   map[int32]string
@@ -122,6 +133,7 @@ type Peer struct {
 	sent    atomic.Int64
 	relayed atomic.Int64
 	started atomic.Bool
+	closed  atomic.Bool
 	stop    chan struct{}
 	wg      sync.WaitGroup
 	wire    wireFormat
@@ -226,6 +238,20 @@ func Listen(addr string, cfg Config) (*Peer, error) {
 		sender = fs
 		p.faults = fs
 	}
+	if cfg.Reliable.Enabled() {
+		// The reliable layer sits above the fault injector, so
+		// retransmissions are themselves subject to injected loss. Its
+		// jitter draws from a third seed-keyed stream.
+		rrng := xrand.New(cfg.Seed ^ 0x2545f4914f6cdd1d)
+		rel, err := dprcore.NewReliableSender(sender, wallClock{}, rrng, cfg.Reliable)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		rel.Observe(cfg.Observer)
+		sender = rel
+		p.rel = rel
+	}
 	if cfg.Observer != nil {
 		// A collector that wants timestamps gets the wall clock (the live
 		// stack's Clock), and one that wants hop counts gets overlay
@@ -295,11 +321,49 @@ func (p *Peer) FaultStats() (dropped, delayed, duplicated int64) {
 	return p.faults.Dropped(), p.faults.Delayed(), p.faults.Duplicated()
 }
 
+// ReliableStats returns the reliable layer's counters (all zero when
+// the layer is off).
+func (p *Peer) ReliableStats() dprcore.ReliableStats {
+	if p.rel == nil {
+		return dprcore.ReliableStats{}
+	}
+	return p.rel.Stats()
+}
+
+// Broken reports whether the peer's reliable layer currently presumes
+// destination group dst dead (its circuit is open). Always false when
+// the layer is off.
+func (p *Peer) Broken(dst int) bool {
+	return p.rel != nil && p.rel.Broken(dst)
+}
+
+// ClearBroken closes the reliable layer's circuit toward destination
+// group dst — the cluster supervisor calls it after restarting that
+// peer. A no-op when the layer is off.
+func (p *Peer) ClearBroken(dst int) {
+	if p.rel != nil {
+		p.rel.ClearBreaker(dst)
+	}
+}
+
 // Ranks returns a snapshot of the peer's current local rank vector.
 func (p *Peer) Ranks() vecmath.Vec {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.loop.Ranks().Clone()
+}
+
+// RestoreSnapshot warm-starts the peer's loop from a dprcore checkpoint
+// (see dprcore.Loop.Restore). It must be called before Start; pending
+// chunks captured in the snapshot re-enter through the sender chain and
+// ship with the first loop dispatch.
+func (p *Peer) RestoreSnapshot(data []byte) error {
+	if p.started.Load() {
+		return fmt.Errorf("netpeer: RestoreSnapshot after Start")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.loop.Restore(data)
 }
 
 // Start launches the ranking loop. It is idempotent.
@@ -311,14 +375,24 @@ func (p *Peer) Start() {
 	go p.rankLoop()
 }
 
+// Kill is Close under its failure-model name: the cluster's churn
+// schedule calls it to take a peer down mid-run. Nothing is flushed or
+// handed over — recovery happens on the other side, when the supervisor
+// builds a fresh peer from the last checkpoint file.
+func (p *Peer) Kill() error { return p.Close() }
+
+// Alive reports whether the peer has started ranking and has not been
+// closed or killed.
+func (p *Peer) Alive() bool { return p.started.Load() && !p.closed.Load() }
+
 // Close stops the loop, the listener, and all connections, then waits
-// for the peer's goroutines to exit.
+// for the peer's goroutines to exit. It is idempotent and safe to call
+// concurrently (a churn kill can race the cluster's own shutdown).
 func (p *Peer) Close() error {
-	select {
-	case <-p.stop:
-	default:
-		close(p.stop)
+	if p.closed.Swap(true) {
+		return nil
 	}
+	close(p.stop)
 	err := p.ln.Close()
 	p.connMu.Lock()
 	for _, pc := range p.conns {
@@ -365,7 +439,13 @@ func (p *Peer) readLoop(conn net.Conn) {
 		if err != nil {
 			return // connection closed or corrupt; peer will resend
 		}
+		if p.rel != nil {
+			for _, a := range f.Acks {
+				p.rel.Ack(p.cfg.Group.Index, a.From, a.Round)
+			}
+		}
 		var forward []transport.ScoreChunk
+		var acks map[int32]int64
 		p.mu.Lock()
 		for _, c := range f.Chunks {
 			if int(c.DstGroup) != p.cfg.Group.Index {
@@ -376,6 +456,14 @@ func (p *Peer) readLoop(conn net.Conn) {
 				continue
 			}
 			p.loop.Deliver(c)
+			if p.rel != nil {
+				if acks == nil {
+					acks = make(map[int32]int64)
+				}
+				if r, ok := acks[c.SrcGroup]; !ok || c.Round > r {
+					acks[c.SrcGroup] = c.Round
+				}
+			}
 		}
 		p.mu.Unlock()
 		if len(forward) > 0 {
@@ -383,6 +471,12 @@ func (p *Peer) readLoop(conn net.Conn) {
 			// share a next hop ride one frame.
 			p.relayed.Add(int64(len(forward)))
 			p.dispatch(forward)
+		}
+		// Acks are end-to-end control messages: straight back to the
+		// source, never along the overlay, one cumulative round per
+		// delivered source.
+		for src, round := range acks {
+			p.sendFrame(src, frame{Acks: []wireAck{{From: int32(p.cfg.Group.Index), Round: round}}})
 		}
 	}
 }
@@ -412,7 +506,7 @@ func (p *Peer) dispatch(chunks []transport.ScoreChunk) {
 	}
 	if p.cfg.Overlay == nil {
 		for _, c := range chunks {
-			p.sendFrame(c.DstGroup, []transport.ScoreChunk{c})
+			p.sendFrame(c.DstGroup, frame{Chunks: []transport.ScoreChunk{c}})
 		}
 		return
 	}
@@ -428,14 +522,15 @@ func (p *Peer) dispatch(chunks []transport.ScoreChunk) {
 		byHop[int32(next)] = append(byHop[int32(next)], c)
 	}
 	for hop, cs := range byHop {
-		p.sendFrame(hop, cs)
+		p.sendFrame(hop, frame{Chunks: cs})
 	}
 }
 
-// sendFrame ships a batch of chunks to the peer of the given group,
-// dialing lazily and dropping the frame on any network error (the
-// algorithms tolerate loss; the next loop resends fresher scores).
-func (p *Peer) sendFrame(group int32, chunks []transport.ScoreChunk) {
+// sendFrame ships one frame to the peer of the given group, dialing
+// lazily and dropping the frame on any network error (the algorithms
+// tolerate loss; the next loop resends fresher scores, and the reliable
+// layer retries unacked chunks).
+func (p *Peer) sendFrame(group int32, f frame) {
 	p.peersMu.Lock()
 	addr, ok := p.peers[group]
 	p.peersMu.Unlock()
@@ -446,7 +541,7 @@ func (p *Peer) sendFrame(group int32, chunks []transport.ScoreChunk) {
 	if err != nil {
 		return
 	}
-	if err := pc.write(frame{Chunks: chunks}); err != nil {
+	if err := pc.write(f); err != nil {
 		// Drop the broken connection; the next send re-dials.
 		p.connMu.Lock()
 		if cur, ok := p.conns[group]; ok && cur == pc {
@@ -456,7 +551,7 @@ func (p *Peer) sendFrame(group int32, chunks []transport.ScoreChunk) {
 		p.connMu.Unlock()
 		return
 	}
-	p.sent.Add(int64(len(chunks)))
+	p.sent.Add(int64(len(f.Chunks)))
 }
 
 // peerHops builds the hop-attribution function handed to a collector:

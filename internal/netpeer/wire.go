@@ -50,7 +50,9 @@ func (r *gobReader) readFrame() (frame, error) {
 }
 
 // codecWire frames chunks as: uvarint chunk count, then per chunk a
-// uvarint byte length followed by the codec encoding.
+// uvarint byte length followed by the codec encoding; then a uvarint
+// ack count followed by per-ack uvarint group and round (the reliable
+// layer's piggyback section — zero-count when reliability is off).
 type codecWire struct {
 	codec transport.ChunkCodec
 }
@@ -85,6 +87,20 @@ func (w *codecWriter) writeFrame(f frame) error {
 			return err
 		}
 	}
+	n = binary.PutUvarint(w.hdr[:], uint64(len(f.Acks)))
+	if _, err := w.w.Write(w.hdr[:n]); err != nil {
+		return err
+	}
+	for _, a := range f.Acks {
+		n := binary.PutUvarint(w.hdr[:], uint64(uint32(a.From)))
+		if _, err := w.w.Write(w.hdr[:n]); err != nil {
+			return err
+		}
+		n = binary.PutUvarint(w.hdr[:], uint64(a.Round))
+		if _, err := w.w.Write(w.hdr[:n]); err != nil {
+			return err
+		}
+	}
 	return w.w.Flush()
 }
 
@@ -93,11 +109,13 @@ type codecReader struct {
 	r     *bufio.Reader
 }
 
-// maxFrameChunks and maxChunkBytes bound what a reader will allocate
-// for one frame; a peer advertising more is broken or hostile.
+// maxFrameChunks, maxChunkBytes, and maxFrameAcks bound what a reader
+// will allocate for one frame; a peer advertising more is broken or
+// hostile.
 const (
 	maxFrameChunks = 1 << 20
 	maxChunkBytes  = 1 << 26
+	maxFrameAcks   = 1 << 20
 )
 
 func (r *codecReader) readFrame() (frame, error) {
@@ -126,6 +144,24 @@ func (r *codecReader) readFrame() (frame, error) {
 			return frame{}, fmt.Errorf("netpeer: decoding chunk %d: %w", i, err)
 		}
 		f.Chunks = append(f.Chunks, c)
+	}
+	nacks, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return frame{}, err
+	}
+	if nacks > maxFrameAcks {
+		return frame{}, fmt.Errorf("netpeer: frame advertises %d acks", nacks)
+	}
+	for i := uint64(0); i < nacks; i++ {
+		from, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return frame{}, err
+		}
+		round, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return frame{}, err
+		}
+		f.Acks = append(f.Acks, wireAck{From: int32(uint32(from)), Round: int64(round)})
 	}
 	return f, nil
 }

@@ -25,9 +25,24 @@ type Ranker struct {
 	loop *dprcore.Loop
 	sim  *simnet.Simulator
 
+	// Construction inputs, retained so Restart can rebuild the loop
+	// after a crash with the same dependencies (and, crucially, the
+	// same rng stream — pacing continues deterministically).
+	grp      *dprcore.Group
+	params   dprcore.Params
+	meanWait float64
+	sender   dprcore.Sender
+	rng      *xrand.Rand
+
 	stopped   bool
 	started   bool
 	suspended bool
+	crashed   bool
+	// wakeupPending tracks whether a scheduled step event is in the
+	// queue, so Resume/Restart never start a second wakeup chain while
+	// the old one is still in flight (a pending wakeup survives a short
+	// suspension or outage and simply continues the chain).
+	wakeupPending bool
 }
 
 // New builds a ranker for grp with the resolved per-loop mean wait in
@@ -41,7 +56,10 @@ func New(grp *dprcore.Group, p dprcore.Params, meanWait float64, sim *simnet.Sim
 	if err != nil {
 		return nil, err
 	}
-	return &Ranker{loop: loop, sim: sim}, nil
+	return &Ranker{
+		loop: loop, sim: sim,
+		grp: grp, params: p, meanWait: meanWait, sender: sender, rng: rng,
+	}, nil
 }
 
 // Group returns the ranker's page group.
@@ -90,16 +108,54 @@ func (rk *Ranker) Resume() {
 		return
 	}
 	rk.suspended = false
-	if rk.started && !rk.stopped {
+	if rk.started && !rk.stopped && !rk.wakeupPending {
 		rk.scheduleNext()
 	}
 }
 
+// Crash kills the ranker abruptly: unlike Suspend it destroys the
+// loop's in-memory state (the failure model's whole point — a crashed
+// node's R, X table, and pending sends are gone). The engine pairs it
+// with taking the host down so in-flight traffic is lost too.
+func (rk *Ranker) Crash() { rk.crashed = true }
+
+// Restart brings a crashed ranker back with a fresh loop, warm-started
+// from snapshot when non-nil (a dprcore checkpoint) and cold (R0 = 0)
+// otherwise. The rebuilt loop reuses the ranker's original rng stream,
+// so a seeded schedule stays deterministic across crash/restart cycles.
+func (rk *Ranker) Restart(snapshot []byte) error {
+	if !rk.crashed {
+		return fmt.Errorf("ranker %d: Restart without Crash", rk.Group().Index)
+	}
+	loop, err := dprcore.NewLoop(rk.grp, rk.params, rk.meanWait, rk.sender, rk.rng)
+	if err != nil {
+		return err
+	}
+	if snapshot != nil {
+		if err := loop.Restore(snapshot); err != nil {
+			return err
+		}
+	}
+	rk.loop = loop
+	rk.crashed = false
+	if rk.started && !rk.stopped && !rk.suspended && !rk.wakeupPending {
+		rk.scheduleNext()
+	}
+	return nil
+}
+
 // Deliver is the transport callback: it records the chunk as the newest
-// afferent contribution from its source group.
-func (rk *Ranker) Deliver(chunk transport.ScoreChunk) { rk.loop.Deliver(chunk) }
+// afferent contribution from its source group. A crashed ranker ignores
+// deliveries (its host is down; anything already in flight is lost).
+func (rk *Ranker) Deliver(chunk transport.ScoreChunk) {
+	if rk.crashed {
+		return
+	}
+	rk.loop.Deliver(chunk)
+}
 
 func (rk *Ranker) scheduleNext() {
+	rk.wakeupPending = true
 	rk.sim.AfterCompute(rk.loop.NextWait(), rk.step)
 }
 
@@ -109,9 +165,10 @@ func (rk *Ranker) scheduleNext() {
 // instant — and returns the commit half, which the simulator runs
 // serially in event order.
 func (rk *Ranker) step() func() {
-	if rk.stopped || rk.suspended {
-		// A suspended ranker's pending wakeup dies here; Resume
-		// schedules a fresh one.
+	rk.wakeupPending = false
+	if rk.stopped || rk.suspended || rk.crashed {
+		// A suspended or crashed ranker's pending wakeup dies here;
+		// Resume/Restart schedules a fresh one.
 		return nil
 	}
 	rk.loop.ComputePhase()

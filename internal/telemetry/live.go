@@ -36,6 +36,9 @@ type liveSlot struct {
 	entries  int64
 	links    int64
 	hops     int64
+	retries  int64
+	acks     int64
+	recovers int64
 	residual float64
 }
 
@@ -184,6 +187,31 @@ func (c *LiveCollector) FaultInjected(ranker int, kind FaultKind) {
 	c.trace(TraceEvent{T: c.now(), Ranker: ranker, Event: "fault", Kind: kind.String()})
 }
 
+// ChunkRetried implements Observer. Retries fire from retransmission
+// timer goroutines; the collector mutex covers them like every hook.
+func (c *LiveCollector) ChunkRetried(ranker int, dst int, attempt int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.slots[ranker].retries++
+	c.trace(TraceEvent{T: c.now(), Ranker: ranker, Event: "retry", Dst: dst, Inner: attempt})
+}
+
+// AckReceived implements Observer.
+func (c *LiveCollector) AckReceived(ranker int, dst int, round int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.slots[ranker].acks++
+	c.trace(TraceEvent{T: c.now(), Ranker: ranker, Event: "ack", Dst: dst, Round: round})
+}
+
+// Recovered implements Observer.
+func (c *LiveCollector) Recovered(ranker int, round int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.slots[ranker].recovers++
+	c.trace(TraceEvent{T: c.now(), Ranker: ranker, Event: "recover", Round: round})
+}
+
 // Milestone implements Observer.
 func (c *LiveCollector) Milestone(m Milestone) {
 	c.mu.Lock()
@@ -252,6 +280,9 @@ func (c *LiveCollector) WriteMetrics(w io.Writer) error {
 	counter("links_sent_total", "Inter-group link records emitted.", func(s *liveSlot) int64 { return s.links })
 	counter("chunk_bytes_total", "Payload bytes emitted (links x size model).", func(s *liveSlot) int64 { return s.links * c.bytesPerLink })
 	counter("chunk_hops_total", "Overlay hops attributed to emitted chunks.", func(s *liveSlot) int64 { return s.hops })
+	counter("retries_total", "Chunk retransmissions by the reliable-delivery seam.", func(s *liveSlot) int64 { return s.retries })
+	counter("acks_total", "Cumulative acks that cleared a pending chunk.", func(s *liveSlot) int64 { return s.acks })
+	counter("recoveries_total", "Checkpoint restores after a crash.", func(s *liveSlot) int64 { return s.recovers })
 
 	b = append(b, "# HELP p2prank_faults_total Injected transport faults by kind.\n# TYPE p2prank_faults_total counter\n"...)
 	for k := FaultKind(0); k < numFaultKinds; k++ {

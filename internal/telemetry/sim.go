@@ -18,6 +18,9 @@ type simSlot struct {
 	links    int64
 	hops     int64
 	faults   [numFaultKinds]int64
+	retries  int64
+	acks     int64
+	recovers int64
 	residual float64
 	firstT   float64
 	lastT    float64
@@ -106,6 +109,29 @@ func (c *SimCollector) FaultInjected(ranker int, kind FaultKind) {
 	c.stamp(sl)
 }
 
+// ChunkRetried implements Observer. In-sim, retransmission timers fire
+// as serial events, so the slot write is race-free like every other
+// hook.
+func (c *SimCollector) ChunkRetried(ranker int, dst int, attempt int) {
+	sl := &c.slots[ranker]
+	sl.retries++
+	c.stamp(sl)
+}
+
+// AckReceived implements Observer.
+func (c *SimCollector) AckReceived(ranker int, dst int, round int64) {
+	sl := &c.slots[ranker]
+	sl.acks++
+	c.stamp(sl)
+}
+
+// Recovered implements Observer.
+func (c *SimCollector) Recovered(ranker int, round int64) {
+	sl := &c.slots[ranker]
+	sl.recovers++
+	c.stamp(sl)
+}
+
 // Milestone implements Observer. Milestones fire from the serial
 // sampling context, so a plain append is safe.
 func (c *SimCollector) Milestone(m Milestone) {
@@ -143,6 +169,10 @@ type Summary struct {
 	ChunkHops int64
 	// Dropped, Delayed, Duplicated count injected transport faults.
 	Dropped, Delayed, Duplicated int64
+	// Retries, Acks, Recoveries count the reliable-delivery seam's
+	// retransmissions, clearing acknowledgements, and checkpoint
+	// restores (all zero when reliability/churn are disabled).
+	Retries, Acks, Recoveries int64
 	// FirstEvent and LastEvent bound the observed activity in the
 	// runtime's clock (virtual time in-sim); zero without a clock.
 	FirstEvent, LastEvent float64
@@ -199,6 +229,9 @@ func (c *SimCollector) Summary() Summary {
 		s.Dropped += sl.faults[FaultDrop]
 		s.Delayed += sl.faults[FaultDelay]
 		s.Duplicated += sl.faults[FaultDup]
+		s.Retries += sl.retries
+		s.Acks += sl.acks
+		s.Recoveries += sl.recovers
 		if sl.seen {
 			if s.FirstEvent == 0 || sl.firstT < s.FirstEvent {
 				s.FirstEvent = sl.firstT

@@ -138,6 +138,18 @@ type Observer interface {
 	// FaultInjected fires when the fault seam drops, delays, or
 	// duplicates one of the ranker's chunks.
 	FaultInjected(ranker int, kind FaultKind)
+	// ChunkRetried fires when the reliable-delivery seam retransmits a
+	// chunk whose ack timed out (attempt counts retransmissions of that
+	// chunk, starting at 1). It may fire from a timer context, not just
+	// the ranker's commit context.
+	ChunkRetried(ranker int, dst int, attempt int)
+	// AckReceived fires when a cumulative ack from dst clears the
+	// ranker's pending chunk for that destination (acks that confirm
+	// nothing new do not fire).
+	AckReceived(ranker int, dst int, round int64)
+	// Recovered fires when a ranker restores its loop state from a
+	// checkpoint after a crash; round is the restored loop count.
+	Recovered(ranker int, round int64)
 	// Milestone fires at convergence checkpoints.
 	Milestone(m Milestone)
 }
@@ -158,6 +170,15 @@ func (Noop) ChunkSent(int, ChunkStats) {}
 
 // FaultInjected implements Observer.
 func (Noop) FaultInjected(int, FaultKind) {}
+
+// ChunkRetried implements Observer.
+func (Noop) ChunkRetried(int, int, int) {}
+
+// AckReceived implements Observer.
+func (Noop) AckReceived(int, int, int64) {}
+
+// Recovered implements Observer.
+func (Noop) Recovered(int, int64) {}
 
 // Milestone implements Observer.
 func (Noop) Milestone(Milestone) {}

@@ -104,11 +104,21 @@ type Stats struct {
 	// RelayedChunks counts chunk forwardings performed by intermediate
 	// nodes (indirect transmission only).
 	RelayedChunks int64
+	// AckMessages and AckBytes count reliable-delivery acknowledgements
+	// (zero unless a ReliableSender is layered above the fabric).
+	AckMessages int64
+	AckBytes    int64
 	// DroppedMessages counts messages the simulated network refused at
 	// send time (endpoint down or modeled loss). The byte counters
 	// above still include them — a real sender burns upstream bandwidth
 	// on a message that never arrives.
 	DroppedMessages int64
+	// FaultDrops counts chunks the fault injector discarded above the
+	// fabric (dprcore.FaultSender reports them via RecordFaultDrop).
+	// They never reach the wire, so they are deliberately excluded from
+	// DroppedMessages and the byte counters — churn-experiment loss
+	// accounting needs injected loss and send-time loss kept apart.
+	FaultDrops int64
 }
 
 // Deliver is the callback a ranker registers to receive score chunks
@@ -137,6 +147,9 @@ type Fabric struct {
 	ov    overlay.Network
 	addrs []simnet.NodeAddr
 	del   []Deliver
+	// ackDel holds per-ranker ack callbacks (reliable delivery only;
+	// see RegisterAck). Nil entries ignore incoming acks.
+	ackDel []func(src int32, round int64)
 	// outbox[i][h] holds chunks queued at node i toward next-hop ranker
 	// h (indirect transmission only); a nil slot is empty. dirtyHops[i]
 	// lists the occupied slots so Flush never scans all K. Dense slots
@@ -182,6 +195,16 @@ type dataMsg struct {
 }
 type lookupMsg struct{}
 
+// ackMsg carries a cumulative delivery acknowledgement back to a
+// chunk's source group (see Fabric.SendAck).
+type ackMsg struct {
+	src   int32 // the acking ranker (the chunk's receiver)
+	round int64 // newest acknowledged round
+}
+
+// ackPayloadBytes models an ack's body: two ranker ids and a round.
+const ackPayloadBytes = 16
+
 // NewFabric builds a transport fabric for the K rankers of the overlay.
 func NewFabric(net *simnet.Network, ov overlay.Network, kind Kind, size SizeModel) (*Fabric, error) {
 	if err := size.validate(); err != nil {
@@ -198,6 +221,7 @@ func NewFabric(net *simnet.Network, ov overlay.Network, kind Kind, size SizeMode
 		ov:        ov,
 		addrs:     make([]simnet.NodeAddr, k),
 		del:       make([]Deliver, k),
+		ackDel:    make([]func(src int32, round int64), k),
 		outbox:    make([][][]ScoreChunk, k),
 		dirtyHops: make([][]int, k),
 		nextHops:  make([][]int32, k),
@@ -226,6 +250,35 @@ func (f *Fabric) Register(i int, d Deliver) error {
 	f.addrs[i] = f.net.AddNode(func(m simnet.Message) { f.handle(i, m) })
 	return nil
 }
+
+// RegisterAck installs ranker i's callback for incoming delivery
+// acknowledgements (reliable delivery). Call after Register; without
+// one, acks addressed to i are counted and discarded.
+func (f *Fabric) RegisterAck(i int, fn func(src int32, round int64)) error {
+	if i < 0 || i >= len(f.ackDel) {
+		return fmt.Errorf("transport: ranker index %d out of range", i)
+	}
+	f.ackDel[i] = fn
+	return nil
+}
+
+// SendAck ships a cumulative ack from ranker `from` to source group
+// `to`, covering to's chunks up to round. Acks are end-to-end control
+// traffic: one hop, no overlay routing, no lookup — the receiver
+// learned the sender's address from the chunk it is acknowledging.
+func (f *Fabric) SendAck(from int, to int32, round int64) {
+	size := f.size.HeaderBytes + ackPayloadBytes
+	f.stats.AckMessages++
+	f.stats.AckBytes += size
+	if !f.net.Send(f.addrs[from], f.addrs[to], ackMsg{src: int32(from), round: round}, size) {
+		f.stats.DroppedMessages++
+	}
+}
+
+// RecordFaultDrop counts one chunk the fault injector discarded before
+// it reached the fabric (see Stats.FaultDrops). dprcore.FaultSender
+// probes for this method and calls it from commit context.
+func (f *Fabric) RecordFaultDrop(from int) { f.stats.FaultDrops++ }
 
 // Kind returns the fabric's transmission pattern.
 func (f *Fabric) Kind() Kind { return f.kind }
@@ -535,6 +588,10 @@ func (f *Fabric) handle(i int, m simnet.Message) {
 	switch payload := m.Payload.(type) {
 	case lookupMsg:
 		// Address-resolution traffic carries no scores.
+	case ackMsg:
+		if cb := f.ackDel[i]; cb != nil {
+			cb(payload.src, payload.round)
+		}
 	case *dataMsg:
 		forwarded := false
 		cs := f.unpack(payload)
