@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race bench chaos obs-smoke verify
+.PHONY: build vet lint test race bench bench-gate chaos obs-smoke verify
 
 build:
 	$(GO) build ./...
@@ -12,7 +12,8 @@ vet:
 	$(GO) vet ./...
 
 # The project's own determinism/concurrency analyzers (internal/lint):
-# norand, nowallclock, floateq, senderr.
+# norand, nowallclock, floateq, senderr, maporder, hotalloc, lockscope,
+# gorolife (see DESIGN.md §12 for the catalog).
 lint:
 	$(GO) run ./cmd/p2plint ./...
 
@@ -49,5 +50,11 @@ bench:
 		-benchmem ./internal/vecmath/ ./internal/dprcore/ . | $(GO) run ./cmd/benchjson > BENCH_kernels.json
 	@cat BENCH_kernels.json
 
-verify: build vet lint test race obs-smoke
+# Perf ratchet: re-run the gated kernels and compare against the
+# committed baseline. The alloc gate always applies; set
+# BENCHGATE_STRICT=1 to also fail >10% ns/op regressions.
+bench-gate:
+	$(GO) run ./cmd/benchgate
+
+verify: build vet lint test race obs-smoke bench-gate
 	@echo "verify: all checks passed"

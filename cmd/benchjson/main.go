@@ -1,7 +1,12 @@
 // Command benchjson converts `go test -bench` output on stdin into
 // stable, diffable JSON on stdout. `make bench` pipes the kernel and
 // transmission benchmarks through it to produce BENCH_kernels.json, so
-// perf changes are reviewed like any other diff.
+// perf changes are reviewed like any other diff — and gated by
+// cmd/benchgate, which re-runs the suite against that file.
+//
+// Results are emitted in sorted (name, procs) order so the document is
+// byte-stable regardless of package test order, and the header records
+// the Go version and GOMAXPROCS the numbers were measured under.
 //
 // Usage:
 //
@@ -13,32 +18,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
+	"runtime"
+
+	"p2prank/internal/benchfmt"
 )
 
-// Result is one parsed benchmark line.
-type Result struct {
-	Name        string  `json:"name"`
-	Procs       int     `json:"procs,omitempty"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
-	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
-}
-
-// Report is the full document: environment header plus results.
-type Report struct {
-	Goos    string   `json:"goos,omitempty"`
-	Goarch  string   `json:"goarch,omitempty"`
-	CPU     string   `json:"cpu,omitempty"`
-	Pkgs    []string `json:"pkgs,omitempty"`
-	Results []Result `json:"results"`
-}
-
 func main() {
-	rep, err := parse(bufio.NewScanner(os.Stdin))
+	rep, err := benchfmt.Parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
@@ -47,77 +33,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
+	rep.GoVersion = runtime.Version()
+	rep.GoMaxProcs = runtime.GOMAXPROCS(0)
+	rep.Sort()
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
-}
-
-func parse(sc *bufio.Scanner) (*Report, error) {
-	rep := &Report{}
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		switch {
-		case strings.HasPrefix(line, "goos:"):
-			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
-		case strings.HasPrefix(line, "goarch:"):
-			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
-		case strings.HasPrefix(line, "cpu:"):
-			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
-		case strings.HasPrefix(line, "pkg:"):
-			rep.Pkgs = append(rep.Pkgs, strings.TrimSpace(strings.TrimPrefix(line, "pkg:")))
-		case strings.HasPrefix(line, "Benchmark"):
-			r, err := parseBench(line)
-			if err != nil {
-				return nil, err
-			}
-			rep.Results = append(rep.Results, r)
-		}
-	}
-	return rep, sc.Err()
-}
-
-// parseBench parses one result line, e.g.
-//
-//	BenchmarkMulVec-8  100  10123456 ns/op  42 B/op  3 allocs/op
-func parseBench(line string) (Result, error) {
-	fields := strings.Fields(line)
-	if len(fields) < 3 {
-		return Result{}, fmt.Errorf("short benchmark line %q", line)
-	}
-	r := Result{Name: fields[0]}
-	if i := strings.LastIndex(r.Name, "-"); i > 0 {
-		if p, err := strconv.Atoi(r.Name[i+1:]); err == nil {
-			r.Name, r.Procs = r.Name[:i], p
-		}
-	}
-	iters, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return Result{}, fmt.Errorf("iterations in %q: %v", line, err)
-	}
-	r.Iterations = iters
-	for i := 2; i+1 < len(fields); i += 2 {
-		val, unit := fields[i], fields[i+1]
-		switch unit {
-		case "ns/op":
-			if r.NsPerOp, err = strconv.ParseFloat(val, 64); err != nil {
-				return Result{}, fmt.Errorf("ns/op in %q: %v", line, err)
-			}
-		case "B/op":
-			if r.BytesPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
-				return Result{}, fmt.Errorf("B/op in %q: %v", line, err)
-			}
-		case "allocs/op":
-			if r.AllocsPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
-				return Result{}, fmt.Errorf("allocs/op in %q: %v", line, err)
-			}
-		case "MB/s":
-			if r.MBPerSec, err = strconv.ParseFloat(val, 64); err != nil {
-				return Result{}, fmt.Errorf("MB/s in %q: %v", line, err)
-			}
-		}
-	}
-	return r, nil
 }

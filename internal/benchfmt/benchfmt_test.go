@@ -1,0 +1,80 @@
+package benchfmt_test
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+
+	"p2prank/internal/benchfmt"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: p2prank/internal/vecmath
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkMulVec-8   	    2730	    402439 ns/op	     112 B/op	       2 allocs/op
+BenchmarkCSRMulVec-8	    7650	    165958 ns/op	     112 B/op	       2 allocs/op
+PASS
+ok  	p2prank/internal/vecmath	3.1s
+pkg: p2prank/internal/dprcore
+BenchmarkReliableSend-8 	16568035	        69.42 ns/op	       0 B/op	       0 allocs/op
+`
+
+func parseSample(t *testing.T) *benchfmt.Report {
+	t.Helper()
+	rep, err := benchfmt.Parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestParseHeaderAndResults(t *testing.T) {
+	rep := parseSample(t)
+	if rep.Goos != "linux" || rep.Goarch != "amd64" {
+		t.Fatalf("header = %q/%q", rep.Goos, rep.Goarch)
+	}
+	if len(rep.Pkgs) != 2 {
+		t.Fatalf("pkgs = %v", rep.Pkgs)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(rep.Results))
+	}
+	r := rep.Results[0]
+	if r.Name != "BenchmarkMulVec" || r.Procs != 8 || r.Iterations != 2730 ||
+		r.NsPerOp != 402439 || r.BytesPerOp != 112 || r.AllocsPerOp != 2 {
+		t.Fatalf("first result = %+v", r)
+	}
+	if z := rep.Results[2]; z.AllocsPerOp != 0 || z.NsPerOp != 69.42 {
+		t.Fatalf("zero-alloc result = %+v", z)
+	}
+}
+
+func TestSortOrdersByNameThenProcs(t *testing.T) {
+	rep := &benchfmt.Report{Results: []benchfmt.Result{
+		{Name: "BenchmarkB", Procs: 8},
+		{Name: "BenchmarkA", Procs: 8},
+		{Name: "BenchmarkB", Procs: 1},
+	}}
+	rep.Sort()
+	want := []string{"BenchmarkA-8", "BenchmarkB-1", "BenchmarkB-8"}
+	for i, r := range rep.Results {
+		if r.Key() != want[i] {
+			t.Fatalf("order[%d] = %s, want %s", i, r.Key(), want[i])
+		}
+	}
+}
+
+func TestByKeyIndexesResults(t *testing.T) {
+	rep := parseSample(t)
+	byKey := rep.ByKey()
+	if r, ok := byKey["BenchmarkReliableSend-8"]; !ok || r.NsPerOp != 69.42 {
+		t.Fatalf("ByKey lookup = %+v, %v", r, ok)
+	}
+}
+
+func TestParseBenchRejectsShortLines(t *testing.T) {
+	if _, err := benchfmt.ParseBench("BenchmarkX 12"); err == nil {
+		t.Fatal("short line accepted")
+	}
+}

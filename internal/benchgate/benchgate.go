@@ -1,0 +1,131 @@
+// Package benchgate compares a fresh benchmark run against the
+// committed baseline (BENCH_kernels.json) and reports ratchet
+// violations. The alloc gate is always on: for kernels under 1000
+// allocs/op — the zero-alloc hot paths the ratchet exists to protect —
+// any increase is a regression someone must either fix or re-baseline
+// deliberately. Macro-benchmarks whose counts are amortized over b.N
+// (hundreds of thousands of allocs/op) jitter by a few counts between
+// runs, so they get 0.1% slack: enough to absorb the noise, three
+// orders of magnitude below a real one-alloc-per-op leak. The time gate
+// is relative (default +10%) and only enforced in strict mode, because
+// wall-clock numbers on shared CI hardware jitter far beyond what the
+// alloc counter ever does.
+package benchgate
+
+import (
+	"fmt"
+	"sort"
+
+	"p2prank/internal/benchfmt"
+)
+
+// Options tunes one comparison.
+type Options struct {
+	// Strict enables the time gate (BENCHGATE_STRICT=1 in CI).
+	Strict bool
+	// Threshold is the fractional ns/op growth the time gate tolerates;
+	// 0 means the DefaultThreshold.
+	Threshold float64
+}
+
+// DefaultThreshold is the time-gate tolerance: a gated kernel may be up
+// to 10% slower than the baseline before strict mode fails it.
+const DefaultThreshold = 0.10
+
+// Violation kinds.
+const (
+	KindAlloc   = "alloc"   // allocs/op increased (always fatal)
+	KindTime    = "time"    // ns/op grew past the threshold (fatal in strict mode)
+	KindMissing = "missing" // baseline kernel absent from the current run (always fatal)
+)
+
+// Violation is one gated kernel that moved the wrong way.
+type Violation struct {
+	Name     string
+	Procs    int
+	Kind     string
+	Baseline float64
+	Current  float64
+}
+
+func (v Violation) String() string {
+	name := v.Name
+	if v.Procs > 0 {
+		name = fmt.Sprintf("%s-%d", v.Name, v.Procs)
+	}
+	switch v.Kind {
+	case KindAlloc:
+		return fmt.Sprintf("%s: allocs/op %d -> %d (alloc gate: any increase fails)",
+			name, int64(v.Baseline), int64(v.Current))
+	case KindTime:
+		return fmt.Sprintf("%s: ns/op %.1f -> %.1f (%+.1f%%, time gate)",
+			name, v.Baseline, v.Current, 100*(v.Current/v.Baseline-1))
+	case KindMissing:
+		return fmt.Sprintf("%s: present in baseline but missing from current run", name)
+	}
+	return fmt.Sprintf("%s: %s", name, v.Kind)
+}
+
+// Compare checks every baseline kernel against the current run and
+// returns the violations in (name, procs) order. Kernels that exist
+// only in the current run are new benchmarks, not violations — they
+// enter the ratchet when the baseline is regenerated. Time regressions
+// are reported regardless of mode but only counted as fatal by Fatal.
+func Compare(baseline, current *benchfmt.Report, opts Options) []Violation {
+	threshold := opts.Threshold
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	cur := current.ByKey()
+	var out []Violation
+	for _, base := range baseline.Results {
+		now, ok := cur[base.Key()]
+		if !ok {
+			out = append(out, Violation{Name: base.Name, Procs: base.Procs, Kind: KindMissing})
+			continue
+		}
+		if now.AllocsPerOp > base.AllocsPerOp+allocSlack(base.AllocsPerOp) {
+			out = append(out, Violation{
+				Name: base.Name, Procs: base.Procs, Kind: KindAlloc,
+				Baseline: float64(base.AllocsPerOp), Current: float64(now.AllocsPerOp),
+			})
+		}
+		if base.NsPerOp > 0 && now.NsPerOp > base.NsPerOp*(1+threshold) {
+			out = append(out, Violation{
+				Name: base.Name, Procs: base.Procs, Kind: KindTime,
+				Baseline: base.NsPerOp, Current: now.NsPerOp,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.Procs != b.Procs {
+			return a.Procs < b.Procs
+		}
+		return a.Kind < b.Kind
+	})
+	return out
+}
+
+// allocSlack is the per-kernel alloc tolerance: zero below 1000
+// allocs/op (the gate is exact where zero-alloc discipline applies),
+// 0.1% above (amortized macro counts wobble by a few between runs).
+func allocSlack(base int64) int64 {
+	return base / 1000
+}
+
+// Fatal filters violations down to the ones that fail the gate under
+// opts: alloc and missing always, time only in strict mode.
+func Fatal(violations []Violation, opts Options) []Violation {
+	var out []Violation
+	for _, v := range violations {
+		if v.Kind == KindTime && !opts.Strict {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}

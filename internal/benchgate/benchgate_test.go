@@ -1,0 +1,131 @@
+package benchgate_test
+
+import (
+	"testing"
+
+	"p2prank/internal/benchfmt"
+	"p2prank/internal/benchgate"
+)
+
+func report(results ...benchfmt.Result) *benchfmt.Report {
+	return &benchfmt.Report{Results: results}
+}
+
+func kernel(name string, ns float64, allocs int64) benchfmt.Result {
+	return benchfmt.Result{Name: name, Procs: 8, Iterations: 100, NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+func TestIdenticalRunPasses(t *testing.T) {
+	base := report(kernel("BenchmarkMulVec", 100, 2), kernel("BenchmarkSend", 50, 0))
+	got := benchgate.Compare(base, base, benchgate.Options{})
+	if len(got) != 0 {
+		t.Fatalf("violations on identical run: %v", got)
+	}
+}
+
+// TestInjectedAllocRegressionFails is the gate's own proof: a synthetic
+// +1 allocs/op on a zero-alloc kernel must fail even without strict
+// mode.
+func TestInjectedAllocRegressionFails(t *testing.T) {
+	base := report(kernel("BenchmarkReliableSend", 70, 0))
+	cur := report(kernel("BenchmarkReliableSend", 70, 1))
+	opts := benchgate.Options{}
+	got := benchgate.Fatal(benchgate.Compare(base, cur, opts), opts)
+	if len(got) != 1 {
+		t.Fatalf("got %d fatal violations, want 1: %v", len(got), got)
+	}
+	if got[0].Kind != benchgate.KindAlloc || got[0].Name != "BenchmarkReliableSend" {
+		t.Fatalf("wrong violation: %+v", got[0])
+	}
+}
+
+func TestAllocSlackAbsorbsMacroJitter(t *testing.T) {
+	base := report(kernel("BenchmarkTransmissionScaling", 1e8, 94785))
+	// ±a few counts of amortized jitter passes…
+	cur := report(kernel("BenchmarkTransmissionScaling", 1e8, 94786))
+	if got := benchgate.Compare(base, cur, benchgate.Options{}); len(got) != 0 {
+		t.Fatalf("jitter within slack flagged: %v", got)
+	}
+	// …a real leak (≥0.1%) does not.
+	cur = report(kernel("BenchmarkTransmissionScaling", 1e8, 96000))
+	got := benchgate.Compare(base, cur, benchgate.Options{})
+	if len(got) != 1 || got[0].Kind != benchgate.KindAlloc {
+		t.Fatalf("real alloc growth not flagged: %v", got)
+	}
+}
+
+func TestTimeGateOnlyFatalInStrictMode(t *testing.T) {
+	base := report(kernel("BenchmarkMulVec", 100, 2))
+	cur := report(kernel("BenchmarkMulVec", 120, 2)) // +20%
+	relaxed := benchgate.Options{}
+	all := benchgate.Compare(base, cur, relaxed)
+	if len(all) != 1 || all[0].Kind != benchgate.KindTime {
+		t.Fatalf("time regression not reported: %v", all)
+	}
+	if got := benchgate.Fatal(all, relaxed); len(got) != 0 {
+		t.Fatalf("time violation fatal without strict mode: %v", got)
+	}
+	strict := benchgate.Options{Strict: true}
+	if got := benchgate.Fatal(benchgate.Compare(base, cur, strict), strict); len(got) != 1 {
+		t.Fatalf("time violation not fatal in strict mode: %v", got)
+	}
+}
+
+func TestTimeWithinThresholdPasses(t *testing.T) {
+	base := report(kernel("BenchmarkMulVec", 100, 2))
+	cur := report(kernel("BenchmarkMulVec", 109, 2)) // +9% < 10%
+	if got := benchgate.Compare(base, cur, benchgate.Options{Strict: true}); len(got) != 0 {
+		t.Fatalf("within-threshold time growth flagged: %v", got)
+	}
+}
+
+func TestCustomThresholdRelaxesTimeGate(t *testing.T) {
+	base := report(kernel("BenchmarkMulVec", 100, 2))
+	cur := report(kernel("BenchmarkMulVec", 140, 2)) // +40%
+	opts := benchgate.Options{Strict: true, Threshold: 0.5}
+	if got := benchgate.Compare(base, cur, opts); len(got) != 0 {
+		t.Fatalf("growth within custom threshold flagged: %v", got)
+	}
+}
+
+func TestMissingKernelFails(t *testing.T) {
+	base := report(kernel("BenchmarkMulVec", 100, 2), kernel("BenchmarkGone", 10, 0))
+	cur := report(kernel("BenchmarkMulVec", 100, 2))
+	opts := benchgate.Options{}
+	got := benchgate.Fatal(benchgate.Compare(base, cur, opts), opts)
+	if len(got) != 1 || got[0].Kind != benchgate.KindMissing || got[0].Name != "BenchmarkGone" {
+		t.Fatalf("missing kernel not fatal: %v", got)
+	}
+}
+
+func TestNewKernelIsNotAViolation(t *testing.T) {
+	base := report(kernel("BenchmarkMulVec", 100, 2))
+	cur := report(kernel("BenchmarkMulVec", 100, 2), kernel("BenchmarkNew", 5, 3))
+	if got := benchgate.Compare(base, cur, benchgate.Options{}); len(got) != 0 {
+		t.Fatalf("new benchmark flagged: %v", got)
+	}
+}
+
+func TestProcsAreComparedSeparately(t *testing.T) {
+	base := report(
+		benchfmt.Result{Name: "BenchmarkStep", Procs: 1, NsPerOp: 100, AllocsPerOp: 0},
+		benchfmt.Result{Name: "BenchmarkStep", Procs: 8, NsPerOp: 20, AllocsPerOp: 0},
+	)
+	cur := report(
+		benchfmt.Result{Name: "BenchmarkStep", Procs: 1, NsPerOp: 100, AllocsPerOp: 0},
+		benchfmt.Result{Name: "BenchmarkStep", Procs: 8, NsPerOp: 20, AllocsPerOp: 2},
+	)
+	got := benchgate.Compare(base, cur, benchgate.Options{})
+	if len(got) != 1 || got[0].Procs != 8 || got[0].Kind != benchgate.KindAlloc {
+		t.Fatalf("per-procs comparison wrong: %v", got)
+	}
+}
+
+func TestViolationsSortedByName(t *testing.T) {
+	base := report(kernel("BenchmarkZeta", 100, 0), kernel("BenchmarkAlpha", 100, 0))
+	cur := report(kernel("BenchmarkZeta", 100, 1), kernel("BenchmarkAlpha", 100, 1))
+	got := benchgate.Compare(base, cur, benchgate.Options{})
+	if len(got) != 2 || got[0].Name != "BenchmarkAlpha" || got[1].Name != "BenchmarkZeta" {
+		t.Fatalf("violations not sorted: %v", got)
+	}
+}

@@ -185,7 +185,9 @@ func (s *ReliableSender) slot(from, dst int) *relSlot {
 	s.slots[from] = row
 	sl := row[dst]
 	if sl == nil {
+		//p2plint:allow hotalloc -- slot memo warm-up, once per (from, dst) pair
 		sl = &relSlot{from: from, dst: dst}
+		//p2plint:allow hotalloc -- one timer closure per slot, reused by every re-arm
 		sl.check = func() { s.expire(sl) }
 		row[dst] = sl
 	}
@@ -220,6 +222,8 @@ func (s *ReliableSender) arm(sl *relSlot, now float64) {
 // Send tracks the chunk as pending toward its destination and forwards
 // it. Like the Sender it wraps, Send is called from commit context; the
 // internal mutex additionally admits the timer and ack contexts.
+//
+//p2plint:hotpath -- wraps every chunk send when reliable delivery is on
 func (s *ReliableSender) Send(from int, chunk transport.ScoreChunk) error {
 	s.mu.Lock()
 	sl := s.slot(from, int(chunk.DstGroup))

@@ -18,6 +18,16 @@
 //     comparisons must be epsilon-based or explicitly annotated.
 //   - senderr: results of Send/Flush emit paths are never silently
 //     discarded; failures must be propagated, logged, or counted.
+//   - maporder: range-over-map in determinism-critical packages may not
+//     have order-dependent effects (sends, ordered appends, FP
+//     accumulation, telemetry); iterate a sorted key slice instead.
+//   - hotalloc: //p2plint:hotpath functions and their same-package
+//     callees contain no allocation sites (make/new, literals,
+//     closures, undisciplined append, interface boxing).
+//   - lockscope: no blocking call (send, net I/O, channel op, Wait)
+//     while a mutex is held in the socket-facing packages.
+//   - gorolife: every `go` statement in netpeer is tied to a shutdown
+//     path (WaitGroup, done channel, or context).
 //
 // An intentional exception is annotated at the offending line (or the
 // line above) with
@@ -78,7 +88,7 @@ func (d Diagnostic) String() string {
 
 // All returns the project's analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{NoRand, NoWallClock, FloatEq, SendErr}
+	return []*Analyzer{NoRand, NoWallClock, FloatEq, SendErr, MapOrder, HotAlloc, LockScope, GoroLife}
 }
 
 // Run applies every analyzer to every package and returns the surviving
@@ -170,6 +180,13 @@ func filterAllowed(diags []Diagnostic, from int, allowed map[allowKey]bool) []Di
 		kept = append(kept, d)
 	}
 	return kept
+}
+
+// exprString renders an expression in canonical Go syntax — the key the
+// flow analyzers use to match the same receiver or slice across
+// statements.
+func exprString(e ast.Expr) string {
+	return types.ExprString(e)
 }
 
 // pathHasSuffix reports whether import path `path` is exactly `suffix`

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// callGraph is a static, same-package call graph over one loaded
+// package: who calls whom, resolved through types.Info. It deliberately
+// resolves only what the type checker can prove — direct calls to
+// package functions and methods with declarations in this package.
+// Calls through interfaces, function values, or other packages have no
+// edge; the flow-aware analyzers (hotalloc, gorolife) treat them as
+// analysis boundaries rather than guessing.
+type callGraph struct {
+	// decls maps each function object to its declaration.
+	decls map[*types.Func]*ast.FuncDecl
+	// callees lists, per function, the same-package functions its body
+	// calls (deduplicated, in source order).
+	callees map[*types.Func][]*types.Func
+}
+
+// buildCallGraph indexes pkg's function declarations and their
+// same-package call edges.
+func buildCallGraph(pkg *Package) *callGraph {
+	g := &callGraph{
+		decls:   make(map[*types.Func]*ast.FuncDecl),
+		callees: make(map[*types.Func][]*types.Func),
+	}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				g.decls[fn] = fd
+			}
+		}
+	}
+	for fn, fd := range g.decls {
+		seen := make(map[*types.Func]bool)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pkg.Info, call)
+			if callee == nil || seen[callee] {
+				return true
+			}
+			if _, local := g.decls[callee]; local {
+				seen[callee] = true
+				g.callees[fn] = append(g.callees[fn], callee)
+			}
+			return true
+		})
+	}
+	return g
+}
+
+// calleeFunc resolves a call's target to a *types.Func, or nil for
+// calls through function values, builtins, or conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// reachable walks the graph from the root set and returns every
+// function reachable through same-package edges, each attributed to the
+// (lexically first) root that reaches it.
+func (g *callGraph) reachable(roots []*types.Func) map[*types.Func]*types.Func {
+	out := make(map[*types.Func]*types.Func)
+	var visit func(fn, root *types.Func)
+	visit = func(fn, root *types.Func) {
+		if _, ok := out[fn]; ok {
+			return
+		}
+		out[fn] = root
+		for _, c := range g.callees[fn] {
+			visit(c, root)
+		}
+	}
+	for _, r := range roots {
+		visit(r, r)
+	}
+	return out
+}
+
+// sortedFuncs orders a function set by source position for
+// deterministic reporting.
+func sortedFuncs(fns map[*types.Func]*types.Func) []*types.Func {
+	out := make([]*types.Func, 0, len(fns))
+	for fn := range fns {
+		out = append(out, fn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// funcDirectives scans a file set for //p2plint:<name> function
+// directives and returns the set of declarations carrying one in their
+// doc comment. The directive must appear in the doc block attached to
+// the declaration:
+//
+//	//p2plint:hotpath -- per-iteration kernel, must not allocate
+//	func (m *CSR) MulVec(dst, x Vec) { ... }
+func funcDirectives(pkg *Package, name string) map[*ast.FuncDecl]bool {
+	marked := make(map[*ast.FuncDecl]bool)
+	want := "p2plint:" + name
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if text == want || strings.HasPrefix(text, want+" ") || strings.HasPrefix(text, want+"\t") {
+					marked[fd] = true
+				}
+			}
+		}
+	}
+	return marked
+}

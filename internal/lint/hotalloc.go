@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotAlloc enforces the zero-allocation discipline on hot paths. A
+// function whose doc comment carries
+//
+//	//p2plint:hotpath -- <why this path is hot>
+//
+// is a hot root; the rule covers it and every same-package function
+// reachable from it through the static call graph. Inside that set,
+// allocation sites are diagnostics:
+//
+//   - make and new
+//   - &T{…} and slice/map composite literals
+//   - closures (func literals)
+//   - append whose base is nil or a fresh literal (no capacity
+//     discipline — appends that grow a reused buffer or a pooled slice
+//     in place are accepted)
+//   - interface boxing at call sites: a concrete non-pointer-shaped,
+//     non-zero-size argument passed to a non-variadic interface
+//     parameter (variadic …any sinks are fmt-style cold paths, and
+//     panic arguments never matter)
+//
+// Cold-start and pooled sites inside a hot set — freelist refills,
+// once-per-peer memo warm-ups, par fan-out above a size threshold —
+// must carry a reason:
+//
+//	//p2plint:allow hotalloc -- freelist refill, amortized to zero
+//
+// which is the "pooled-site" escape hatch: the annotation documents why
+// the allocation cannot recur in steady state.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbid allocation sites in //p2plint:hotpath functions and their same-package callees",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	marked := funcDirectives(&Package{Files: pass.Files, Info: pass.TypesInfo}, "hotpath")
+	if len(marked) == 0 {
+		return nil
+	}
+	graph := buildCallGraph(&Package{Files: pass.Files, Info: pass.TypesInfo})
+	var roots []*types.Func
+	for fd := range marked {
+		if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+			roots = append(roots, fn)
+		}
+	}
+	hot := graph.reachable(roots)
+	for _, fn := range sortedFuncs(hot) {
+		fd := graph.decls[fn]
+		root := hot[fn]
+		via := ""
+		if root != fn {
+			via = " (reached from hotpath " + root.Name() + ")"
+		}
+		checkAllocSites(pass, fd, via)
+	}
+	return nil
+}
+
+// checkAllocSites reports every allocation site in one hot function.
+func checkAllocSites(pass *Pass, fd *ast.FuncDecl, via string) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure allocates in hot path %s%s: hoist it or annotate the pooled site", fd.Name.Name, via)
+			return true // its body still runs on the hot path
+		case *ast.UnaryExpr:
+			if _, ok := n.X.(*ast.CompositeLit); ok && n.Op.String() == "&" {
+				pass.Reportf(n.Pos(), "&composite literal allocates in hot path %s%s", fd.Name.Name, via)
+				return false
+			}
+		case *ast.CompositeLit:
+			switch pass.TypesInfo.TypeOf(n).Underlying().(type) {
+			case *types.Slice, *types.Map:
+				pass.Reportf(n.Pos(), "%s literal allocates in hot path %s%s",
+					typeKindName(pass.TypesInfo.TypeOf(n)), fd.Name.Name, via)
+			}
+		case *ast.CallExpr:
+			checkAllocCall(pass, n, fd.Name.Name, via)
+		}
+		return true
+	})
+}
+
+// checkAllocCall handles the call-shaped sites: make/new, undisciplined
+// append, and interface boxing of arguments.
+func checkAllocCall(pass *Pass, call *ast.CallExpr, fname, via string) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make", "new":
+				pass.Reportf(call.Pos(), "%s allocates in hot path %s%s", id.Name, fname, via)
+			case "append":
+				if len(call.Args) > 0 {
+					base := ast.Unparen(call.Args[0])
+					_, lit := base.(*ast.CompositeLit)
+					if lit || pass.TypesInfo.Types[base].IsNil() {
+						pass.Reportf(call.Pos(), "append without capacity discipline in hot path %s%s: base is a fresh literal", fname, via)
+					}
+				}
+			case "panic":
+				return // a panicking hot path is already dead
+			}
+			return
+		}
+	}
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return // conversion or builtin
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		if i >= params.Len() {
+			break
+		}
+		if sig.Variadic() && i == params.Len()-1 {
+			break // fmt-style …any sinks are cold paths
+		}
+		pt := params.At(i).Type()
+		if !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		at := pass.TypesInfo.TypeOf(arg)
+		if at == nil || boxingFree(at) {
+			continue
+		}
+		if tv := pass.TypesInfo.Types[ast.Unparen(arg)]; tv.IsNil() || tv.Value != nil {
+			continue // nil and constants get static boxes
+		}
+		pass.Reportf(arg.Pos(), "interface boxing of %s at call site in hot path %s%s", at.String(), fname, via)
+	}
+}
+
+// boxingFree reports whether storing a value of type t into an
+// interface cannot allocate: interfaces re-wrap, pointer-shaped values
+// (pointers, channels, maps, funcs, unsafe pointers) fit the data word,
+// and zero-size values share the runtime's zero base.
+func boxingFree(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Struct:
+		return u.NumFields() == 0
+	case *types.Array:
+		return u.Len() == 0
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// typeKindName names a composite literal's allocation class.
+func typeKindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return "composite"
+}

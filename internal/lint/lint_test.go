@@ -63,6 +63,34 @@ func TestSendErrFlagsDiscardedEmits(t *testing.T) {
 	linttest.Run(t, "testdata", lint.SendErr, "p2prank/internal/transport")
 }
 
+// The v2 flow-aware analyzers use fixtures under testdata/src/fix/…:
+// the path suffix still triggers package scoping (pathHasSuffix), while
+// the fix/<analyzer> prefix keeps their want comments out of the
+// original fixtures' directories.
+
+func TestMapOrderFlagsUnsortedEffects(t *testing.T) {
+	linttest.Run(t, "testdata", lint.MapOrder, "fix/maporder/internal/experiments")
+}
+
+func TestMapOrderExemptsOffScopePackages(t *testing.T) {
+	// Same source as the violating fixture semantically, but under a
+	// netpeer path: delivery order there is wall-clock nondeterministic
+	// anyway, so maporder must stay silent.
+	linttest.Run(t, "testdata", lint.MapOrder, "fix/maporder/internal/netpeer")
+}
+
+func TestHotAllocFlagsAllocationSites(t *testing.T) {
+	linttest.Run(t, "testdata", lint.HotAlloc, "fix/hotalloc/internal/vecmath")
+}
+
+func TestLockScopeFlagsBlockingUnderMutex(t *testing.T) {
+	linttest.Run(t, "testdata", lint.LockScope, "fix/lockscope/internal/netpeer")
+}
+
+func TestGoroLifeFlagsUntiedGoroutines(t *testing.T) {
+	linttest.Run(t, "testdata", lint.GoroLife, "fix/gorolife/internal/netpeer")
+}
+
 // TestLoadRealPackage exercises the go-list loader against the actual
 // module: the returned package must carry type information.
 func TestLoadRealPackage(t *testing.T) {

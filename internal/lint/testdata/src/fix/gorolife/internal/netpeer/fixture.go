@@ -1,0 +1,64 @@
+// Fixture for the gorolife analyzer: goroutines must be tied to a
+// WaitGroup, done channel, or context; fire-and-forget spawns are
+// flagged unless annotated.
+package netpeer
+
+import (
+	"context"
+	"sync"
+)
+
+type server struct {
+	wg   sync.WaitGroup
+	stop chan struct{}
+}
+
+func work() {}
+
+// tiedWaitGroup is the house pattern: Add in the spawning scope, defer
+// Done in the body.
+func (s *server) tiedWaitGroup() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		work()
+	}()
+}
+
+// tiedDoneChannel observes the stop channel.
+func (s *server) tiedDoneChannel() {
+	go func() {
+		for {
+			select {
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+}
+
+// tiedContext spawns a named function whose body watches a context.
+func (s *server) tiedContext(ctx context.Context) {
+	go watch(ctx)
+}
+
+func watch(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// untied leaks: nothing in work's body observes shutdown.
+func (s *server) untied() {
+	go work() // want `goroutine is not tied to a shutdown path`
+}
+
+// unresolvable spawns a function value; ownership cannot be proven at
+// the spawn site.
+func (s *server) unresolvable(f func()) {
+	go f() // want `goroutine target is not statically resolvable`
+}
+
+// allowed documents an intentional fire-and-forget.
+func (s *server) allowed() {
+	//p2plint:allow gorolife -- fixture: process-lifetime helper
+	go work()
+}

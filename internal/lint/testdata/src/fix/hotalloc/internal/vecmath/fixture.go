@@ -1,0 +1,56 @@
+// Fixture for the hotalloc analyzer: allocation sites inside
+// //p2plint:hotpath functions and their same-package callees are
+// flagged; cold functions and annotated pooled sites pass.
+package vecmath
+
+type point struct{ x, y float64 }
+
+//p2plint:hotpath -- fixture kernel
+func Kernel(dst []float64) {
+	buf := make([]float64, 8) // want `make allocates in hot path Kernel`
+	copy(dst, buf)
+	helper(dst)
+}
+
+// helper is not annotated but is reachable from Kernel, so it is hot.
+func helper(dst []float64) {
+	p := &point{x: 1} // want `&composite literal allocates in hot path helper \(reached from hotpath Kernel\)`
+	dst[0] = p.x
+}
+
+//p2plint:hotpath -- fixture
+func Closure(dst []float64) {
+	f := func() { dst[0] = 1 } // want `closure allocates in hot path Closure`
+	f()
+}
+
+//p2plint:hotpath -- fixture
+func FreshAppend() []int {
+	return append([]int{}, 1) // want `append without capacity discipline in hot path FreshAppend` `slice literal allocates in hot path FreshAppend`
+}
+
+//p2plint:hotpath -- fixture
+func Box(x float64) {
+	consume(x) // want `interface boxing of float64 at call site in hot path Box`
+}
+
+func consume(v any) { _ = v }
+
+//p2plint:hotpath -- fixture
+func Pooled() *point {
+	//p2plint:allow hotalloc -- freelist refill, amortized to zero
+	return &point{}
+}
+
+// GrowInPlace appends to a caller-owned buffer: capacity discipline is
+// the caller's job, the append itself is accepted.
+//
+//p2plint:hotpath -- fixture
+func GrowInPlace(dst []float64, v float64) []float64 {
+	return append(dst, v)
+}
+
+// cold is unreachable from any hot root; it may allocate freely.
+func cold() []float64 {
+	return make([]float64, 4)
+}

@@ -1,0 +1,66 @@
+// Fixture for the lockscope analyzer: blocking calls and channel ops
+// while a mutex is held are flagged; the buffer-then-drain pattern and
+// annotated write locks pass.
+package netpeer
+
+import "sync"
+
+type conn struct{}
+
+func (c *conn) Send(b []byte) error { return nil }
+
+type peer struct {
+	mu  sync.Mutex
+	rmu sync.RWMutex
+	c   *conn
+}
+
+func (p *peer) sendUnderLock(b []byte) {
+	p.mu.Lock()
+	p.c.Send(b) // want `call to Send while mutex p.mu is held`
+	p.mu.Unlock()
+}
+
+func (p *peer) sendUnderDeferredLock(b []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.c.Send(b) // want `call to Send while mutex p.mu is held`
+}
+
+func (p *peer) recvUnderRLock(ch chan int) int {
+	p.rmu.RLock()
+	v := <-ch // want `channel receive while mutex p.rmu is held`
+	p.rmu.RUnlock()
+	return v
+}
+
+func (p *peer) waitUnderLock(wg *sync.WaitGroup) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	wg.Wait() // want `call to Wait while mutex p.mu is held`
+}
+
+// bufferThenDrain is the house pattern: copy under the lock, block
+// after releasing it.
+func (p *peer) bufferThenDrain(b []byte) error {
+	p.mu.Lock()
+	buf := append([]byte(nil), b...)
+	p.mu.Unlock()
+	return p.c.Send(buf)
+}
+
+// goroutineIsSeparateScope: a func literal runs on another goroutine,
+// outside this function's lock window.
+func (p *peer) goroutineIsSeparateScope(b []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	go func() { _ = p.c.Send(b) }()
+}
+
+// writeLock serializes the send itself; the annotation documents it.
+func (p *peer) writeLock(b []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	//p2plint:allow lockscope -- this mutex exists to serialize the send
+	return p.c.Send(b)
+}

@@ -1,0 +1,75 @@
+// Fixture for the maporder analyzer: order-dependent effects inside
+// range-over-map are flagged; keyed accumulation, collect-then-sort,
+// and annotated sites pass.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// emitUnsorted prints straight out of map iteration: a different line
+// order every run.
+func emitUnsorted(scores map[int]float64) {
+	for id, s := range scores {
+		fmt.Println(id, s) // want `range over map scores has order-dependent effect \(call to Println\)`
+	}
+}
+
+// sendUnsorted pushes keys into a channel in iteration order.
+func sendUnsorted(scores map[int]float64, ch chan int) {
+	for id := range scores {
+		ch <- id // want `range over map scores has order-dependent effect \(channel send\)`
+	}
+}
+
+// sumUnsorted accumulates floating point in iteration order: the low
+// bits of total depend on the random key order.
+func sumUnsorted(scores map[int]float64) float64 {
+	total := 0.0
+	for _, s := range scores {
+		total += s // want `range over map scores has order-dependent effect \(floating-point accumulation into total\)`
+	}
+	return total
+}
+
+// collectUnsorted builds an ordered slice that is never normalized.
+func collectUnsorted(scores map[int]float64) []int {
+	var ids []int
+	for id := range scores {
+		ids = append(ids, id) // want `range over map scores has order-dependent effect \(append to ids that is never sorted\)`
+	}
+	return ids
+}
+
+// collectThenSort is the house pattern: append then sort, so the
+// result is a pure function of the key set.
+func collectThenSort(scores map[int]float64) []int {
+	var ids []int
+	for id := range scores {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// keyedAccumulation writes only map slots keyed by the iteration
+// variable; the result is order-independent.
+func keyedAccumulation(scores map[int]float64) map[int]float64 {
+	out := make(map[int]float64)
+	for id, s := range scores {
+		out[id] = s * 0.5
+		out[id] += 1.0
+	}
+	return out
+}
+
+// annotated documents an intentional exception.
+func annotated(scores map[int]float64) float64 {
+	total := 0.0
+	for _, s := range scores {
+		//p2plint:allow maporder -- fixture: commutative within test tolerance
+		total += s
+	}
+	return total
+}

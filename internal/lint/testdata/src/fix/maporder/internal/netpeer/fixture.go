@@ -1,0 +1,20 @@
+// Off-scope fixture for maporder: netpeer is exempt (live delivery
+// order is wall-clock nondeterministic anyway), so the same effect
+// shapes that fail under internal/experiments are silent here.
+package netpeer
+
+import "fmt"
+
+func emitUnsorted(scores map[int]float64) {
+	for id, s := range scores {
+		fmt.Println(id, s)
+	}
+}
+
+func sumUnsorted(scores map[int]float64) float64 {
+	total := 0.0
+	for _, s := range scores {
+		total += s
+	}
+	return total
+}

@@ -151,6 +151,7 @@ type peerConn struct {
 func (pc *peerConn) write(f frame) error {
 	pc.wmu.Lock()
 	defer pc.wmu.Unlock()
+	//p2plint:allow lockscope -- wmu exists to serialize this very write; no other lock nests under it
 	return pc.w.writeFrame(f)
 }
 
@@ -163,6 +164,7 @@ type outbox struct {
 	chunks []transport.ScoreChunk
 }
 
+//p2plint:hotpath -- commit-context buffering; one append per chunk per round
 func (o *outbox) Send(from int, chunk transport.ScoreChunk) error {
 	o.mu.Lock()
 	o.chunks = append(o.chunks, chunk)
@@ -579,15 +581,25 @@ func peerHops(ov overlay.Network) func(src, dst int) int {
 
 func (p *Peer) conn(group int32, addr string) (*peerConn, error) {
 	p.connMu.Lock()
-	defer p.connMu.Unlock()
-	if pc, ok := p.conns[group]; ok {
+	pc, ok := p.conns[group]
+	p.connMu.Unlock()
+	if ok {
 		return pc, nil
 	}
+	// Dial outside connMu: a 2s TCP timeout held under the lock would
+	// stall every other sender (and Close) behind one dead peer.
 	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
 	if err != nil {
 		return nil, err
 	}
-	pc := &peerConn{c: c, w: p.wire.newWriter(c)}
+	p.connMu.Lock()
+	defer p.connMu.Unlock()
+	if cached, ok := p.conns[group]; ok {
+		// A concurrent dialer won the race; keep its connection.
+		c.Close()
+		return cached, nil
+	}
+	pc = &peerConn{c: c, w: p.wire.newWriter(c)}
 	p.conns[group] = pc
 	return pc, nil
 }

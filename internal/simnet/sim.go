@@ -120,6 +120,7 @@ func (s *Simulator) newEvent() *event {
 		s.free = s.free[:n-1]
 		return e
 	}
+	//p2plint:allow hotalloc -- freelist refill; steady state recycles executed events
 	return &event{}
 }
 
@@ -174,6 +175,8 @@ func (s *Simulator) After(d float64, fn func()) {
 // allocation-free sibling of At for hot schedulers (the network's
 // delivery path): the caller keeps one long-lived fn and pools its arg
 // values, so nothing escapes per event.
+//
+//p2plint:hotpath -- per-message scheduling path of the simulated network
 func (s *Simulator) AtArg(t float64, fn func(any), arg any) {
 	if t < s.now {
 		panic(fmt.Sprintf("simnet: scheduling at %v before now %v", t, s.now))
@@ -234,6 +237,8 @@ func (s *Simulator) AfterCompute(d float64, compute func() func()) {
 // run of two-phase events into one parallel compute phase. It returns
 // the number of events executed (0 when the queue is empty); budget > 0
 // caps the batch size.
+//
+//p2plint:hotpath -- event dispatch loop; every simulated message passes through here
 func (s *Simulator) step(budget int) int {
 	if len(s.events) == 0 {
 		return 0
@@ -262,6 +267,7 @@ func (s *Simulator) step(budget int) int {
 		batch = append(batch, s.events.pop())
 	}
 	if cap(commits) < len(batch) {
+		//p2plint:allow hotalloc -- scratch growth to high-water mark; steady state reuses s.commits
 		commits = make([]func(), len(batch))
 	} else {
 		commits = commits[:len(batch)]
@@ -269,6 +275,7 @@ func (s *Simulator) step(budget int) int {
 	if len(batch) == 1 {
 		commits[0] = batch[0].compute()
 	} else {
+		//p2plint:allow hotalloc -- par fan-out closure, one per multi-event batch
 		par.Default().Run(len(batch), func(i int) { commits[i] = batch[i].compute() })
 	}
 	for i, c := range commits {

@@ -315,6 +315,7 @@ func (f *Fabric) InvalidateRoutes() {
 func (f *Fabric) nextHop(i, dst int) int {
 	row := f.nextHops[i]
 	if row == nil {
+		//p2plint:allow hotalloc -- memo warm-up, once per node per route invalidation
 		row = make([]int32, len(f.del))
 		for j := range row {
 			row[j] = -1
@@ -333,6 +334,7 @@ func (f *Fabric) nextHop(i, dst int) int {
 func (f *Fabric) route(from, dst int) ([]int, error) {
 	row := f.routes[from]
 	if row == nil {
+		//p2plint:allow hotalloc -- memo warm-up, once per node per route invalidation
 		row = make([][]int, len(f.del))
 		f.routes[from] = row
 	}
@@ -358,6 +360,8 @@ func (f *Fabric) ResetStats() { f.stats = Stats{} }
 // direct transmission the lookup and data messages go out immediately;
 // with indirect transmission the chunk sits in the outbox until Flush.
 // Sending to yourself is a programming error.
+//
+//p2plint:hotpath -- per-chunk send path, every exchanged score crosses it
 func (f *Fabric) Send(from int, chunk ScoreChunk) error {
 	if f.del[from] == nil {
 		return fmt.Errorf("transport: ranker %d not registered", from)
@@ -382,6 +386,8 @@ func (f *Fabric) Send(from int, chunk ScoreChunk) error {
 // Flush pushes ranker i's queued outbox packages onto the network (one
 // message per next-hop neighbor). It is a no-op for direct transmission
 // and for empty outboxes.
+//
+//p2plint:hotpath -- per-round outbox drain, one call per ranker per iteration
 func (f *Fabric) Flush(from int) error {
 	if f.del[from] == nil {
 		return fmt.Errorf("transport: ranker %d not registered", from)
@@ -448,6 +454,7 @@ func (f *Fabric) getMsg() *dataMsg {
 		f.msgs = f.msgs[:n-1]
 		return m
 	}
+	//p2plint:allow hotalloc -- freelist refill; steady state recycles delivered messages
 	return &dataMsg{}
 }
 
@@ -584,6 +591,8 @@ func (f *Fabric) enqueue(i int, chunk ScoreChunk) {
 // handle processes a message arriving at ranker i: lookups are pure
 // overhead; data chunks are delivered locally or repacked toward their
 // next hop and flushed immediately (the unpack/recombine of Figure 4).
+//
+//p2plint:hotpath -- per-message receive path of the fabric
 func (f *Fabric) handle(i int, m simnet.Message) {
 	switch payload := m.Payload.(type) {
 	case lookupMsg:

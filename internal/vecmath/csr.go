@@ -179,6 +179,7 @@ func (m *CSR) oneShard() bool {
 // freely. Callers handle the oneShard fast path themselves.
 func (m *CSR) forEachShard(f func(lo, hi int)) {
 	sp := m.shardPtr
+	//p2plint:allow hotalloc -- shard-index adapter closure, one per parallel dispatch
 	par.Default().Run(len(sp)-1, func(s int) {
 		f(int(sp[s]), int(sp[s+1]))
 	})
@@ -195,6 +196,8 @@ func (m *CSR) Row(i int) ([]int32, []float64) {
 
 // MulVec computes dst = M·x. dst and x must not alias. It panics on
 // dimension mismatch.
+//
+//p2plint:hotpath -- per-iteration rank kernel, steady state must not allocate
 func (m *CSR) MulVec(dst, x Vec) {
 	mustSameLen(len(dst), m.NumRows)
 	mustSameLen(len(x), m.NumCols)
@@ -202,6 +205,7 @@ func (m *CSR) MulVec(dst, x Vec) {
 		m.mulVecRange(dst, x, 0, m.NumRows)
 		return
 	}
+	//p2plint:allow hotalloc -- par fan-out above csrParMinNNZ; one closure amortized over ≥16K entries
 	m.forEachShard(func(lo, hi int) { m.mulVecRange(dst, x, lo, hi) })
 }
 
@@ -212,6 +216,8 @@ func (m *CSR) mulVecRange(dst, x Vec, lo, hi int) {
 }
 
 // MulVecAdd computes dst += M·x without zeroing dst first.
+//
+//p2plint:hotpath -- per-iteration rank kernel, steady state must not allocate
 func (m *CSR) MulVecAdd(dst, x Vec) {
 	mustSameLen(len(dst), m.NumRows)
 	mustSameLen(len(x), m.NumCols)
@@ -219,6 +225,7 @@ func (m *CSR) MulVecAdd(dst, x Vec) {
 		m.mulVecAddRange(dst, x, 0, m.NumRows)
 		return
 	}
+	//p2plint:allow hotalloc -- par fan-out above csrParMinNNZ; one closure amortized over ≥16K entries
 	m.forEachShard(func(lo, hi int) { m.mulVecAddRange(dst, x, lo, hi) })
 }
 
@@ -233,6 +240,8 @@ func (m *CSR) mulVecAddRange(dst, x Vec, lo, hi int) {
 // the two extra memory sweeps of MulVec-then-Add-then-Add. The
 // floating-point association matches the unfused form exactly:
 // (rowdot + e[i]) + xa[i].
+//
+//p2plint:hotpath -- fused Jacobi step, the innermost loop of Algorithm 2
 func (m *CSR) StepInto(dst, x, e, xa Vec) {
 	mustSameLen(len(dst), m.NumRows)
 	mustSameLen(len(x), m.NumCols)
@@ -244,6 +253,7 @@ func (m *CSR) StepInto(dst, x, e, xa Vec) {
 		m.stepRange(dst, x, e, xa, 0, m.NumRows)
 		return
 	}
+	//p2plint:allow hotalloc -- par fan-out above csrParMinNNZ; one closure amortized over ≥16K entries
 	m.forEachShard(func(lo, hi int) { m.stepRange(dst, x, e, xa, lo, hi) })
 }
 
@@ -269,6 +279,8 @@ func (m *CSR) stepRange(dst, x, e, xa Vec, lo, hi int) {
 // path; larger systems fall back to StepInto + Diff1, whose blocked
 // reduction is a pure function of n. Either way the result is
 // independent of sharding and worker count.
+//
+//p2plint:hotpath -- iterate-and-measure body of GroupPageRank, runs every round
 func (m *CSR) StepDelta(dst, x, e, xa Vec) float64 {
 	mustSameLen(m.NumRows, m.NumCols)
 	if m.NumRows > vecBlock {
@@ -324,12 +336,15 @@ func (m *CSR) rowDot(i int, x Vec) float64 {
 // Theorem 3.2 of the paper this bounds the spectral radius ρ(M), which is
 // how Algorithm 2's convergence is certified (‖A‖∞ ≤ α < 1). Max is an
 // exact reduction, so the per-shard combine cannot perturb bits.
+//
+//p2plint:hotpath -- convergence certificate, recomputed on every incremental update
 func (m *CSR) NormInf() float64 {
 	sp := m.shardPtr
 	if m.oneShard() {
 		return m.normInfRange(0, m.NumRows)
 	}
 	var partials [64]float64
+	//p2plint:allow hotalloc -- par fan-out above csrParMinNNZ; one closure amortized over ≥16K entries
 	par.Default().Run(len(sp)-1, func(s int) {
 		partials[s] = m.normInfRange(int(sp[s]), int(sp[s+1]))
 	})

@@ -68,8 +68,10 @@ func blockCombine(n int, partial func(lo, hi int) float64) float64 {
 	var buf [maxStackBlocks]float64
 	partials := buf[:]
 	if nb > maxStackBlocks {
+		//p2plint:allow hotalloc -- spill path for >maxStackBlocks partials; stack buffer covers steady state
 		partials = make([]float64, nb)
 	}
+	//p2plint:allow hotalloc -- block-fill adapter closure, one per reduction
 	fill := func(b int) {
 		lo := b * vecBlock
 		hi := lo + vecBlock
@@ -245,6 +247,7 @@ func Diff1(x, y Vec) float64 {
 	if len(x) <= vecBlock {
 		return diff1Range(x, y, 0, len(x))
 	}
+	//p2plint:allow hotalloc -- range adapter closure, one per >vecBlock reduction
 	return blockCombine(len(x), func(lo, hi int) float64 { return diff1Range(x, y, lo, hi) })
 }
 
