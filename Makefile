@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race bench bench-gate chaos obs-smoke verify
+.PHONY: build vet lint test race bench bench-gate chaos obs-smoke scale-smoke verify
 
 build:
 	$(GO) build ./...
@@ -46,9 +46,17 @@ obs-smoke:
 # JSON so runs are diffable (see BENCH_kernels.json for the committed
 # reference numbers).
 bench:
-	$(GO) test -run '^$$' -bench 'MulVec|StepDelta|NewCSR|Fig6RelativeError|TransmissionScaling|ReliableSend' \
-		-benchmem ./internal/vecmath/ ./internal/dprcore/ . | $(GO) run ./cmd/benchjson > BENCH_kernels.json
+	$(GO) test -run '^$$' -bench 'MulVec|StepDelta|NewCSR|Fig6RelativeError|TransmissionScaling|ReliableSend|Schedule|EventLoop' \
+		-benchmem ./internal/vecmath/ ./internal/dprcore/ ./internal/simnet/ . | $(GO) run ./cmd/benchjson > BENCH_kernels.json
 	@cat BENCH_kernels.json
+
+# One decade of the paper-scale experiment (N=10⁴ rankers, bounded
+# virtual-time horizon) end to end: calendar-queue scheduler, batched
+# delivery, and the §4.4–4.5 model-vs-telemetry validation. Takes a
+# minute or two; CI runs it as a non-blocking job. The full measured
+# curve (10³–10⁵) is `go run ./cmd/dprsim -exp scale`.
+scale-smoke:
+	P2PRANK_SCALE=1 $(GO) test -run TestScaleSmoke -v -timeout 20m ./internal/experiments/
 
 # Perf ratchet: re-run the gated kernels and compare against the
 # committed baseline. The alloc gate always applies; set

@@ -34,9 +34,9 @@ import (
 
 // benchPattern and benchPackages mirror the `make bench` invocation
 // that produces the baseline; the gate must measure what was recorded.
-const benchPattern = "MulVec|StepDelta|NewCSR|Fig6RelativeError|TransmissionScaling|ReliableSend"
+const benchPattern = "MulVec|StepDelta|NewCSR|Fig6RelativeError|TransmissionScaling|ReliableSend|Schedule|EventLoop"
 
-var benchPackages = []string{"./internal/vecmath/", "./internal/dprcore/", "."}
+var benchPackages = []string{"./internal/vecmath/", "./internal/dprcore/", "./internal/simnet/", "."}
 
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_kernels.json", "committed baseline report")

@@ -13,6 +13,7 @@
 //	dprsim -exp hops                # overlay hop counts vs N
 //	dprsim -exp faults              # convergence under injected message faults
 //	dprsim -exp churn               # convergence with rankers crashing mid-run
+//	dprsim -exp scale               # DPR1/DPR2 at N = 10³/10⁴/10⁵ with model validation
 //
 // Scale the workload with -pages / -sites; write curves as CSV with
 // -csv FILE.
@@ -24,8 +25,10 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"p2prank/internal/cliflags"
+	"p2prank/internal/dprcore"
 	"p2prank/internal/engine"
 	"p2prank/internal/experiments"
 	"p2prank/internal/metrics"
@@ -33,7 +36,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "fig6", "experiment: fig6|fig7|fig8|transmission|traffic|bandwidth|cut|hops|faults|churn")
+		exp     = flag.String("exp", "fig6", "experiment: fig6|fig7|fig8|transmission|traffic|bandwidth|cut|hops|faults|churn|scale")
 		pages   = flag.Int("pages", 20000, "crawl size")
 		sites   = flag.Int("sites", 100, "site count (the paper's dataset has 100)")
 		seed    = cliflags.Seed(flag.CommandLine)
@@ -117,6 +120,14 @@ func main() {
 		}
 		fmt.Printf("Churn: DPR1 convergence with crash/checkpoint-restart rankers, K=%d\n", kk)
 		fmt.Print(experiments.RenderChurn(rows))
+	case "scale":
+		counts := parseKs(*ks, []int{1000, 10000, 100000})
+		rows, err := runScale(counts, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Paper scale: DPR under indirect transmission, 20 pages/ranker, batched delivery")
+		fmt.Print(experiments.RenderScale(rows))
 	case "cut":
 		kk := pick(*k, 32)
 		rows, err := experiments.PartitionCut(w, kk)
@@ -140,6 +151,57 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown experiment %q", *exp))
 	}
+}
+
+// runScale sweeps the scale experiment over ranker populations,
+// measuring what the simulation-path packages are forbidden to touch
+// (the nowallclock analyzer): wall-clock time per run, process peak RSS,
+// and events per wall second. Runs go in ascending K so the monotone
+// VmHWM high-water mark tracks each decade's own peak.
+func runScale(counts []int, seed uint64) ([]*experiments.ScaleRow, error) {
+	var rows []*experiments.ScaleRow
+	for _, kk := range counts {
+		for _, alg := range []dprcore.Algorithm{dprcore.DPR1, dprcore.DPR2} {
+			w := experiments.ScaleWorkload(kk, seed)
+			fmt.Fprintf(os.Stderr, "dprsim: scale %v K=%d pages=%d...\n", alg, kk, w.Pages)
+			start := time.Now()
+			row, err := experiments.ScaleRun(w, kk, alg, experiments.ScaleMaxTime)
+			if err != nil {
+				return nil, err
+			}
+			row.WallSeconds = time.Since(start).Seconds()
+			row.PeakRSSMB = peakRSSMB()
+			if row.WallSeconds > 0 {
+				row.EventsPerSec = float64(row.Events) / row.WallSeconds
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// peakRSSMB reads the process's resident-set high-water mark from
+// /proc/self/status (VmHWM, in kB). 0 when unavailable (non-Linux).
+func peakRSSMB() float64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseFloat(f[1], 64)
+		if err != nil {
+			return 0
+		}
+		return kb / 1024
+	}
+	return 0
 }
 
 func pick(flagVal, paperVal int) int {

@@ -127,6 +127,87 @@ func PastryHops(n float64) float64 {
 	return math.Log(n) / math.Log(16)
 }
 
+// ValidationRow pairs one model quantity with its measured value — the
+// empirical check of §4.4–4.5 that the paper itself never ran. Rows are
+// produced per ranker population by ValidateIndirect and rendered with
+// RenderValidation.
+type ValidationRow struct {
+	// Quantity names the model quantity (with its formula).
+	Quantity string
+	// Predicted is the analytic value.
+	Predicted float64
+	// Measured is the telemetry-side observation.
+	Measured float64
+}
+
+// Ratio is Measured/Predicted (NaN when the prediction is zero).
+func (r ValidationRow) Ratio() float64 {
+	if r.Predicted == 0 {
+		return math.NaN()
+	}
+	return r.Measured / r.Predicted
+}
+
+// IndirectObserved holds the telemetry measurements of one indirect-
+// transmission run that the model's formulas predict.
+type IndirectObserved struct {
+	// Hops is the measured mean overlay route length per chunk.
+	Hops float64
+	// MsgsPerIter is the on-wire data-message count per iteration
+	// (hop-by-hop packages, including relays).
+	MsgsPerIter float64
+	// SeamBytesPerIter is the payload volume emitted per iteration at
+	// the dprcore sender seam — the l·W of formula 4.1, counted once
+	// per chunk before it starts hopping.
+	SeamBytesPerIter float64
+	// WireBytesPerIter is the on-wire payload volume per iteration,
+	// counting every hop a chunk crosses.
+	WireBytesPerIter float64
+	// IterInterval is the measured mean virtual time between loop
+	// iterations (the paper's T).
+	IterInterval float64
+	// NodeSendRate is the measured mean per-node upstream usage in
+	// bytes per virtual time unit.
+	NodeSendRate float64
+}
+
+// ValidateIndirect compares the indirect-transmission formulas against
+// one run's measurements. p supplies the analytic inputs: N and G as
+// configured/measured, H as the model's hop prediction (PastryHops).
+// Four checks come back:
+//
+//   - h: the predicted lookup hop count vs the measured route length.
+//   - S_it = g·N (4.3): the neighbor-link message budget vs messages
+//     actually sent. Measured counts hop-by-hop packages, so relayed
+//     chunks can push it above the budget by up to a factor of h; it
+//     lands below when not every neighbor link carries traffic in an
+//     iteration.
+//   - D_it = h·l·W (4.1): the claim that shipping l·W payload bytes
+//     over an h-hop overlay costs h·(l·W) on the wire, with the
+//     measured h and seam volume plugged in.
+//   - B = D_it/(N·T) (4.7): the bottleneck per-node bandwidth the
+//     measured traffic implies vs measured per-node upstream usage.
+func ValidateIndirect(p Params, o IndirectObserved) []ValidationRow {
+	return []ValidationRow{
+		{Quantity: "h (lookup hops)", Predicted: p.H, Measured: o.Hops},
+		{Quantity: "S_it = g·N (msgs/iter)", Predicted: p.IndirectMessages(), Measured: o.MsgsPerIter},
+		{Quantity: "D_it = h·l·W (bytes/iter)", Predicted: o.Hops * o.SeamBytesPerIter, Measured: o.WireBytesPerIter},
+		{Quantity: "B = D_it/(N·T) (B/node/unit)", Predicted: o.Hops * o.SeamBytesPerIter / (p.N * o.IterInterval), Measured: o.NodeSendRate},
+	}
+}
+
+// RenderValidation formats one population's validation rows.
+func RenderValidation(rows []ValidationRow) string {
+	t := metrics.NewTable("quantity", "predicted", "measured", "measured/predicted")
+	for _, r := range rows {
+		t.AddRow(r.Quantity,
+			fmt.Sprintf("%.4g", r.Predicted),
+			fmt.Sprintf("%.4g", r.Measured),
+			fmt.Sprintf("%.2f", r.Ratio()))
+	}
+	return t.String()
+}
+
 // Table1Row is one row of Table 1.
 type Table1Row struct {
 	N                float64

@@ -156,6 +156,46 @@ func TestFig6FingerprintMatchesPreRefactorGolden(t *testing.T) {
 	}
 }
 
+// fig7/fig8 golden fingerprints, captured on the binary-heap scheduler
+// immediately before the calendar-queue rewrite. Together with fig6 they
+// cover all three transports/presets: the calendar queue, the Timer
+// re-arm path, and the sparse transport outbox must pop and send in the
+// exact (at, seq) order the old global heap produced.
+const (
+	fig7GoldenFingerprint = 0xccd8cf73dcfebc42
+	fig8GoldenFingerprint = 0xcf7b4bf6ae1eb2ed
+)
+
+// TestSchedulerFingerprintsMatchHeapGoldens runs the fig7 and fig8
+// presets at GOMAXPROCS 1 and 8 and requires the fingerprints captured
+// on the pre-calendar-queue scheduler, bit for bit.
+func TestSchedulerFingerprintsMatchHeapGoldens(t *testing.T) {
+	g := detGraph(t)
+	presets := detPresets(g)
+	for _, tc := range []struct {
+		name   string
+		golden uint64
+	}{
+		{"fig7", fig7GoldenFingerprint},
+		{"fig8", fig8GoldenFingerprint},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, procs := range []int{1, 8} {
+				prev := runtime.GOMAXPROCS(procs)
+				res, err := engine.Run(presets[tc.name])
+				runtime.GOMAXPROCS(prev)
+				if err != nil {
+					t.Fatalf("procs=%d: %v", procs, err)
+				}
+				if got := fingerprint(t, res); got != tc.golden {
+					t.Fatalf("procs=%d: %s fingerprint %#016x != pre-calendar-queue golden %#016x",
+						procs, tc.name, got, tc.golden)
+				}
+			}
+		})
+	}
+}
+
 // TestFig6FingerprintUnchangedByObservers is the tentpole's determinism
 // claim: attaching telemetry — the no-op observer or the full in-sim
 // collector — must not move a single bit of the run. The fig6 preset

@@ -260,6 +260,10 @@ type Result struct {
 	// Telemetry is the in-sim collector's aggregate, filled when
 	// Config.Observer is a *telemetry.SimCollector (nil otherwise).
 	Telemetry *telemetry.Summary
+	// Events is the number of simulator events the run executed —
+	// paired with wall time it gives the scale experiments their
+	// events/sec throughput metric.
+	Events uint64
 }
 
 // FaultStats counts the faults a run's injector applied.
@@ -337,7 +341,7 @@ func build(cfg Config) (*cluster, error) {
 			cs.SetClock(sim)
 		}
 		if hs, ok := cfg.Observer.(telemetry.HopsSetter); ok {
-			hs.SetHops(overlayHops(ov, cfg.Transport))
+			hs.SetHops(overlayHops(ov, cfg.Transport, cfg.Seed))
 		}
 	}
 	root := xrand.New(cfg.Seed ^ 0x9e3779b97f4a7c15)
@@ -421,11 +425,30 @@ func build(cfg Config) (*cluster, error) {
 // the overlay route length from the sender to the destination group's
 // node under indirect transmission, 1 under direct (the payload takes
 // one trip after the lookup). Routes are memoized — the overlay is
-// static for the duration of a run.
-func overlayHops(ov overlay.Network, kind transport.Kind) func(src, dst int) int {
+// static for the duration of a run. Past hopsExactMaxK rankers,
+// per-pair routing (and its memo) would dominate the run, so chunks
+// are attributed the overlay's sampled mean hop count instead.
+func overlayHops(ov overlay.Network, kind transport.Kind, seed uint64) func(src, dst int) int {
 	if kind != transport.Indirect {
 		return func(src, dst int) int { return 1 }
 	}
+	const hopsExactMaxK = 4096
+	if ov.NumNodes() > hopsExactMaxK {
+		est := 0
+		return func(src, dst int) int {
+			if est == 0 {
+				est = 1
+				if h, err := overlay.AvgHops(ov, 200, xrand.New(seed^0x5bd1e995)); err == nil && h > 1 {
+					est = int(h + 0.5)
+				}
+			}
+			return est
+		}
+	}
+	// The memo is capped: at paper scale the set of observed
+	// (src, dst) pairs approaches K², which would quietly pin gigabytes
+	// for a telemetry nicety. Past the cap, extra pairs recompute.
+	const memoMax = 1 << 18
 	memo := make(map[[2]int]int)
 	return func(src, dst int) int {
 		key := [2]int{src, dst}
@@ -436,7 +459,9 @@ func overlayHops(ov overlay.Network, kind transport.Kind) func(src, dst int) int
 		if path, err := overlay.Route(ov, src, ov.NodeID(dst)); err == nil && len(path) > 1 {
 			h = len(path) - 1
 		}
-		memo[key] = h
+		if len(memo) < memoMax {
+			memo[key] = h
+		}
 		return h
 	}
 }
@@ -617,6 +642,7 @@ func run(cfg Config, initial vecmath.Vec) (*Result, error) {
 	}
 	res.NetStats = cl.net.TotalStats()
 	res.TransportStats = cl.fab.Stats()
+	res.Events = cl.sim.Processed()
 	if cl.faults != nil {
 		res.FaultStats = FaultStats{
 			Dropped:    cl.faults.Dropped(),

@@ -849,3 +849,146 @@ func RenderFaults(rows []FaultRow) string {
 	}
 	return t.String()
 }
+
+// ScaleRow is one decade of the paper-scale run: DPR at K rankers on a
+// proportionally sized crawl, with the §4.4–4.5 model validated against
+// what the run actually measured. WallSeconds, PeakRSSMB, and
+// EventsPerSec are filled by the caller (cmd/dprsim): wall-clock and
+// process measurements are banned inside simulation-path packages by
+// the nowallclock analyzer, and belong with the process owner anyway.
+type ScaleRow struct {
+	K     int
+	Pages int
+	Alg   dprcore.Algorithm
+	// RelErr is the final relative error against centralized PageRank.
+	RelErr float64
+	// MeanRounds is the mean committed loop count per ranker.
+	MeanRounds float64
+	// Events is the number of simulator events the run executed.
+	Events uint64
+	// Messages and Bytes are network-level send totals.
+	Messages int64
+	Bytes    int64
+	// AvgHops is the overlay's sampled mean lookup hop count.
+	AvgHops float64
+	// Validation compares the bwmodel predictions against telemetry.
+	Validation []bwmodel.ValidationRow
+
+	// Caller-measured process metrics (see type comment).
+	WallSeconds  float64
+	PeakRSSMB    float64
+	EventsPerSec float64
+}
+
+// ScaleMaxTime is the virtual-time horizon of one scale run: with
+// T1 = T2 = 3 it gives every ranker ~10 iterations — enough for the
+// per-iteration traffic rates to reach steady state without paying for
+// a full convergence run at 10⁵ nodes.
+const ScaleMaxTime = 30.0
+
+// ScaleWorkload returns the proportionally sized crawl for K rankers:
+// 20 pages per ranker (the Fig-6 ratio of 20k pages / 1k rankers),
+// keeping per-ranker work constant as K sweeps 10³ → 10⁵.
+func ScaleWorkload(k int, seed uint64) Workload {
+	return Workload{Pages: 20 * k, Sites: 100, Seed: seed}
+}
+
+// ScaleRun executes one decade of the scale experiment: DPR under
+// indirect transmission at K rankers, pages partitioned by URL hash
+// (the all-pairs regime the §4.4 formulas assume), fixed network
+// latency with batched delivery — the configuration the calendar-queue
+// scheduler and the coalesced network layer exist for. The returned
+// row carries the measured traffic and the bwmodel validation;
+// reference ranks are computed per run (the graph differs per K).
+func ScaleRun(w Workload, k int, alg dprcore.Algorithm, maxTime float64) (*ScaleRow, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("experiments: k = %d, must be positive", k)
+	}
+	if maxTime <= 0 {
+		maxTime = ScaleMaxTime
+	}
+	w.defaults()
+	g, err := w.Generate()
+	if err != nil {
+		return nil, err
+	}
+	col := telemetry.NewSimCollector(k)
+	cfg := engine.Config{
+		Params:      dprcore.Params{Alg: alg, T1: 3, T2: 3, Observer: col},
+		Graph:       g,
+		K:           k,
+		Seed:        w.Seed,
+		SampleEvery: maxTime, // one sample at the end
+		MaxTime:     maxTime,
+		Strategy:    partition.ByPage,
+		Transport:   transport.Indirect,
+		// Fixed latency makes same-instant deliveries to one node
+		// coalesce; BatchDelivery turns the per-message events they
+		// would have been into one pooled event per (destination,
+		// instant). Off the fingerprint path: scale runs are their own
+		// deterministic schedule (see simnet.NetConfig.BatchDelivery).
+		Net: simnet.NetConfig{MinLatency: 0.1, MaxLatency: 0.1, BatchDelivery: true},
+	}
+	res, err := engine.Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: scale K=%d: %w", k, err)
+	}
+	sum := res.Telemetry
+	if sum == nil {
+		return nil, fmt.Errorf("experiments: scale K=%d: no telemetry summary", k)
+	}
+	iters := sum.MeanRounds()
+	if iters <= 0 {
+		iters = 1
+	}
+	size := transport.DefaultSizeModel()
+	ts := res.TransportStats
+	obs := bwmodel.IndirectObserved{
+		Hops:             res.AvgHops,
+		MsgsPerIter:      float64(ts.DataMessages) / iters,
+		SeamBytesPerIter: float64(sum.PayloadBytes) / iters,
+		WireBytesPerIter: float64(ts.DataBytes-ts.DataMessages*size.HeaderBytes) / iters,
+		IterInterval:     maxTime / iters,
+		NodeSendRate:     float64(res.NetStats.BytesSent) / (float64(k) * maxTime),
+	}
+	p := bwmodel.Params{
+		W: float64(w.Pages), N: float64(k), H: bwmodel.PastryHops(float64(k)),
+		L: telemetry.DefaultBytesPerLink, R: 48, G: res.AvgNeighbors,
+	}
+	return &ScaleRow{
+		K:          k,
+		Pages:      w.Pages,
+		Alg:        alg,
+		RelErr:     res.RelErr,
+		MeanRounds: sum.MeanRounds(),
+		Events:     res.Events,
+		Messages:   res.NetStats.MessagesSent,
+		Bytes:      res.NetStats.BytesSent,
+		AvgHops:    res.AvgHops,
+		Validation: bwmodel.ValidateIndirect(p, obs),
+	}, nil
+}
+
+// RenderScale formats the scale sweep: the headline wall-time/memory/
+// throughput table, then one bwmodel-vs-telemetry validation table per
+// decade of K.
+func RenderScale(rows []*ScaleRow) string {
+	t := metrics.NewTable("alg", "K", "pages", "rounds", "rel err", "events",
+		"events/s", "msgs", "bytes", "wall", "peak RSS")
+	for _, r := range rows {
+		t.AddRow(r.Alg, r.K, r.Pages,
+			fmt.Sprintf("%.1f", r.MeanRounds),
+			fmt.Sprintf("%.2e", r.RelErr),
+			r.Events,
+			fmt.Sprintf("%.2e", r.EventsPerSec),
+			r.Messages, r.Bytes,
+			fmt.Sprintf("%.1fs", r.WallSeconds),
+			fmt.Sprintf("%.0fMB", r.PeakRSSMB))
+	}
+	out := t.String()
+	for _, r := range rows {
+		out += fmt.Sprintf("\n%s K=%d: model vs telemetry\n%s",
+			r.Alg, r.K, bwmodel.RenderValidation(r.Validation))
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"p2prank/internal/dprcore"
+)
+
+// TestScaleSmoke runs one decade of the scale experiment (N = 10⁴,
+// bounded virtual-time horizon) end to end: calendar-queue scheduler,
+// batched delivery, sparse transport outbox, and the bwmodel validation
+// table. It takes on the order of a minute, so it is opt-in:
+//
+//	P2PRANK_SCALE=1 go test ./internal/experiments -run TestScaleSmoke -v -timeout 20m
+func TestScaleSmoke(t *testing.T) {
+	if os.Getenv("P2PRANK_SCALE") == "" {
+		t.Skip("set P2PRANK_SCALE=1 to run the 10⁴-ranker scale smoke")
+	}
+	const k = 10_000
+	w := ScaleWorkload(k, 1)
+	row, err := ScaleRun(w, k, dprcore.DPR1, ScaleMaxTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("K=%d pages=%d rounds=%.1f relerr=%.3g events=%d msgs=%d bytes=%d",
+		row.K, row.Pages, row.MeanRounds, row.RelErr, row.Events, row.Messages, row.Bytes)
+	if row.MeanRounds < 2 {
+		t.Fatalf("rankers barely iterated: %.2f mean rounds", row.MeanRounds)
+	}
+	if row.Events == 0 || row.Messages == 0 {
+		t.Fatalf("vacuous run: %+v", row)
+	}
+	if row.RelErr <= 0 || row.RelErr >= 1 {
+		t.Fatalf("relative error %v outside (0, 1) after %v time units", row.RelErr, ScaleMaxTime)
+	}
+	// The validation table must exist and be sane: every measured value
+	// within an order of magnitude of its prediction (the model is
+	// asymptotic; ratios near 1 are the expected regime, 10× would mean
+	// the accounting is wired to the wrong counter).
+	if len(row.Validation) == 0 {
+		t.Fatal("no validation rows")
+	}
+	for _, v := range row.Validation {
+		r := v.Ratio()
+		if !(r > 0.1 && r < 10) {
+			t.Errorf("%s: measured/predicted = %.3f (predicted %g, measured %g)",
+				v.Quantity, r, v.Predicted, v.Measured)
+		}
+	}
+	t.Log("\n" + RenderScale([]*ScaleRow{row}))
+}

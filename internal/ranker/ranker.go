@@ -24,6 +24,10 @@ import (
 type Ranker struct {
 	loop *dprcore.Loop
 	sim  *simnet.Simulator
+	// timer is the ranker's one recurring wait event (simnet.Timer): the
+	// wakeup chain re-arms a single pinned event struct instead of
+	// scheduling a fresh one per iteration.
+	timer *simnet.Timer
 
 	// Construction inputs, retained so Restart can rebuild the loop
 	// after a crash with the same dependencies (and, crucially, the
@@ -56,10 +60,12 @@ func New(grp *dprcore.Group, p dprcore.Params, meanWait float64, sim *simnet.Sim
 	if err != nil {
 		return nil, err
 	}
-	return &Ranker{
+	rk := &Ranker{
 		loop: loop, sim: sim,
 		grp: grp, params: p, meanWait: meanWait, sender: sender, rng: rng,
-	}, nil
+	}
+	rk.timer = sim.NewComputeTimer(rk.step)
+	return rk, nil
 }
 
 // Group returns the ranker's page group.
@@ -156,7 +162,7 @@ func (rk *Ranker) Deliver(chunk transport.ScoreChunk) {
 
 func (rk *Ranker) scheduleNext() {
 	rk.wakeupPending = true
-	rk.sim.AfterCompute(rk.loop.NextWait(), rk.step)
+	rk.timer.Schedule(rk.loop.NextWait())
 }
 
 // step is the compute half of one iteration: it runs the loop's

@@ -1,0 +1,172 @@
+package simnet
+
+import (
+	"testing"
+)
+
+func batchedNet(t *testing.T, seed uint64, cfg NetConfig) (*Simulator, *Network) {
+	t.Helper()
+	s := New(seed)
+	n, err := NewNetwork(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, n
+}
+
+// TestBatchDeliveryFIFO checks the batching contract's invariant:
+// same-instant messages to one destination arrive in send order.
+func TestBatchDeliveryFIFO(t *testing.T) {
+	s, n := batchedNet(t, 1, NetConfig{MinLatency: 0.1, MaxLatency: 0.1, BatchDelivery: true})
+	var got []int
+	dst := n.AddNode(func(m Message) { got = append(got, m.Payload.(int)) })
+	src := n.AddNode(func(Message) {})
+	for i := 0; i < 50; i++ {
+		n.Send(src, dst, i, 10)
+	}
+	s.Run(0)
+	if len(got) != 50 {
+		t.Fatalf("delivered %d messages, want 50", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("per-destination FIFO broken: got[%d] = %d", i, v)
+		}
+	}
+}
+
+// TestBatchDeliveryCoalescesEvents is the point of the mode: B
+// same-instant messages to one destination ride one event, so the
+// simulator executes O(instants), not O(messages), delivery events.
+func TestBatchDeliveryCoalescesEvents(t *testing.T) {
+	s, n := batchedNet(t, 1, NetConfig{MinLatency: 0.1, MaxLatency: 0.1, BatchDelivery: true})
+	dst := n.AddNode(func(Message) {})
+	src := n.AddNode(func(Message) {})
+	const B = 100
+	for i := 0; i < B; i++ {
+		n.Send(src, dst, i, 10)
+	}
+	if p := s.Pending(); p != 1 {
+		t.Fatalf("%d same-instant sends scheduled %d events, want 1", B, p)
+	}
+	s.Run(0)
+	if st := n.TotalStats(); st.MessagesDelivered != B {
+		t.Fatalf("delivered %d, want %d", st.MessagesDelivered, B)
+	}
+}
+
+// TestBatchDeliveryMatchesUnbatchedStats runs the same fixed-latency
+// workload with batching on and off: every counter must agree — only
+// the event count may differ.
+func TestBatchDeliveryMatchesUnbatchedStats(t *testing.T) {
+	run := func(batch bool) (Stats, []int) {
+		s, n := batchedNet(t, 9, NetConfig{MinLatency: 0.2, MaxLatency: 0.2, BatchDelivery: batch})
+		var got []int
+		var addrs []NodeAddr
+		for i := 0; i < 4; i++ {
+			addrs = append(addrs, n.AddNode(func(m Message) { got = append(got, m.Payload.(int)) }))
+		}
+		for round := 0; round < 5; round++ {
+			round := round
+			s.At(float64(round), func() {
+				for i := 0; i < 4; i++ {
+					for j := 0; j < 4; j++ {
+						if i != j {
+							n.Send(addrs[i], addrs[j], round*100+i*10+j, 25)
+						}
+					}
+				}
+			})
+		}
+		s.Run(0)
+		return n.TotalStats(), got
+	}
+	sa, ga := run(false)
+	sb, gb := run(true)
+	if sa != sb {
+		t.Fatalf("stats diverged:\nunbatched %+v\nbatched   %+v", sa, sb)
+	}
+	if len(ga) != len(gb) {
+		t.Fatalf("delivery count diverged: %d vs %d", len(ga), len(gb))
+	}
+	// With a single sender order would match exactly; across senders the
+	// batch drains contiguously, so only the multiset is guaranteed.
+	seen := map[int]int{}
+	for _, v := range ga {
+		seen[v]++
+	}
+	for _, v := range gb {
+		seen[v]--
+	}
+	for v, c := range seen {
+		if c != 0 {
+			t.Fatalf("payload %d delivered %+d times more in one mode", v, c)
+		}
+	}
+}
+
+// TestBatchDeliveryDownNodeDrops re-checks liveness at delivery time:
+// a destination that fails while a batch is in flight drops the whole
+// batch, exactly like the per-message path.
+func TestBatchDeliveryDownNodeDrops(t *testing.T) {
+	s, n := batchedNet(t, 1, NetConfig{MinLatency: 1, MaxLatency: 1, BatchDelivery: true})
+	delivered := 0
+	dst := n.AddNode(func(Message) { delivered++ })
+	src := n.AddNode(func(Message) {})
+	for i := 0; i < 10; i++ {
+		n.Send(src, dst, i, 10)
+	}
+	s.At(0.5, func() { n.SetDown(dst, true) })
+	s.Run(0)
+	if delivered != 0 {
+		t.Fatalf("delivered %d messages to a down node", delivered)
+	}
+	if st := n.TotalStats(); st.MessagesDropped != 10 {
+		t.Fatalf("dropped = %d, want 10", st.MessagesDropped)
+	}
+}
+
+// TestBatchDeliveryRecycles checks fired batches return to the pool and
+// get reused — steady state allocates no batches.
+func TestBatchDeliveryRecycles(t *testing.T) {
+	s, n := batchedNet(t, 1, NetConfig{MinLatency: 0.1, MaxLatency: 0.1, BatchDelivery: true})
+	dst := n.AddNode(func(Message) {})
+	src := n.AddNode(func(Message) {})
+	for round := 0; round < 20; round++ {
+		round := round
+		s.At(float64(round), func() { n.Send(src, dst, round, 10) })
+	}
+	s.Run(0)
+	if len(n.batchFree) != 1 {
+		t.Fatalf("batch pool holds %d batches after 20 sequential rounds, want 1 recycled",
+			len(n.batchFree))
+	}
+}
+
+// TestBatchDeliveryDeterminism: batched runs are still a pure function
+// of the seed.
+func TestBatchDeliveryDeterminism(t *testing.T) {
+	run := func() []int {
+		s, n := batchedNet(t, 77, NetConfig{MinLatency: 0.05, MaxLatency: 0.25, BatchDelivery: true})
+		var got []int
+		var addrs []NodeAddr
+		for i := 0; i < 3; i++ {
+			addrs = append(addrs, n.AddNode(func(m Message) { got = append(got, m.Payload.(int)) }))
+		}
+		for i := 0; i < 60; i++ {
+			i := i
+			s.At(float64(i%7)*0.3, func() { n.Send(addrs[i%3], addrs[(i+1)%3], i, 10) })
+		}
+		s.Run(0)
+		return got
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths diverged: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery order diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -150,24 +150,22 @@ type Fabric struct {
 	// ackDel holds per-ranker ack callbacks (reliable delivery only;
 	// see RegisterAck). Nil entries ignore incoming acks.
 	ackDel []func(src int32, round int64)
-	// outbox[i][h] holds chunks queued at node i toward next-hop ranker
-	// h (indirect transmission only); a nil slot is empty. dirtyHops[i]
-	// lists the occupied slots so Flush never scans all K. Dense slots
-	// beat a map here: enqueue and Flush are on the per-message hot
-	// path, and K is small enough that K slots per node are cheap.
-	outbox    [][][]ScoreChunk
-	dirtyHops [][]int
-	codec     ChunkCodec
-	stats     Stats
+	// outbox[i] holds the chunks queued at node i, one entry per
+	// occupied next-hop ranker (indirect transmission only). A node's
+	// occupied hops are a handful of overlay neighbors, so enqueue's
+	// linear scan beats both a map and the dense K-slot rows this used
+	// to be — which cost K² slots across the fabric and capped runs at
+	// thousands of nodes.
+	outbox [][]hopBox
+	codec  ChunkCodec
+	stats  Stats
 
-	// hops is Flush's reusable next-hop scratch, sized by earlier
-	// flushes. Safe to share across nodes: the simulation delivers
-	// events serially, and Flush never re-enters itself.
-	hops []int
 	// nextHops and routes memoize overlay routing per (node, dstGroup):
 	// NextHop is asked once per chunk per hop and Route once per direct
 	// send, against an overlay that is static for the fabric's
-	// lifetime. Call InvalidateRoutes after changing membership.
+	// lifetime. Call InvalidateRoutes after changing membership. The
+	// memos are dense K-wide rows, so past memoMaxNodes they are skipped
+	// (K² memory) and routing recomputes from the overlay's tables.
 	nextHops [][]int32
 	routes   [][][]int
 	// Freelists for the per-message carriers. The []ScoreChunk slices
@@ -185,6 +183,17 @@ type Fabric struct {
 	// into an interface per message.
 	msgs []*dataMsg
 }
+
+// hopBox is one node's queued chunks toward one next-hop neighbor.
+type hopBox struct {
+	hop    int
+	chunks []ScoreChunk
+}
+
+// memoMaxNodes bounds the dense routing memos: beyond this many rankers
+// the K-wide rows would dominate memory (K² across the fabric), and the
+// overlay's own routing arithmetic is cheap enough to recompute.
+const memoMaxNodes = 4096
 
 // message payloads exchanged over simnet.
 type dataMsg struct {
@@ -215,17 +224,16 @@ func NewFabric(net *simnet.Network, ov overlay.Network, kind Kind, size SizeMode
 	}
 	k := ov.NumNodes()
 	f := &Fabric{
-		kind:      kind,
-		size:      size,
-		net:       net,
-		ov:        ov,
-		addrs:     make([]simnet.NodeAddr, k),
-		del:       make([]Deliver, k),
-		ackDel:    make([]func(src int32, round int64), k),
-		outbox:    make([][][]ScoreChunk, k),
-		dirtyHops: make([][]int, k),
-		nextHops:  make([][]int32, k),
-		routes:    make([][][]int, k),
+		kind:     kind,
+		size:     size,
+		net:      net,
+		ov:       ov,
+		addrs:    make([]simnet.NodeAddr, k),
+		del:      make([]Deliver, k),
+		ackDel:   make([]func(src int32, round int64), k),
+		outbox:   make([][]hopBox, k),
+		nextHops: make([][]int32, k),
+		routes:   make([][][]int, k),
 	}
 	for i := range f.addrs {
 		f.addrs[i] = simnet.NodeAddr(-1)
@@ -246,7 +254,6 @@ func (f *Fabric) Register(i int, d Deliver) error {
 		return fmt.Errorf("transport: nil deliver callback")
 	}
 	f.del[i] = d
-	f.outbox[i] = make([][]ScoreChunk, len(f.del))
 	f.addrs[i] = f.net.AddNode(func(m simnet.Message) { f.handle(i, m) })
 	return nil
 }
@@ -311,8 +318,12 @@ func (f *Fabric) InvalidateRoutes() {
 	}
 }
 
-// nextHop is overlay.NextHop through the per-fabric memo table.
+// nextHop is overlay.NextHop through the per-fabric memo table (or
+// straight from the overlay past memoMaxNodes).
 func (f *Fabric) nextHop(i, dst int) int {
+	if len(f.del) > memoMaxNodes {
+		return f.ov.NextHop(i, f.ov.NodeID(dst))
+	}
 	row := f.nextHops[i]
 	if row == nil {
 		//p2plint:allow hotalloc -- memo warm-up, once per node per route invalidation
@@ -330,8 +341,12 @@ func (f *Fabric) nextHop(i, dst int) int {
 	return n
 }
 
-// route is overlay.Route through the per-fabric memo table.
+// route is overlay.Route through the per-fabric memo table (or
+// recomputed per send past memoMaxNodes).
 func (f *Fabric) route(from, dst int) ([]int, error) {
+	if len(f.del) > memoMaxNodes {
+		return overlay.Route(f.ov, from, f.ov.NodeID(dst))
+	}
 	row := f.routes[from]
 	if row == nil {
 		//p2plint:allow hotalloc -- memo warm-up, once per node per route invalidation
@@ -396,16 +411,17 @@ func (f *Fabric) Flush(from int) error {
 		return nil
 	}
 	box := f.outbox[from]
-	if len(f.dirtyHops[from]) == 0 {
+	if len(box) == 0 {
 		return nil
 	}
-	// Deterministic flush order: ascending next-hop index.
-	hops := append(f.hops[:0], f.dirtyHops[from]...)
-	f.dirtyHops[from] = f.dirtyHops[from][:0]
-	sortInts(hops)
-	for _, h := range hops {
-		chunks := box[h]
-		box[h] = nil
+	// Deterministic flush order: ascending next-hop index. Detach the
+	// node's box while draining so a re-entrant enqueue (impossible
+	// today, but cheap to be safe against) cannot clobber it.
+	f.outbox[from] = nil
+	sortHopBoxes(box)
+	for i := range box {
+		chunks := box[i].chunks
+		box[i] = hopBox{hop: box[i].hop}
 		msg, payload := f.pack(chunks)
 		if f.codec != nil {
 			// The codec path copies chunks onto the wire; the slice
@@ -414,12 +430,12 @@ func (f *Fabric) Flush(from int) error {
 		}
 		f.stats.DataMessages++
 		f.stats.DataBytes += payload
-		if !f.net.Send(f.addrs[from], f.addrs[h], msg, payload) {
+		if !f.net.Send(f.addrs[from], f.addrs[box[i].hop], msg, payload) {
 			f.stats.DroppedMessages++
 			f.recycle(msg) // refused at send time: nothing will deliver it
 		}
 	}
-	f.hops = hops[:0]
+	f.outbox[from] = box[:0]
 	return nil
 }
 
@@ -580,12 +596,14 @@ func (f *Fabric) enqueue(i int, chunk ScoreChunk) {
 		return
 	}
 	box := f.outbox[i]
-	s := box[next]
-	if s == nil {
-		s = f.getChunkSlice()
-		f.dirtyHops[i] = append(f.dirtyHops[i], next)
+	for j := range box {
+		if box[j].hop == next {
+			box[j].chunks = append(box[j].chunks, chunk)
+			return
+		}
 	}
-	box[next] = append(s, chunk)
+	//p2plint:allow hotalloc -- per-node box grows to its neighbor-count high-water mark, then reuses
+	f.outbox[i] = append(box, hopBox{hop: next, chunks: append(f.getChunkSlice(), chunk)})
 }
 
 // handle processes a message arriving at ranker i: lookups are pure
@@ -632,11 +650,12 @@ func (f *Fabric) handle(i int, m simnet.Message) {
 	}
 }
 
-// sortInts is a tiny insertion sort; outboxes hold a handful of
-// neighbors, far below sort.Ints's overhead crossover.
-func sortInts(xs []int) {
+// sortHopBoxes is a tiny insertion sort by next-hop index; outboxes
+// hold a handful of neighbors, far below sort.Slice's overhead
+// crossover.
+func sortHopBoxes(xs []hopBox) {
 	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+		for j := i; j > 0 && xs[j].hop < xs[j-1].hop; j-- {
 			xs[j], xs[j-1] = xs[j-1], xs[j]
 		}
 	}
