@@ -46,8 +46,8 @@ obs-smoke:
 # JSON so runs are diffable (see BENCH_kernels.json for the committed
 # reference numbers).
 bench:
-	$(GO) test -run '^$$' -bench 'MulVec|StepDelta|NewCSR|Fig6RelativeError|TransmissionScaling|ReliableSend|Schedule|EventLoop' \
-		-benchmem ./internal/vecmath/ ./internal/dprcore/ ./internal/simnet/ . | $(GO) run ./cmd/benchjson > BENCH_kernels.json
+	$(GO) test -run '^$$' -bench 'MulVec|StepDelta|NewCSR|Fig6RelativeError|TransmissionScaling|ReliableSend|Schedule|EventLoop|GraphLoad' \
+		-benchmem ./internal/vecmath/ ./internal/dprcore/ ./internal/simnet/ ./internal/webgraph/ . | $(GO) run ./cmd/benchjson > BENCH_kernels.json
 	@cat BENCH_kernels.json
 
 # One decade of the paper-scale experiment (N=10⁴ rankers, bounded

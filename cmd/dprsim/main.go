@@ -23,15 +23,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"strconv"
 	"strings"
 	"time"
 
 	"p2prank/internal/cliflags"
+	"p2prank/internal/core"
 	"p2prank/internal/dprcore"
 	"p2prank/internal/engine"
 	"p2prank/internal/experiments"
 	"p2prank/internal/metrics"
+	"p2prank/internal/webgraph"
 )
 
 func main() {
@@ -44,10 +47,31 @@ func main() {
 		ks      = flag.String("ks", "", "comma-separated ranker counts for sweeps (fig8/transmission/traffic/hops)")
 		maxTime = flag.Float64("maxtime", 90, "virtual-time horizon for fig6/fig7")
 		csvPath = flag.String("csv", "", "write curves as CSV to this file")
+		graph   = flag.String("graph", "", "rank this crawl file instead of generating one (text, v1, or v2 mapped)")
+		gstore  = flag.String("graphstore", "disk", "scale-experiment graph store: disk (generate to a temp file, mmap it) or mem")
+		gengen  = flag.String("gengraph", "", "internal: write the -pages/-sites/-seed workload to this path in mapped format and exit")
 	)
 	flag.Parse()
 
+	if *gengen != "" {
+		// Re-exec child mode for -graphstore disk: generation's transient
+		// heap lands in this short-lived process, not the measured parent.
+		w := experiments.Workload{Pages: *pages, Sites: *sites, Seed: *seed}
+		if err := w.WriteToDisk(*gengen); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	w := experiments.Workload{Pages: *pages, Sites: *sites, Seed: *seed}
+	if *graph != "" {
+		src, closeSrc, err := core.OpenCrawl(*graph)
+		if err != nil {
+			fatal(err)
+		}
+		defer closeSrc()
+		w.Source = src
+	}
 	switch *exp {
 	case "fig6":
 		kk := pick(*k, 1000)
@@ -122,7 +146,7 @@ func main() {
 		fmt.Print(experiments.RenderChurn(rows))
 	case "scale":
 		counts := parseKs(*ks, []int{1000, 10000, 100000})
-		rows, err := runScale(counts, *seed)
+		rows, err := runScale(counts, *seed, *gstore)
 		if err != nil {
 			fatal(err)
 		}
@@ -158,15 +182,28 @@ func main() {
 // (the nowallclock analyzer): wall-clock time per run, process peak RSS,
 // and events per wall second. Runs go in ascending K so the monotone
 // VmHWM high-water mark tracks each decade's own peak.
-func runScale(counts []int, seed uint64) ([]*experiments.ScaleRow, error) {
+func runScale(counts []int, seed uint64, store string) ([]*experiments.ScaleRow, error) {
+	if store != "disk" && store != "mem" {
+		return nil, fmt.Errorf("unknown -graphstore %q (want disk or mem)", store)
+	}
 	var rows []*experiments.ScaleRow
 	for _, kk := range counts {
+		w := experiments.ScaleWorkload(kk, seed)
+		cleanup := func() {}
+		if store == "disk" {
+			src, done, err := mappedWorkload(w)
+			if err != nil {
+				return nil, err
+			}
+			w.Source = src
+			cleanup = done
+		}
 		for _, alg := range []dprcore.Algorithm{dprcore.DPR1, dprcore.DPR2} {
-			w := experiments.ScaleWorkload(kk, seed)
-			fmt.Fprintf(os.Stderr, "dprsim: scale %v K=%d pages=%d...\n", alg, kk, w.Pages)
+			fmt.Fprintf(os.Stderr, "dprsim: scale %v K=%d pages=%d store=%s...\n", alg, kk, w.Pages, store)
 			start := time.Now()
 			row, err := experiments.ScaleRun(w, kk, alg, experiments.ScaleMaxTime)
 			if err != nil {
+				cleanup()
 				return nil, err
 			}
 			row.WallSeconds = time.Since(start).Seconds()
@@ -176,8 +213,45 @@ func runScale(counts []int, seed uint64) ([]*experiments.ScaleRow, error) {
 			}
 			rows = append(rows, row)
 		}
+		cleanup()
 	}
 	return rows, nil
+}
+
+// mappedWorkload materializes w on disk in a child process (so the
+// generator's transient allocations never inflate this process's VmHWM)
+// and maps the file read-only. The returned func unmaps and removes it.
+func mappedWorkload(w experiments.Workload) (webgraph.Store, func(), error) {
+	f, err := os.CreateTemp("", "dprsim-graph-*.bin")
+	if err != nil {
+		return nil, nil, err
+	}
+	path := f.Name()
+	f.Close()
+	fail := func(err error) (webgraph.Store, func(), error) {
+		os.Remove(path)
+		return nil, nil, err
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return fail(err)
+	}
+	cmd := exec.Command(exe, "-gengraph", path,
+		"-pages", strconv.Itoa(w.Pages),
+		"-sites", strconv.Itoa(w.Sites),
+		"-seed", strconv.FormatUint(w.Seed, 10))
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return fail(fmt.Errorf("generating workload graph: %w", err))
+	}
+	m, err := webgraph.OpenMapped(path)
+	if err != nil {
+		return fail(err)
+	}
+	return m, func() {
+		m.Close()
+		os.Remove(path)
+	}, nil
 }
 
 // peakRSSMB reads the process's resident-set high-water mark from

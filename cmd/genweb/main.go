@@ -25,8 +25,9 @@ func main() {
 		pages   = flag.Int("pages", 20000, "number of pages to generate")
 		sites   = flag.Int("sites", 0, "number of sites (0 = scale like the paper's dataset)")
 		seed    = flag.Uint64("seed", 1, "generator seed")
-		out     = flag.String("out", "", "write the graph to this file (.txt = text format, else binary)")
-		stats   = flag.Bool("stats", false, "print structural statistics")
+		out     = flag.String("out", "", "write the graph to this file")
+		format  = flag.String("format", "auto", "output format: auto|bin|text (auto: .txt suffix = text, else binary)")
+		stats   = flag.Bool("stats", false, "print structural statistics (with -out bin, also the on-disk section sizes)")
 		cut     = flag.Bool("cut", false, "print the §4.1 partition-cut comparison")
 		k       = flag.Int("k", 32, "number of rankers for -cut")
 		degree  = flag.Float64("degree", 15, "mean total out-degree")
@@ -59,7 +60,17 @@ func main() {
 		fmt.Printf("\npartition cut at K=%d rankers:\n%s", *k, experiments.RenderCut(rows))
 	}
 	if *out != "" {
-		if strings.HasSuffix(*out, ".txt") {
+		asText := false
+		switch *format {
+		case "text":
+			asText = true
+		case "bin":
+		case "auto":
+			asText = strings.HasSuffix(*out, ".txt")
+		default:
+			fatal(fmt.Errorf("unknown -format %q (want auto, bin, or text)", *format))
+		}
+		if asText {
 			f, err := os.Create(*out)
 			if err != nil {
 				fatal(err)
@@ -70,8 +81,18 @@ func main() {
 			if err := f.Close(); err != nil {
 				fatal(err)
 			}
-		} else if err := core.SaveCrawl(*out, g); err != nil {
-			fatal(err)
+		} else {
+			if err := core.SaveCrawl(*out, g); err != nil {
+				fatal(err)
+			}
+			if *stats {
+				infos, total := webgraph.MappedLayout(g)
+				fmt.Println("on-disk sections:")
+				for _, info := range infos {
+					fmt.Printf("  %-12s %12d bytes  (%d entries)\n", info.Name, info.Bytes, info.Count)
+				}
+				fmt.Printf("  %-12s %12d bytes\n", "total", total)
+			}
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s (%d pages, %d internal links)\n",
 			*out, g.NumPages(), g.NumInternalLinks())

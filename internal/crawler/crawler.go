@@ -29,7 +29,7 @@ import (
 
 // Crawler incrementally discovers the pages of a fixed web graph.
 type Crawler struct {
-	web     *webgraph.Graph
+	web     webgraph.Store
 	rng     *xrand.Rand
 	order   []int32 // pages in crawl order, filled as the frontier drains
 	crawled map[int32]bool
@@ -45,7 +45,7 @@ type Crawler struct {
 // New returns a crawler over web whose visit order is determined by
 // seed. Different seeds model different crawl runs discovering the same
 // web in different orders.
-func New(web *webgraph.Graph, seed uint64) (*Crawler, error) {
+func New(web webgraph.Store, seed uint64) (*Crawler, error) {
 	if web == nil {
 		return nil, fmt.Errorf("crawler: nil web")
 	}
@@ -119,7 +119,7 @@ func (c *Crawler) nextPage() (int32, bool) {
 func (c *Crawler) Snapshot() (*webgraph.Graph, []int32, error) {
 	var b webgraph.Builder
 	for s := 0; s < c.web.NumSites(); s++ {
-		b.AddSite(c.web.Sites[s])
+		b.AddSite(c.web.SiteHost(int32(s)))
 	}
 	// Snapshot pages in true-web order so snapshots of the same crawl
 	// set are identical regardless of discovery order.
@@ -127,14 +127,14 @@ func (c *Crawler) Snapshot() (*webgraph.Graph, []int32, error) {
 	fromWeb := make(map[int32]int32, len(c.order))
 	for p := 0; p < c.web.NumPages(); p++ {
 		if c.crawled[int32(p)] {
-			local := b.AddPage(c.web.SiteOf[p])
+			local := b.AddPage(c.web.SiteOf(int32(p)))
 			fromWeb[int32(p)] = local
 			toWeb = append(toWeb, int32(p))
 		}
 	}
 	for _, wp := range toWeb {
 		sp := fromWeb[wp]
-		ext := int(c.web.ExtOut[wp]) // truly external links
+		ext := int(c.web.ExtOut(wp)) // truly external links
 		for _, v := range c.web.InternalOut(wp) {
 			if dst, ok := fromWeb[v]; ok {
 				if err := b.AddLink(sp, dst); err != nil {
@@ -148,13 +148,14 @@ func (c *Crawler) Snapshot() (*webgraph.Graph, []int32, error) {
 			return nil, nil, err
 		}
 	}
-	g := b.Build()
 	// Preserve true-web local ordinals so URLs are crawl-order
 	// independent (see the package comment).
 	for i, wp := range toWeb {
-		g.LocalID[i] = c.web.LocalID[wp]
+		if err := b.SetLocalID(int32(i), c.web.LocalID(wp)); err != nil {
+			return nil, nil, err
+		}
 	}
-	return g, toWeb, nil
+	return b.Build(), toWeb, nil
 }
 
 // CarryOver maps the pages of a newer snapshot onto an older one: for

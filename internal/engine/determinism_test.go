@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"path/filepath"
 	"runtime"
 	"testing"
 
@@ -38,7 +39,7 @@ func detGraph(t *testing.T) *webgraph.Graph {
 // detPresets are reduced-scale stand-ins for the paper figures: Fig 6
 // (DPR1, lossy sends, indirect transport), Fig 7 (DPR1, by-site), and
 // Fig 8 (DPR2, fixed wait, direct transport).
-func detPresets(g *webgraph.Graph) map[string]engine.Config {
+func detPresets(g webgraph.Store) map[string]engine.Config {
 	return map[string]engine.Config{
 		"fig6": {
 			Params: dprcore.Params{Alg: dprcore.DPR1, SendProb: 0.7, T1: 0, T2: 6},
@@ -234,6 +235,55 @@ func TestFig6FingerprintUnchangedByObservers(t *testing.T) {
 			} else if res.Telemetry != nil {
 				t.Fatalf("procs=%d: Noop observer produced a Telemetry summary", procs)
 			}
+		}
+	}
+}
+
+// TestGoldenFingerprintsBothStores is the storage refactor's acceptance
+// test: the same presets ranked off the mmap-backed on-disk store must
+// reproduce the in-memory goldens bit for bit — the Store seam is
+// purely a representation change, invisible to every float downstream.
+func TestGoldenFingerprintsBothStores(t *testing.T) {
+	g := detGraph(t)
+	path := filepath.Join(t.TempDir(), "det.bin")
+	if err := webgraph.WriteMappedFile(path, g); err != nil {
+		t.Fatalf("writing mapped graph: %v", err)
+	}
+	m, err := webgraph.OpenMapped(path)
+	if err != nil {
+		t.Fatalf("opening mapped graph: %v", err)
+	}
+	defer m.Close()
+	if m.Fingerprint() != g.Fingerprint() {
+		t.Fatalf("store fingerprints disagree before ranking: mem %#x disk %#x",
+			g.Fingerprint(), m.Fingerprint())
+	}
+
+	goldens := map[string]uint64{
+		"fig6": fig6GoldenFingerprint,
+		"fig7": fig7GoldenFingerprint,
+		"fig8": fig8GoldenFingerprint,
+	}
+	for _, store := range []struct {
+		name string
+		g    webgraph.Store
+	}{{"mem", g}, {"mapped", m}} {
+		presets := detPresets(store.g)
+		for name, golden := range goldens {
+			t.Run(store.name+"/"+name, func(t *testing.T) {
+				for _, procs := range []int{1, 8} {
+					prev := runtime.GOMAXPROCS(procs)
+					res, err := engine.Run(presets[name])
+					runtime.GOMAXPROCS(prev)
+					if err != nil {
+						t.Fatalf("procs=%d: %v", procs, err)
+					}
+					if got := fingerprint(t, res); got != golden {
+						t.Fatalf("procs=%d store=%s: %s fingerprint %#016x != golden %#016x",
+							procs, store.name, name, got, golden)
+					}
+				}
+			})
 		}
 	}
 }

@@ -52,6 +52,12 @@ type Workload struct {
 	Sites int
 	// Seed drives generation and the experiment (default 1).
 	Seed uint64
+	// Source, if set, is used verbatim instead of generating — this is
+	// how presets run against an mmap-backed on-disk graph (or a real
+	// crawl) rather than an in-memory synthetic one. The caller keeps
+	// ownership: a Mapped source must stay open for the preset's
+	// duration.
+	Source webgraph.Store
 }
 
 func (w *Workload) defaults() {
@@ -66,8 +72,12 @@ func (w *Workload) defaults() {
 	}
 }
 
-// Generate builds the workload's crawl.
-func (w Workload) Generate() (*webgraph.Graph, error) {
+// Generate builds the workload's crawl, or returns Source when one is
+// set.
+func (w Workload) Generate() (webgraph.Store, error) {
+	if w.Source != nil {
+		return w.Source, nil
+	}
 	w.defaults()
 	cfg := webgraph.DefaultGenConfig(w.Pages)
 	if w.Sites <= w.Pages {
@@ -75,6 +85,18 @@ func (w Workload) Generate() (*webgraph.Graph, error) {
 	}
 	cfg.Seed = w.Seed
 	return webgraph.Generate(cfg)
+}
+
+// WriteToDisk generates the workload's crawl and writes it at path in
+// the version-2 mapped format, without retaining the in-memory graph.
+// Pair with webgraph.OpenMapped to run presets at scales where the
+// graph must not live in this process's heap.
+func (w Workload) WriteToDisk(path string) error {
+	g, err := w.Generate()
+	if err != nil {
+		return err
+	}
+	return webgraph.WriteMappedFile(path, g)
 }
 
 // curveParams are the three (p, T1, T2) settings of Figures 6 and 7.

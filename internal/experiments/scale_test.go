@@ -2,9 +2,11 @@ package experiments
 
 import (
 	"os"
+	"path/filepath"
 	"testing"
 
 	"p2prank/internal/dprcore"
+	"p2prank/internal/webgraph"
 )
 
 // TestScaleSmoke runs one decade of the scale experiment (N = 10⁴,
@@ -19,6 +21,19 @@ func TestScaleSmoke(t *testing.T) {
 	}
 	const k = 10_000
 	w := ScaleWorkload(k, 1)
+	// Run off the on-disk store, as `dprsim -exp scale` does by default:
+	// generate once, write the mapped format, and rank the mmapped file
+	// so the graph never sits on this process's heap.
+	path := filepath.Join(t.TempDir(), "scale.bin")
+	if err := w.WriteToDisk(path); err != nil {
+		t.Fatal(err)
+	}
+	m, err := webgraph.OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	w.Source = m
 	row, err := ScaleRun(w, k, dprcore.DPR1, ScaleMaxTime)
 	if err != nil {
 		t.Fatal(err)

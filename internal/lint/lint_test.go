@@ -55,8 +55,14 @@ func TestFloatEqFlagsRankMath(t *testing.T) {
 	linttest.Run(t, "testdata", lint.FloatEq, "p2prank/internal/pagerank")
 }
 
-func TestFloatEqExemptsOffScopePackages(t *testing.T) {
-	linttest.Run(t, "testdata", lint.FloatEq, "p2prank/internal/webgraph")
+func TestWebgraphScopedForWallClockNotFloatEq(t *testing.T) {
+	// Storage is seed-addressed: the same seed must serialize to the
+	// same bytes, so nowallclock covers webgraph (wallclock.go), while
+	// floateq still exempts it — generator-internal float comparisons
+	// are not rank math (offscope.go). One package, both scopes.
+	linttest.RunAll(t, "testdata",
+		[]*lint.Analyzer{lint.NoWallClock, lint.FloatEq},
+		"p2prank/internal/webgraph")
 }
 
 func TestSendErrFlagsDiscardedEmits(t *testing.T) {
@@ -81,6 +87,13 @@ func TestMapOrderExemptsOffScopePackages(t *testing.T) {
 
 func TestHotAllocFlagsAllocationSites(t *testing.T) {
 	linttest.Run(t, "testdata", lint.HotAlloc, "fix/hotalloc/internal/vecmath")
+}
+
+func TestHotAllocFlagsStorageAccessors(t *testing.T) {
+	// The mapped store's per-page accessors are annotated hot: they run
+	// millions of times per simulated round, so they must return
+	// borrowed views of the mapped arrays, never copies.
+	linttest.Run(t, "testdata", lint.HotAlloc, "fix/hotalloc/internal/webgraph")
 }
 
 func TestLockScopeFlagsBlockingUnderMutex(t *testing.T) {

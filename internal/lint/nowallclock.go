@@ -45,6 +45,12 @@ var simPathPackages = []string{
 	// wall time only in the netpeer driver), so the in-sim traffic
 	// tables stay pure functions of seed and configuration.
 	"internal/telemetry",
+	// Graph storage: generation, (de)serialization, and the mapped
+	// store are seed-addressed and replayed inside experiments; a
+	// wall-clock read here (say, a timestamp in the file header) would
+	// make the same seed produce different bytes and break the
+	// fingerprint goldens.
+	"internal/webgraph",
 }
 
 // NoWallClock forbids wall-clock reads and waits in simulation-path

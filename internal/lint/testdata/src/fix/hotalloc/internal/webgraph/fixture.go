@@ -1,0 +1,41 @@
+// Fixture for hotalloc over storage code: the per-page accessors run
+// inside the ranking inner loops (millions of calls per simulated
+// round), so they must return borrowed views of the mapped arrays, not
+// fresh allocations. Cold open/parse paths may allocate freely.
+package webgraph
+
+type mapped struct {
+	outPtr []int64
+	outDst []int32
+}
+
+//p2plint:hotpath -- per-page accessor on the ranking inner loop
+func (m *mapped) InternalOut(u int32) []int32 {
+	return m.outDst[m.outPtr[u]:m.outPtr[u+1]]
+}
+
+//p2plint:hotpath -- fixture: an accessor that copies instead of borrowing
+func (m *mapped) InternalOutCopy(u int32) []int32 {
+	out := make([]int32, m.outPtr[u+1]-m.outPtr[u]) // want `make allocates in hot path InternalOutCopy`
+	copy(out, m.outDst[m.outPtr[u]:])
+	return out
+}
+
+//p2plint:hotpath -- fixture
+func (m *mapped) OutDegree(u int32) int {
+	return degreeVia(m, u)
+}
+
+// degreeVia is unannotated but reachable from OutDegree, so it is hot.
+func degreeVia(m *mapped, u int32) int {
+	window := append([]int32{}, m.InternalOut(u)...) // want `append without capacity discipline in hot path degreeVia \(reached from hotpath OutDegree\)` `slice literal allocates in hot path degreeVia \(reached from hotpath OutDegree\)`
+	return len(window)
+}
+
+// open is the cold path: parsing a header may allocate.
+func open(data []byte) *mapped {
+	return &mapped{
+		outPtr: make([]int64, 1),
+		outDst: make([]int32, 0, len(data)/4),
+	}
+}

@@ -1,0 +1,30 @@
+// Fixture: webgraph is in nowallclock's simulation-path scope — the
+// same seed must serialize to the same bytes, so storage code may
+// never consult the host clock. floateq stays off-scope here (see
+// offscope.go); both analyzers run over this package together.
+package webgraph
+
+import "time"
+
+// StampHeader is the canonical storage mistake: a written-at timestamp
+// in the file header makes identical graphs produce different bytes.
+func StampHeader() int64 {
+	return time.Now().Unix() // want `time.Now reads the wall clock in simulation-path package webgraph`
+}
+
+// WaitForFlush polls the filesystem on host time.
+func WaitForFlush(d time.Duration) {
+	time.Sleep(d) // want `time.Sleep reads the wall clock`
+}
+
+// MapTimeout expresses a deadline by arming a real timer.
+func MapTimeout(d time.Duration) {
+	t := time.NewTimer(d) // want `time.NewTimer reads the wall clock`
+	t.Stop()
+}
+
+// SectionBudget is the legal shape: configuration expressed in
+// time.Duration without reading the clock.
+func SectionBudget(ms int) time.Duration {
+	return time.Duration(ms) * time.Millisecond
+}

@@ -84,32 +84,64 @@ type Result struct {
 // exhausted before reaching Epsilon.
 var ErrNotConverged = errors.New("pagerank: did not converge")
 
+// buildTransposed streams the transposed link matrix straight into CSR
+// arrays: a counting pass over the OutPtr windows sizes each
+// destination row, then a scatter pass in ascending source order fills
+// it. Scattering source-ascending makes every row's columns arrive
+// sorted (with duplicate links adjacent), which is exactly the (row,
+// col) order NewCSR's stable counting sort produces — so the resulting
+// matrix, and every fingerprint downstream of it, is bit-identical to
+// the old Entry-slice path while allocating only the final arrays (the
+// Entry slice cost 24 transient bytes per link, ~720 MB at the 10⁵
+// scale point). weight(u, internalDeg) supplies the per-source value.
+func buildTransposed(g webgraph.Store, weight func(u int32, internalDeg int) float64) (*vecmath.CSR, error) {
+	n := g.NumPages()
+	rowPtr := make([]int64, n+1)
+	for p := 0; p < n; p++ {
+		for _, v := range g.InternalOut(int32(p)) {
+			rowPtr[v+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		rowPtr[i+1] += rowPtr[i]
+	}
+	nnz := rowPtr[n]
+	cols := make([]int32, nnz)
+	vals := make([]float64, nnz)
+	next := make([]int64, n)
+	copy(next, rowPtr[:n])
+	for p := 0; p < n; p++ {
+		u := int32(p)
+		out := g.InternalOut(u)
+		if len(out) == 0 {
+			continue
+		}
+		w := weight(u, len(out))
+		for _, v := range out {
+			pos := next[v]
+			next[v]++
+			cols[pos] = u
+			vals[pos] = w
+		}
+	}
+	return vecmath.NewCSRSorted(n, n, rowPtr, cols, vals)
+}
+
 // BuildTransition assembles the transposed open-system transition matrix
 // over all pages of g: row v gathers α/d(u) from every internal link
 // u→v. Because d(u) also counts external links, ‖A‖∞ ≤ α < 1 and the
 // open-system iteration converges (Theorems 3.1/3.2).
-func BuildTransition(g *webgraph.Graph, alpha float64) (*vecmath.CSR, error) {
-	n := g.NumPages()
-	entries := make([]vecmath.Entry, 0, len(g.OutDst))
-	for p := 0; p < n; p++ {
-		u := int32(p)
-		d := g.OutDegree(u)
-		if d == 0 {
-			continue
-		}
-		w := alpha / float64(d)
-		for _, v := range g.InternalOut(u) {
-			entries = append(entries, vecmath.Entry{Row: int(v), Col: p, Val: w})
-		}
-	}
-	return vecmath.NewCSR(n, n, entries)
+func BuildTransition(g webgraph.Store, alpha float64) (*vecmath.CSR, error) {
+	return buildTransposed(g, func(u int32, _ int) float64 {
+		return alpha / float64(g.OutDegree(u))
+	})
 }
 
 // Open solves the open-system equation R = AR + βE over the whole crawl,
 // producing the centralized reference vector R*. Rank flows out of the
 // system through external links, so ‖R‖ settles below the closed-system
 // value — the effect behind Figure 7's ≈0.3 average rank.
-func Open(g *webgraph.Graph, opt Options) (Result, error) {
+func Open(g webgraph.Store, opt Options) (Result, error) {
 	if err := opt.validate(); err != nil {
 		return Result{}, err
 	}
@@ -136,7 +168,7 @@ func Open(g *webgraph.Graph, opt Options) (Result, error) {
 // computes R' = cMR with M[v][u] = 1/d_int(u) over internal links only,
 // measures the lost mass D = ‖R‖₁ − ‖R'‖₁ (damping + dangling pages),
 // and redistributes it as R' += D·E.
-func Classic(g *webgraph.Graph, opt Options) (Result, error) {
+func Classic(g webgraph.Store, opt Options) (Result, error) {
 	if err := opt.validate(); err != nil {
 		return Result{}, err
 	}
@@ -153,19 +185,9 @@ func Classic(g *webgraph.Graph, opt Options) (Result, error) {
 	}
 	// Closed system: only internal links exist, degree is internal
 	// degree, damping c = Alpha folded into the matrix.
-	entries := make([]vecmath.Entry, 0, len(g.OutDst))
-	for p := 0; p < n; p++ {
-		u := int32(p)
-		out := g.InternalOut(u)
-		if len(out) == 0 {
-			continue
-		}
-		w := opt.Alpha / float64(len(out))
-		for _, v := range out {
-			entries = append(entries, vecmath.Entry{Row: int(v), Col: p, Val: w})
-		}
-	}
-	a, err := vecmath.NewCSR(n, n, entries)
+	a, err := buildTransposed(g, func(_ int32, internalDeg int) float64 {
+		return opt.Alpha / float64(internalDeg)
+	})
 	if err != nil {
 		return Result{}, err
 	}

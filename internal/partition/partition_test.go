@@ -63,9 +63,9 @@ func TestAssignBySiteKeepsSitesTogether(t *testing.T) {
 	checkAssignment(t, g, a)
 	for p := 0; p < g.NumPages(); p++ {
 		// All pages of a site share a group.
-		first := g.PagesOfSite(g.SiteOf[p])[0]
+		first := webgraph.PagesOfSite(g, g.SiteOf(int32(p)))[0]
 		if a.GroupOf[p] != a.GroupOf[first] {
-			t.Fatalf("site %d split across groups", g.SiteOf[p])
+			t.Fatalf("site %d split across groups", g.SiteOf(int32(p)))
 		}
 	}
 }

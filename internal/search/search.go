@@ -74,7 +74,7 @@ func TermName(t int32) string { return fmt.Sprintf("term%05d", t) }
 
 // TermsOf returns page p's distinct terms, ascending. The draw is a
 // pure function of the page's URL (stable across recrawls) and cfg.
-func TermsOf(g *webgraph.Graph, p int32, cfg Config) ([]int32, error) {
+func TermsOf(g webgraph.Store, p int32, cfg Config) ([]int32, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -105,7 +105,7 @@ type Index struct {
 	cfg    Config
 	ov     overlay.Network
 	ranks  vecmath.Vec
-	g      *webgraph.Graph
+	g      webgraph.Store
 	assign *partition.Assignment
 	// termOwner[t] is the ranker storing term t's posting list.
 	termOwner []int32
@@ -122,7 +122,7 @@ type Index struct {
 // Build constructs the index from a ranked crawl. ranks must be the
 // page-indexed rank vector (distributed or centralized); assign is the
 // page partition; ov places terms on rankers.
-func Build(g *webgraph.Graph, ranks vecmath.Vec, ov overlay.Network, assign *partition.Assignment, cfg Config) (*Index, error) {
+func Build(g webgraph.Store, ranks vecmath.Vec, ov overlay.Network, assign *partition.Assignment, cfg Config) (*Index, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}

@@ -111,6 +111,73 @@ func NewCSR(rows, cols int, entries []Entry) (*CSR, error) {
 	return m, nil
 }
 
+// NewCSRSorted assembles a CSR matrix from pre-sorted per-row data:
+// rowPtr delimits each row's span in colIdx/vals, and within a row
+// colIdx must be non-decreasing. Adjacent equal columns are summed in
+// order, producing exactly the matrix NewCSR would build from the same
+// entries. The slices are taken over (and compacted in place when
+// duplicates merge), so callers must not reuse them afterwards.
+//
+// This is the streaming-construction path: a producer that can emit
+// entries already grouped by row — like the transition build
+// scattering over a graph's OutPtr windows — skips NewCSR's transient
+// Entry slice (24 bytes per link) entirely, which is what keeps
+// multi-million-page solver setup within the graph's own footprint.
+func NewCSRSorted(rows, cols int, rowPtr []int64, colIdx []int32, vals []float64) (*CSR, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("vecmath: negative dimension %dx%d", rows, cols)
+	}
+	if len(rowPtr) != rows+1 {
+		return nil, fmt.Errorf("vecmath: rowPtr has length %d, want %d", len(rowPtr), rows+1)
+	}
+	if len(colIdx) != len(vals) {
+		return nil, fmt.Errorf("vecmath: %d columns but %d values", len(colIdx), len(vals))
+	}
+	if rowPtr[0] != 0 || rowPtr[rows] != int64(len(colIdx)) {
+		return nil, fmt.Errorf("vecmath: rowPtr endpoints [%d,%d] disagree with %d entries",
+			rowPtr[0], rowPtr[rows], len(colIdx))
+	}
+	w := int64(0)
+	for r := 0; r < rows; r++ {
+		lo, hi := rowPtr[r], rowPtr[r+1]
+		if lo > hi {
+			return nil, fmt.Errorf("vecmath: rowPtr not monotone at row %d", r)
+		}
+		start := w
+		prev := int32(-1)
+		for k := lo; k < hi; {
+			c := colIdx[k]
+			if c < 0 || int(c) >= cols {
+				return nil, fmt.Errorf("vecmath: entry (%d,%d) out of bounds for %dx%d matrix", r, c, rows, cols)
+			}
+			if c < prev {
+				return nil, fmt.Errorf("vecmath: row %d columns not sorted (%d after %d)", r, c, prev)
+			}
+			prev = c
+			v := vals[k]
+			k++
+			for k < hi && colIdx[k] == c {
+				v += vals[k]
+				k++
+			}
+			colIdx[w] = c
+			vals[w] = v
+			w++
+		}
+		rowPtr[r] = start
+	}
+	rowPtr[rows] = w
+	m := &CSR{
+		NumRows: rows,
+		NumCols: cols,
+		RowPtr:  rowPtr,
+		Cols:    colIdx[:w],
+		Vals:    vals[:w],
+	}
+	m.computeShards()
+	return m, nil
+}
+
 // countingSortEntries returns entries ordered by (row, col) using two
 // stable counting-sort passes: first by column, then by row. Stability
 // of the second pass preserves the column order established by the

@@ -1,0 +1,60 @@
+package webgraph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadBinary throws arbitrary bytes at both binary readers. The
+// contract under fuzzing: return an error or a graph that passes
+// Validate — never panic, never allocate proportionally to a lying
+// header (readI32s chunks for exactly that reason).
+func FuzzReadBinary(f *testing.F) {
+	g := func() *Graph {
+		var b Builder
+		s := b.AddSite("seed.example")
+		p0 := b.AddPage(s)
+		p1 := b.AddPage(s)
+		b.AddLink(p0, p1)
+		b.AddLink(p1, p0)
+		b.AddExternalLinks(p1, 2)
+		return b.Build()
+	}()
+	var v1, v2 bytes.Buffer
+	if err := WriteBinary(&v1, g); err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteMapped(&v2, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v1.Bytes())
+	f.Add(v2.Bytes())
+	f.Add(v1.Bytes()[:20])
+	f.Add(v2.Bytes()[:80])
+	f.Add([]byte("P2PRGRPH"))
+	f.Add([]byte("not a graph at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if rg, err := ReadBinary(bytes.NewReader(data)); err == nil {
+			// ReadBinary validates internally; a second pass must agree.
+			if err := rg.Validate(); err != nil {
+				t.Fatalf("ReadBinary returned invalid graph: %v", err)
+			}
+		}
+		m, err := MappedFromBytes(data)
+		if err != nil {
+			return
+		}
+		// Open succeeded: structural accessors must be safe for
+		// anything Validate accepts.
+		if err := m.Validate(); err == nil {
+			for p := 0; p < m.NumPages(); p++ {
+				u := int32(p)
+				_ = m.OutDegree(u)
+				_ = m.InternalOut(u)
+				_ = m.URL(u)
+			}
+		}
+		m.Close()
+	})
+}

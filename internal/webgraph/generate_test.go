@@ -19,8 +19,8 @@ func TestGenerateDeterministic(t *testing.T) {
 		t.Fatalf("same seed, different graphs: %d/%d pages, %d/%d links",
 			g1.NumPages(), g2.NumPages(), g1.NumInternalLinks(), g2.NumInternalLinks())
 	}
-	for i := range g1.OutDst {
-		if g1.OutDst[i] != g2.OutDst[i] {
+	for i := range g1.outDst {
+		if g1.outDst[i] != g2.outDst[i] {
 			t.Fatalf("edge %d differs", i)
 		}
 	}
@@ -37,8 +37,8 @@ func TestGenerateSeedMatters(t *testing.T) {
 	if g1.NumInternalLinks() == g2.NumInternalLinks() {
 		// Same count is possible but edge content should differ.
 		same := true
-		for i := range g1.OutDst {
-			if g1.OutDst[i] != g2.OutDst[i] {
+		for i := range g1.outDst {
+			if g1.outDst[i] != g2.outDst[i] {
 				same = false
 				break
 			}
@@ -87,7 +87,7 @@ func TestGenerateSiteSkew(t *testing.T) {
 		t.Fatal(err)
 	}
 	counts := make([]int, g.NumSites())
-	for _, s := range g.SiteOf {
+	for _, s := range g.siteOf {
 		counts[s]++
 	}
 	// Every site must be non-empty and site 0 (rank-1 in the Zipf) must

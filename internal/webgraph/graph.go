@@ -9,85 +9,116 @@
 // link leaves the system, the converged average rank in Figure 7 is ≈0.3
 // rather than 1. A page's out-degree d(u) therefore always counts both
 // internal and external links.
+//
+// Graph access goes through the Store interface (see store.go), which
+// has two implementations: Graph, the in-memory arrays built here, and
+// Mapped, a read-only view over the on-disk binary format whose arrays
+// are memory-mapped so multi-million-page crawls load in O(1)
+// (see mapped.go and DESIGN.md §15).
 package webgraph
 
 import (
 	"fmt"
 )
 
-// Graph is an immutable crawled link graph. Build one with a Builder,
-// the Generate function, or one of the Read functions.
+// Graph is an immutable crawled link graph held fully in memory. Build
+// one with a Builder, the Generate function, or one of the Read
+// functions. It implements Store.
 type Graph struct {
-	// Sites holds the hostname of every site, indexed by site ID.
-	Sites []string
-	// SiteOf maps a page index to its site ID.
-	SiteOf []int32
-	// LocalID maps a page index to its ordinal within its site; it is
+	// sites holds the hostname of every site, indexed by site ID.
+	sites []string
+	// siteOf maps a page index to its site ID.
+	siteOf []int32
+	// localID maps a page index to its ordinal within its site; it is
 	// used to derive stable page URLs.
-	LocalID []int32
-	// OutPtr/OutDst is the CSR adjacency of internal links: page u's
-	// internal out-neighbours are OutDst[OutPtr[u]:OutPtr[u+1]].
-	OutPtr []int64
-	OutDst []int32
-	// ExtOut counts the external out-links of each page (links whose
+	localID []int32
+	// outPtr/outDst is the CSR adjacency of internal links: page u's
+	// internal out-neighbours are outDst[outPtr[u]:outPtr[u+1]].
+	outPtr []int64
+	outDst []int32
+	// extOut counts the external out-links of each page (links whose
 	// destination is outside the crawl).
-	ExtOut []int32
+	extOut []int32
+
+	// extLinks caches sum(extOut) and fp the canonical fingerprint;
+	// both are computed once by seal() so NumExternalLinks and
+	// Fingerprint are O(1) on a shared graph (no lazy writes — a Graph
+	// is read concurrently by parallel experiment curves).
+	extLinks int64
+	fp       uint64
+}
+
+// seal freezes the derived values. Every constructor in this package
+// (Builder.Build, ReadText, ReadBinary, Materialize) calls it exactly
+// once, after which the graph must not be mutated.
+func (g *Graph) seal() *Graph {
+	g.extLinks = 0
+	for _, c := range g.extOut {
+		g.extLinks += int64(c)
+	}
+	g.fp = fingerprintArrays(g.sites, g.siteOf, g.localID, g.extOut, g.outPtr, g.outDst)
+	return g
 }
 
 // NumPages returns the number of pages in the graph.
-func (g *Graph) NumPages() int { return len(g.SiteOf) }
+func (g *Graph) NumPages() int { return len(g.siteOf) }
 
 // NumSites returns the number of sites in the graph.
-func (g *Graph) NumSites() int { return len(g.Sites) }
+func (g *Graph) NumSites() int { return len(g.sites) }
 
 // NumInternalLinks returns the number of links with both endpoints in
 // the crawl.
-func (g *Graph) NumInternalLinks() int64 { return int64(len(g.OutDst)) }
+func (g *Graph) NumInternalLinks() int64 { return int64(len(g.outDst)) }
 
 // NumExternalLinks returns the number of links whose destination is
-// outside the crawl.
-func (g *Graph) NumExternalLinks() int64 {
-	var n int64
-	for _, c := range g.ExtOut {
-		n += int64(c)
-	}
-	return n
-}
+// outside the crawl. The sum is cached at build/read time.
+func (g *Graph) NumExternalLinks() int64 { return g.extLinks }
 
 // OutDegree returns d(u): the total out-degree of page u, counting both
 // internal and external links. This is the denominator used when page u
 // distributes its rank.
+//
+//p2plint:hotpath
 func (g *Graph) OutDegree(u int32) int {
-	return int(g.OutPtr[u+1]-g.OutPtr[u]) + int(g.ExtOut[u])
+	return int(g.outPtr[u+1]-g.outPtr[u]) + int(g.extOut[u])
 }
 
 // InternalOut returns the internal out-neighbours of page u. The
-// returned slice aliases graph storage and must not be modified.
+// returned slice borrows graph storage and must not be modified or
+// retained past the life of the store.
+//
+//p2plint:hotpath
 func (g *Graph) InternalOut(u int32) []int32 {
-	return g.OutDst[g.OutPtr[u]:g.OutPtr[u+1]]
+	return g.outDst[g.outPtr[u]:g.outPtr[u+1]]
 }
+
+// ExtOut returns the number of external out-links of page u.
+//
+//p2plint:hotpath
+func (g *Graph) ExtOut(u int32) int32 { return g.extOut[u] }
+
+// SiteOf returns the site ID of page p.
+func (g *Graph) SiteOf(p int32) int32 { return g.siteOf[p] }
+
+// LocalID returns page p's ordinal within its site.
+func (g *Graph) LocalID(p int32) int32 { return g.localID[p] }
+
+// SiteHost returns the hostname of site s.
+func (g *Graph) SiteHost(s int32) string { return g.sites[s] }
 
 // URL returns the canonical URL of page p, derived from its site name
 // and local ordinal. URLs are synthesized rather than stored so that a
 // million-page graph does not hold a million strings.
 func (g *Graph) URL(p int32) string {
-	return fmt.Sprintf("http://%s/p%d.html", g.Sites[g.SiteOf[p]], g.LocalID[p])
+	return fmt.Sprintf("http://%s/p%d.html", g.sites[g.siteOf[p]], g.localID[p])
 }
 
 // SiteName returns the hostname of page p's site.
-func (g *Graph) SiteName(p int32) string { return g.Sites[g.SiteOf[p]] }
+func (g *Graph) SiteName(p int32) string { return g.sites[g.siteOf[p]] }
 
-// PagesOfSite returns the page indices belonging to site s, in
-// increasing order.
-func (g *Graph) PagesOfSite(s int32) []int32 {
-	var out []int32
-	for p, ps := range g.SiteOf {
-		if ps == s {
-			out = append(out, int32(p))
-		}
-	}
-	return out
-}
+// Fingerprint returns the canonical structure fingerprint (see
+// Fingerprint in store.go), computed once at build/read time.
+func (g *Graph) Fingerprint() uint64 { return g.fp }
 
 // Validate checks structural invariants: monotone CSR pointers, in-range
 // destinations and site IDs, and matching slice lengths. A Graph built
@@ -95,29 +126,29 @@ func (g *Graph) PagesOfSite(s int32) []int32 {
 // from external files.
 func (g *Graph) Validate() error {
 	n := g.NumPages()
-	if len(g.LocalID) != n || len(g.ExtOut) != n {
+	if len(g.localID) != n || len(g.extOut) != n {
 		return fmt.Errorf("webgraph: per-page slice lengths disagree (%d pages, %d local ids, %d ext counts)",
-			n, len(g.LocalID), len(g.ExtOut))
+			n, len(g.localID), len(g.extOut))
 	}
-	if len(g.OutPtr) != n+1 {
-		return fmt.Errorf("webgraph: OutPtr has length %d, want %d", len(g.OutPtr), n+1)
+	if len(g.outPtr) != n+1 {
+		return fmt.Errorf("webgraph: OutPtr has length %d, want %d", len(g.outPtr), n+1)
 	}
-	if n > 0 && (g.OutPtr[0] != 0 || g.OutPtr[n] != int64(len(g.OutDst))) {
+	if n > 0 && (g.outPtr[0] != 0 || g.outPtr[n] != int64(len(g.outDst))) {
 		return fmt.Errorf("webgraph: OutPtr endpoints [%d,%d] disagree with %d edges",
-			g.OutPtr[0], g.OutPtr[n], len(g.OutDst))
+			g.outPtr[0], g.outPtr[n], len(g.outDst))
 	}
 	for i := 0; i < n; i++ {
-		if g.OutPtr[i] > g.OutPtr[i+1] {
+		if g.outPtr[i] > g.outPtr[i+1] {
 			return fmt.Errorf("webgraph: OutPtr not monotone at page %d", i)
 		}
-		if s := g.SiteOf[i]; s < 0 || int(s) >= len(g.Sites) {
+		if s := g.siteOf[i]; s < 0 || int(s) >= len(g.sites) {
 			return fmt.Errorf("webgraph: page %d has invalid site %d", i, s)
 		}
-		if g.ExtOut[i] < 0 {
+		if g.extOut[i] < 0 {
 			return fmt.Errorf("webgraph: page %d has negative external count", i)
 		}
 	}
-	for k, d := range g.OutDst {
+	for k, d := range g.outDst {
 		if d < 0 || int(d) >= n {
 			return fmt.Errorf("webgraph: edge %d targets invalid page %d", k, d)
 		}
@@ -168,6 +199,17 @@ func (b *Builder) AddPage(s int32) int32 {
 	return p
 }
 
+// SetLocalID overrides page p's local ordinal. Crawl snapshots use it
+// to preserve true-web ordinals (and hence stable URLs) regardless of
+// discovery order; p must be a page previously returned by AddPage.
+func (b *Builder) SetLocalID(p, id int32) error {
+	if p < 0 || int(p) >= len(b.siteOf) {
+		return fmt.Errorf("webgraph: SetLocalID for invalid page %d", p)
+	}
+	b.localID[p] = id
+	return nil
+}
+
 // AddLink records an internal link from page u to page v. Both must be
 // valid page indices.
 func (b *Builder) AddLink(u, v int32) error {
@@ -204,25 +246,25 @@ func (b *Builder) Build() *Graph {
 	b.finished = true
 	n := len(b.siteOf)
 	g := &Graph{
-		Sites:   b.sites,
-		SiteOf:  b.siteOf,
-		LocalID: b.localID,
-		OutPtr:  make([]int64, n+1),
-		OutDst:  make([]int32, len(b.links)),
-		ExtOut:  b.extOut,
+		sites:   b.sites,
+		siteOf:  b.siteOf,
+		localID: b.localID,
+		outPtr:  make([]int64, n+1),
+		outDst:  make([]int32, len(b.links)),
+		extOut:  b.extOut,
 	}
 	// Counting sort links by source for CSR assembly.
 	for _, l := range b.links {
-		g.OutPtr[l[0]+1]++
+		g.outPtr[l[0]+1]++
 	}
 	for i := 0; i < n; i++ {
-		g.OutPtr[i+1] += g.OutPtr[i]
+		g.outPtr[i+1] += g.outPtr[i]
 	}
 	next := make([]int64, n)
-	copy(next, g.OutPtr[:n])
+	copy(next, g.outPtr[:n])
 	for _, l := range b.links {
-		g.OutDst[next[l[0]]] = l[1]
+		g.outDst[next[l[0]]] = l[1]
 		next[l[0]]++
 	}
-	return g
+	return g.seal()
 }

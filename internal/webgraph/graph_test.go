@@ -100,7 +100,7 @@ func TestPagesOfSite(t *testing.T) {
 	b.AddPage(s1)
 	b.AddPage(s0)
 	g := b.Build()
-	ps := g.PagesOfSite(s0)
+	ps := PagesOfSite(g, s0)
 	if len(ps) != 2 || ps[0] != 0 || ps[1] != 2 {
 		t.Fatalf("PagesOfSite(a.edu) = %v", ps)
 	}
@@ -161,22 +161,22 @@ func TestValidateRejectsCorrupt(t *testing.T) {
 		return g
 	}
 	g := base()
-	g.OutDst[0] = 99
+	g.outDst[0] = 99
 	if err := g.Validate(); err == nil {
 		t.Error("edge to missing page accepted")
 	}
 	g = base()
-	g.SiteOf[0] = 7
+	g.siteOf[0] = 7
 	if err := g.Validate(); err == nil {
 		t.Error("invalid site accepted")
 	}
 	g = base()
-	g.OutPtr[1], g.OutPtr[2] = g.OutPtr[2], g.OutPtr[1]
+	g.outPtr[1], g.outPtr[2] = g.outPtr[2], g.outPtr[1]
 	if err := g.Validate(); err == nil {
 		t.Error("non-monotone OutPtr accepted")
 	}
 	g = base()
-	g.ExtOut = g.ExtOut[:2]
+	g.extOut = g.extOut[:2]
 	if err := g.Validate(); err == nil {
 		t.Error("short ExtOut accepted")
 	}

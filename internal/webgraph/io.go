@@ -23,22 +23,22 @@ import (
 // keeps the reader a single pass.
 
 // WriteText writes g in the text format.
-func WriteText(w io.Writer, g *Graph) error {
+func WriteText(w io.Writer, g Store) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "# p2prank webgraph: %d sites, %d pages, %d internal links\n",
 		g.NumSites(), g.NumPages(), g.NumInternalLinks())
-	for i, host := range g.Sites {
-		fmt.Fprintf(bw, "site %d %s\n", i, host)
+	for i := 0; i < g.NumSites(); i++ {
+		fmt.Fprintf(bw, "site %d %s\n", i, g.SiteHost(int32(i)))
 	}
 	for p := 0; p < g.NumPages(); p++ {
-		fmt.Fprintf(bw, "page %d %d\n", p, g.SiteOf[p])
+		fmt.Fprintf(bw, "page %d %d\n", p, g.SiteOf(int32(p)))
 	}
 	for p := 0; p < g.NumPages(); p++ {
 		for _, d := range g.InternalOut(int32(p)) {
 			fmt.Fprintf(bw, "link %d %d\n", p, d)
 		}
-		if g.ExtOut[p] > 0 {
-			fmt.Fprintf(bw, "ext %d %d\n", p, g.ExtOut[p])
+		if ext := g.ExtOut(int32(p)); ext > 0 {
+			fmt.Fprintf(bw, "ext %d %d\n", p, ext)
 		}
 	}
 	return bw.Flush()
@@ -125,30 +125,32 @@ func ReadText(r io.Reader) (*Graph, error) {
 	return g, nil
 }
 
-// Binary format
+// Binary format, version 1 (streamed)
 //
-// magic "P2PRGRPH" | u32 version | u32 sites | u32 pages | u64 links |
+// magic "P2PRGRPH" | u64 version | u64 sites | u64 pages | u64 links |
 // site table (u16 len + bytes each) | SiteOf | LocalID | ExtOut |
-// OutPtr | OutDst, all little-endian fixed width.
+// OutPtr | OutDst, all little-endian fixed width. Reading is
+// O(pages + links); the version-2 layout in mapped.go shares the magic
+// and opens in O(1) via mmap.
 
 const (
 	binaryMagic   = "P2PRGRPH"
 	binaryVersion = 1
 )
 
-// WriteBinary writes g in the compact binary format.
+// WriteBinary writes g in the version-1 streamed binary format.
 func WriteBinary(w io.Writer, g *Graph) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(binaryMagic); err != nil {
 		return err
 	}
-	hdr := []uint64{binaryVersion, uint64(g.NumSites()), uint64(g.NumPages()), uint64(len(g.OutDst))}
+	hdr := []uint64{binaryVersion, uint64(g.NumSites()), uint64(g.NumPages()), uint64(len(g.outDst))}
 	for _, v := range hdr {
 		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
 			return err
 		}
 	}
-	for _, host := range g.Sites {
+	for _, host := range g.sites {
 		if len(host) > 1<<16-1 {
 			return fmt.Errorf("webgraph: hostname too long (%d bytes)", len(host))
 		}
@@ -159,21 +161,62 @@ func WriteBinary(w io.Writer, g *Graph) error {
 			return err
 		}
 	}
-	for _, arr := range [][]int32{g.SiteOf, g.LocalID, g.ExtOut} {
+	for _, arr := range [][]int32{g.siteOf, g.localID, g.extOut} {
 		if err := binary.Write(bw, binary.LittleEndian, arr); err != nil {
 			return err
 		}
 	}
-	if err := binary.Write(bw, binary.LittleEndian, g.OutPtr); err != nil {
+	if err := binary.Write(bw, binary.LittleEndian, g.outPtr); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, g.OutDst); err != nil {
+	if err := binary.Write(bw, binary.LittleEndian, g.outDst); err != nil {
 		return err
 	}
 	return bw.Flush()
 }
 
-// ReadBinary parses the binary format and validates the result.
+// readChunkCap bounds how much a single binary.Read allocates up
+// front, so a corrupt header claiming 2³¹ pages fails with a short
+// read instead of a multi-GB allocation.
+const readChunkCap = 1 << 20
+
+func readI32s(br io.Reader, count uint64, what string) ([]int32, error) {
+	out := make([]int32, 0, min64(count, readChunkCap))
+	for count > 0 {
+		n := min64(count, readChunkCap)
+		chunk := make([]int32, n)
+		if err := binary.Read(br, binary.LittleEndian, chunk); err != nil {
+			return nil, fmt.Errorf("webgraph: reading %s: %w", what, err)
+		}
+		out = append(out, chunk...)
+		count -= n
+	}
+	return out, nil
+}
+
+func readI64s(br io.Reader, count uint64, what string) ([]int64, error) {
+	out := make([]int64, 0, min64(count, readChunkCap))
+	for count > 0 {
+		n := min64(count, readChunkCap)
+		chunk := make([]int64, n)
+		if err := binary.Read(br, binary.LittleEndian, chunk); err != nil {
+			return nil, fmt.Errorf("webgraph: reading %s: %w", what, err)
+		}
+		out = append(out, chunk...)
+		count -= n
+	}
+	return out, nil
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ReadBinary parses the version-1 binary format and validates the
+// result.
 func ReadBinary(r io.Reader) (*Graph, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(binaryMagic))
@@ -196,15 +239,11 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	if sites > maxDim || pages > maxDim || links > 1<<40 {
 		return nil, fmt.Errorf("webgraph: implausible header (sites=%d pages=%d links=%d)", sites, pages, links)
 	}
-	g := &Graph{
-		Sites:   make([]string, sites),
-		SiteOf:  make([]int32, pages),
-		LocalID: make([]int32, pages),
-		ExtOut:  make([]int32, pages),
-		OutPtr:  make([]int64, pages+1),
-		OutDst:  make([]int32, links),
-	}
-	for i := range g.Sites {
+	// Grow the site table as entries actually arrive (each costs ≥2
+	// stream bytes) rather than trusting the header count up front —
+	// same reasoning as readChunkCap below.
+	g := &Graph{sites: make([]string, 0, min64(sites, readChunkCap))}
+	for i := uint64(0); i < sites; i++ {
 		var n uint16
 		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
 			return nil, fmt.Errorf("webgraph: reading site table: %w", err)
@@ -213,21 +252,26 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 		if _, err := io.ReadFull(br, buf); err != nil {
 			return nil, fmt.Errorf("webgraph: reading site name: %w", err)
 		}
-		g.Sites[i] = string(buf)
+		g.sites = append(g.sites, string(buf))
 	}
-	for _, arr := range [][]int32{g.SiteOf, g.LocalID, g.ExtOut} {
-		if err := binary.Read(br, binary.LittleEndian, arr); err != nil {
-			return nil, fmt.Errorf("webgraph: reading page arrays: %w", err)
-		}
+	var err error
+	if g.siteOf, err = readI32s(br, pages, "page arrays"); err != nil {
+		return nil, err
 	}
-	if err := binary.Read(br, binary.LittleEndian, g.OutPtr); err != nil {
-		return nil, fmt.Errorf("webgraph: reading OutPtr: %w", err)
+	if g.localID, err = readI32s(br, pages, "page arrays"); err != nil {
+		return nil, err
 	}
-	if err := binary.Read(br, binary.LittleEndian, g.OutDst); err != nil {
-		return nil, fmt.Errorf("webgraph: reading OutDst: %w", err)
+	if g.extOut, err = readI32s(br, pages, "page arrays"); err != nil {
+		return nil, err
+	}
+	if g.outPtr, err = readI64s(br, pages+1, "OutPtr"); err != nil {
+		return nil, err
+	}
+	if g.outDst, err = readI32s(br, links, "OutDst"); err != nil {
+		return nil, err
 	}
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
-	return g, nil
+	return g.seal(), nil
 }

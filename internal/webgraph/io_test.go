@@ -6,28 +6,37 @@ import (
 	"testing"
 )
 
-func graphsEqual(t *testing.T, a, b *Graph) {
+func graphsEqual(t *testing.T, a, b Store) {
 	t.Helper()
 	if a.NumPages() != b.NumPages() || a.NumSites() != b.NumSites() ||
-		a.NumInternalLinks() != b.NumInternalLinks() {
+		a.NumInternalLinks() != b.NumInternalLinks() ||
+		a.NumExternalLinks() != b.NumExternalLinks() {
 		t.Fatalf("shape mismatch: %d/%d pages, %d/%d sites, %d/%d links",
 			a.NumPages(), b.NumPages(), a.NumSites(), b.NumSites(),
 			a.NumInternalLinks(), b.NumInternalLinks())
 	}
-	for i := range a.Sites {
-		if a.Sites[i] != b.Sites[i] {
-			t.Fatalf("site %d: %q != %q", i, a.Sites[i], b.Sites[i])
+	for i := 0; i < a.NumSites(); i++ {
+		if a.SiteHost(int32(i)) != b.SiteHost(int32(i)) {
+			t.Fatalf("site %d: %q != %q", i, a.SiteHost(int32(i)), b.SiteHost(int32(i)))
 		}
 	}
 	for p := 0; p < a.NumPages(); p++ {
-		if a.SiteOf[p] != b.SiteOf[p] || a.LocalID[p] != b.LocalID[p] || a.ExtOut[p] != b.ExtOut[p] {
+		u := int32(p)
+		if a.SiteOf(u) != b.SiteOf(u) || a.LocalID(u) != b.LocalID(u) || a.ExtOut(u) != b.ExtOut(u) {
 			t.Fatalf("page %d metadata mismatch", p)
 		}
-	}
-	for i := range a.OutDst {
-		if a.OutDst[i] != b.OutDst[i] {
-			t.Fatalf("edge %d mismatch", i)
+		ao, bo := a.InternalOut(u), b.InternalOut(u)
+		if len(ao) != len(bo) {
+			t.Fatalf("page %d out-degree mismatch: %d != %d", p, len(ao), len(bo))
 		}
+		for i := range ao {
+			if ao[i] != bo[i] {
+				t.Fatalf("page %d edge %d mismatch", p, i)
+			}
+		}
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("identical graphs, different fingerprints: %#x != %#x", a.Fingerprint(), b.Fingerprint())
 	}
 }
 

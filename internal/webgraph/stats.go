@@ -53,8 +53,10 @@ func (s Stats) String() string {
 	return b.String()
 }
 
-// ComputeStats scans the graph once and returns its Stats.
-func ComputeStats(g *Graph) Stats {
+// ComputeStats scans the graph once and returns its Stats. It
+// streams over InternalOut windows, so it works unchanged on a Mapped
+// store without materializing anything.
+func ComputeStats(g Store) Stats {
 	s := Stats{
 		Pages:         g.NumPages(),
 		Sites:         g.NumSites(),
@@ -72,8 +74,9 @@ func ComputeStats(g *Graph) Stats {
 		if d > s.MaxOutDegree {
 			s.MaxOutDegree = d
 		}
+		su := g.SiteOf(u)
 		for _, v := range g.InternalOut(u) {
-			if g.SiteOf[v] == g.SiteOf[u] {
+			if g.SiteOf(v) == su {
 				s.IntraSiteLinks++
 			}
 		}
@@ -85,10 +88,12 @@ func ComputeStats(g *Graph) Stats {
 }
 
 // InDegrees returns the internal in-degree of every page.
-func InDegrees(g *Graph) []int32 {
+func InDegrees(g Store) []int32 {
 	in := make([]int32, g.NumPages())
-	for _, v := range g.OutDst {
-		in[v]++
+	for p := 0; p < g.NumPages(); p++ {
+		for _, v := range g.InternalOut(int32(p)) {
+			in[v]++
+		}
 	}
 	return in
 }
