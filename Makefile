@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race bench bench-gate chaos obs-smoke scale-smoke verify
+.PHONY: build vet lint test race bench bench-gate chaos obs-smoke serve-smoke scale-smoke verify
 
 build:
 	$(GO) build ./...
@@ -27,7 +27,7 @@ test:
 race:
 	$(GO) test -race ./internal/netpeer/... ./internal/dprcore/... ./internal/transport/... \
 		./internal/simnet/... ./internal/vecmath/... ./internal/pagerank/... \
-		./internal/engine/... ./internal/par/... ./internal/telemetry/...
+		./internal/engine/... ./internal/par/... ./internal/telemetry/... ./internal/serve/...
 
 # Failure-path suite under the race detector: crash/restart churn in
 # both runtimes, checkpointed recovery, the supervisor, and the
@@ -42,12 +42,18 @@ chaos:
 obs-smoke:
 	$(GO) test -run TestDprnodeObsSmoke -v ./internal/clitest/
 
+# End-to-end serving check: dprnode -demo with the query tier and load
+# generator on (HTTP /search + query metrics on /metrics), and the
+# dprsim serving sweep at a toy scale (internal/clitest).
+serve-smoke:
+	$(GO) test -run TestServeSmoke -v ./internal/clitest/
+
 # Kernel + transmission benchmarks with allocation counts, recorded as
 # JSON so runs are diffable (see BENCH_kernels.json for the committed
 # reference numbers).
 bench:
-	$(GO) test -run '^$$' -bench 'MulVec|StepDelta|NewCSR|Fig6RelativeError|TransmissionScaling|ReliableSend|Schedule|EventLoop|GraphLoad' \
-		-benchmem ./internal/vecmath/ ./internal/dprcore/ ./internal/simnet/ ./internal/webgraph/ . | $(GO) run ./cmd/benchjson > BENCH_kernels.json
+	$(GO) test -run '^$$' -bench 'MulVec|StepDelta|NewCSR|Fig6RelativeError|TransmissionScaling|ReliableSend|Schedule|EventLoop|GraphLoad|QueryTopK|SnapshotPublish' \
+		-benchmem ./internal/vecmath/ ./internal/dprcore/ ./internal/simnet/ ./internal/webgraph/ ./internal/serve/ . | $(GO) run ./cmd/benchjson > BENCH_kernels.json
 	@cat BENCH_kernels.json
 
 # One decade of the paper-scale experiment (N=10⁴ rankers, bounded
@@ -64,5 +70,5 @@ scale-smoke:
 bench-gate:
 	$(GO) run ./cmd/benchgate
 
-verify: build vet lint test race obs-smoke bench-gate
+verify: build vet lint test race obs-smoke serve-smoke bench-gate
 	@echo "verify: all checks passed"

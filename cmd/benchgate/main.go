@@ -34,9 +34,9 @@ import (
 
 // benchPattern and benchPackages mirror the `make bench` invocation
 // that produces the baseline; the gate must measure what was recorded.
-const benchPattern = "MulVec|StepDelta|NewCSR|Fig6RelativeError|TransmissionScaling|ReliableSend|Schedule|EventLoop|GraphLoad"
+const benchPattern = "MulVec|StepDelta|NewCSR|Fig6RelativeError|TransmissionScaling|ReliableSend|Schedule|EventLoop|GraphLoad|QueryTopK|SnapshotPublish"
 
-var benchPackages = []string{"./internal/vecmath/", "./internal/dprcore/", "./internal/simnet/", "./internal/webgraph/", "."}
+var benchPackages = []string{"./internal/vecmath/", "./internal/dprcore/", "./internal/simnet/", "./internal/webgraph/", "./internal/serve/", "."}
 
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_kernels.json", "committed baseline report")

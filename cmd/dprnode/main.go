@@ -25,10 +25,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -38,8 +42,11 @@ import (
 	"p2prank/internal/engine"
 	"p2prank/internal/netpeer"
 	"p2prank/internal/partition"
+	"p2prank/internal/search"
+	"p2prank/internal/serve"
 	"p2prank/internal/telemetry"
 	"p2prank/internal/transport"
+	"p2prank/internal/webgraph"
 )
 
 func main() {
@@ -60,8 +67,18 @@ func main() {
 		relSpec   = cliflags.Reliable(flag.CommandLine)
 		transName = cliflags.Transport(flag.CommandLine)
 		seed      = cliflags.Seed(flag.CommandLine)
+		srvAddr   = cliflags.ServeAddr(flag.CommandLine)
+		qps       = cliflags.QPS(flag.CommandLine)
+		topk      = cliflags.TopK(flag.CommandLine)
 	)
 	flag.Parse()
+
+	if *srvAddr == "" && *qps > 0 {
+		fatal(fmt.Errorf("-qps requires -serve"))
+	}
+	if *srvAddr != "" && !*demo {
+		fatal(fmt.Errorf("-serve requires -demo (distributed serving needs every shard in one query tier)"))
+	}
 
 	algorithm, err := cliflags.ParseAlgorithm(*algName)
 	if err != nil {
@@ -124,14 +141,26 @@ func main() {
 	if col != nil {
 		params.Observer = col
 	}
+	// -serve: the peers' ComputeEnd hooks drive the staleness clock via
+	// a Tracker wrapped around whatever observer is already installed.
+	var store *serve.Store
+	if *srvAddr != "" {
+		var err error
+		store, err = serve.NewStore(*k)
+		if err != nil {
+			fatal(err)
+		}
+		params.Observer = serve.NewTracker(store, params.Observer)
+	}
 	if *demo {
-		runDemo(*pages, *k, params, *target, *seed, indirect, wire, col)
+		runDemo(*pages, *k, params, *target, *seed, indirect, wire, col,
+			store, *srvAddr, *qps, *topk)
 		return
 	}
 	runPeer(*graphPath, *k, *index, *listen, *peersFlag, params, *seed, indirect, wire)
 }
 
-func runDemo(pages, k int, params dprcore.Params, target float64, seed uint64, indirect bool, wire transport.ChunkCodec, col *telemetry.LiveCollector) {
+func runDemo(pages, k int, params dprcore.Params, target float64, seed uint64, indirect bool, wire transport.ChunkCodec, col *telemetry.LiveCollector, store *serve.Store, srvAddr string, qps, topk int) {
 	g, err := core.GenerateCrawl(pages, seed)
 	if err != nil {
 		fatal(err)
@@ -151,6 +180,15 @@ func runDemo(pages, k int, params dprcore.Params, target float64, seed uint64, i
 		fatal(err)
 	}
 	defer cl.Close()
+	var served *int64
+	if store != nil {
+		stopServe, counter, err := startServing(cl, g, k, store, col, srvAddr, qps, topk)
+		if err != nil {
+			fatal(err)
+		}
+		defer stopServe()
+		served = counter
+	}
 	start := time.Now()
 	for {
 		re := cl.RelErr()
@@ -174,6 +212,115 @@ func runDemo(pages, k int, params dprcore.Params, target float64, seed uint64, i
 	for _, p := range core.TopPages(ranks, 5) {
 		fmt.Printf("  %-40s rank %.4f\n", g.URL(int32(p)), ranks[p])
 	}
+	if store != nil {
+		n := int64(0)
+		if served != nil {
+			n = atomic.LoadInt64(served)
+		}
+		fmt.Printf("served %d load-gen queries, max served staleness %d rounds\n",
+			n, store.MaxStaleness())
+	}
+}
+
+// startServing exposes the demo cluster's ranks as a query tier: a
+// publisher goroutine polls each live peer's local rank vector into the
+// snapshot store, the serve.Handler answers /search on srvAddr, and an
+// optional internal load generator (-qps) drives the merged read path,
+// reporting per-query latency and staleness to the live collector. The
+// returned func stops all of it; the int64 counts load-gen queries.
+func startServing(cl *netpeer.Cluster, g webgraph.Store, k int, store *serve.Store, col *telemetry.LiveCollector, addr string, qps, topk int) (func(), *int64, error) {
+	var tel serve.Telemetry
+	if col != nil {
+		tel = col
+	}
+	store.SetTelemetry(tel)
+	// Same deterministic ranker IDs as StartCluster, so the overlay's
+	// hop accounting matches the cluster the shards live on.
+	ov, err := engine.BuildOverlay(engine.Pastry, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	fe, err := serve.NewFrontend(g, ov, cl.Assignment, store, serve.Config{})
+	if err != nil {
+		return nil, nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // snapshot publisher: one goroutine, so per-shard publishes stay serialized
+		defer wg.Done()
+		tick := time.NewTicker(250 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+			}
+			for s := 0; s < k; s++ {
+				p := cl.Peer(s)
+				if p == nil || !p.Alive() {
+					continue
+				}
+				if _, err := store.Publish(s, p.Loops(), p.Ranks()); err != nil {
+					fmt.Fprintln(os.Stderr, "dprnode: publish:", err)
+				}
+			}
+		}
+	}()
+	srv := &http.Server{Handler: serve.NewHandler(fe, topk, tel).Mux()}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "dprnode: serve:", err)
+		}
+	}()
+	fmt.Printf("serving: http://%s/search?terms=0,1&k=%d\n", ln.Addr(), topk)
+	served := new(int64)
+	if qps > 0 {
+		wg.Add(1)
+		go func() { // load generator
+			defer wg.Done()
+			q := fe.NewQuerier()
+			var resp search.Response
+			queries := [][]int32{{0}, {1, 2}, {0, 3}, {2, 4, 5}}
+			interval := time.Duration(float64(time.Second) / float64(qps))
+			next := time.Now()
+			for i := 0; ; i++ {
+				next = next.Add(interval)
+				if d := time.Until(next); d > 0 {
+					select {
+					case <-stop:
+						return
+					case <-time.After(d):
+					}
+				} else {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+				}
+				t0 := time.Now()
+				err := q.Serve(search.Request{Terms: queries[i%len(queries)], K: topk}, &resp)
+				if err != nil {
+					continue // before the first publish the store is stale by definition
+				}
+				atomic.AddInt64(served, 1)
+				if col != nil {
+					col.QueryServed(time.Since(t0).Seconds(), resp.Staleness)
+				}
+			}
+		}()
+	}
+	return func() {
+		close(stop)
+		srv.Close()
+		wg.Wait()
+	}, served, nil
 }
 
 func runPeer(graphPath string, k, index int, listen, peersFlag string, params dprcore.Params, seed uint64, indirect bool, wire transport.ChunkCodec) {

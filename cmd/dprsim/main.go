@@ -22,6 +22,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"strconv"
@@ -34,6 +36,8 @@ import (
 	"p2prank/internal/engine"
 	"p2prank/internal/experiments"
 	"p2prank/internal/metrics"
+	"p2prank/internal/search"
+	"p2prank/internal/serve"
 	"p2prank/internal/webgraph"
 )
 
@@ -50,6 +54,10 @@ func main() {
 		graph   = flag.String("graph", "", "rank this crawl file instead of generating one (text, v1, or v2 mapped)")
 		gstore  = flag.String("graphstore", "disk", "scale-experiment graph store: disk (generate to a temp file, mmap it) or mem")
 		gengen  = flag.String("gengraph", "", "internal: write the -pages/-sites/-seed workload to this path in mapped format and exit")
+		queries = flag.Int("queries", 5000, "serve-experiment query count per K")
+		srvAddr = cliflags.ServeAddr(flag.CommandLine)
+		qps     = cliflags.QPS(flag.CommandLine)
+		topk    = cliflags.TopK(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -152,6 +160,14 @@ func main() {
 		}
 		fmt.Println("Paper scale: DPR under indirect transmission, 20 pages/ranker, batched delivery")
 		fmt.Print(experiments.RenderScale(rows))
+	case "serve":
+		counts := parseKs(*ks, []int{1000, 10000})
+		rows, err := runServe(counts, *seed, *queries, *qps, *topk, *srvAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Serving tier: distributed top-k over published rank snapshots, 20 pages/ranker")
+		fmt.Print(experiments.RenderServe(rows))
 	case "cut":
 		kk := pick(*k, 32)
 		rows, err := experiments.PartitionCut(w, kk)
@@ -214,6 +230,91 @@ func runScale(counts []int, seed uint64, store string) ([]*experiments.ScaleRow,
 			rows = append(rows, row)
 		}
 		cleanup()
+	}
+	return rows, nil
+}
+
+// runServe sweeps the serving benchmark over ranker populations. The
+// deterministic half (crawl, ranks, shards, snapshot publishing, query
+// plan) comes from experiments.ServeBench; this side owns the
+// wall-clock query storm — latency samples, optional -qps pacing, and
+// a mid-storm staleness exercise (ticks then a republish) so the
+// reported max staleness reflects a live system, not a frozen store.
+// With -serve set, the first K's frontend is then exposed over HTTP
+// until the process is killed.
+func runServe(counts []int, seed uint64, queries, qps, topk int, srvAddr string) ([]experiments.ServeRow, error) {
+	var rows []experiments.ServeRow
+	for _, kk := range counts {
+		fmt.Fprintf(os.Stderr, "dprsim: serve K=%d queries=%d...\n", kk, queries)
+		b, err := experiments.NewServeBench(experiments.ServeWorkload(kk, seed), kk, queries)
+		if err != nil {
+			return nil, err
+		}
+		q := b.Frontend().NewQuerier()
+		var (
+			resp      search.Response
+			lat       = make([]float64, 0, queries)
+			results   int64
+			shards    int64
+			hops      int64
+			maxStale  int64
+			plan      = b.Queries()
+			tickEvery = queries / 8
+		)
+		var interval time.Duration
+		if qps > 0 {
+			interval = time.Duration(float64(time.Second) / float64(qps))
+		}
+		start := time.Now()
+		next := start
+		for i, req := range plan {
+			if tickEvery > 0 && i > 0 && i%tickEvery == 0 {
+				b.Tick() // rankers commit a round without publishing
+				if i == 5*tickEvery {
+					if err := b.Republish(); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if interval > 0 {
+				next = next.Add(interval)
+				if d := time.Until(next); d > 0 {
+					time.Sleep(d)
+				}
+			}
+			req.K = topk
+			t0 := time.Now()
+			if err := q.Serve(req, &resp); err != nil {
+				return nil, fmt.Errorf("serve K=%d query %v: %w", kk, req.Terms, err)
+			}
+			lat = append(lat, time.Since(t0).Seconds())
+			results += int64(len(resp.Postings))
+			shards += int64(resp.Cost.Responses)
+			hops += int64(resp.Cost.LookupHops)
+			if resp.Staleness > maxStale {
+				maxStale = resp.Staleness
+			}
+		}
+		wall := time.Since(start).Seconds()
+		row := b.Finish(int64(len(plan)), results, shards, hops, maxStale)
+		row.WallSeconds = wall
+		if wall > 0 {
+			row.AchievedQPS = float64(len(plan)) / wall
+		}
+		row.P50Micros, row.P99Micros = experiments.LatencyMicros(lat)
+		rows = append(rows, row)
+
+		if srvAddr != "" && kk == counts[0] {
+			ln, err := net.Listen("tcp", srvAddr)
+			if err != nil {
+				return nil, err
+			}
+			h := serve.NewHandler(b.Frontend(), topk, nil)
+			fmt.Printf("serving: http://%s/search?terms=0,1&k=%d\n", ln.Addr(), topk)
+			if err := http.Serve(ln, h.Mux()); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return rows, nil
 }

@@ -1,8 +1,10 @@
 // searchdemo assembles the full system the paper's introduction
 // sketches: a crawl partitioned over page rankers on a Pastry overlay,
-// ranked distributedly with DPR1, then queried through a term-
-// partitioned P2P inverted index (the architecture of the paper's
-// reference [17]) with results ordered by the distributed ranks.
+// ranked distributedly with DPR1 — with every ranker publishing
+// versioned, immutable rank snapshots through its checkpoint seam —
+// then queried through the serving tier: per-shard partial results
+// merged into a global top-k, ordered by the distributed ranks, with
+// version, staleness, and overlay-hop accounting on every response.
 //
 //	go run ./examples/searchdemo
 package main
@@ -15,6 +17,7 @@ import (
 	"p2prank/internal/engine"
 	"p2prank/internal/partition"
 	"p2prank/internal/search"
+	"p2prank/internal/serve"
 )
 
 func main() {
@@ -24,9 +27,21 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 1. Distributed ranking.
+	// 1. Distributed ranking. The Checkpoint sink is the serving
+	// store's Publisher: every 2 committed rounds each ranker's DPRS
+	// checkpoint bytes become an immutable, versioned score snapshot,
+	// and the Tracker turns the same rankers' commit hooks into the
+	// staleness clock queries report against.
+	store, err := serve.NewStore(k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := core.Params{Alg: core.DPR1, T1: 0, T2: 6}
+	params.Checkpoint.Every = 2
+	params.Checkpoint.Sink = serve.NewPublisher(store, nil)
+	params.Observer = serve.NewTracker(store, nil)
 	res, err := core.RankDistributed(core.Config{
-		Params: core.Params{Alg: core.DPR1, T1: 0, T2: 6},
+		Params: params,
 		Graph:  graph, K: k, MaxTime: 400, TargetRelErr: 1e-7,
 	})
 	if err != nil {
@@ -34,8 +49,11 @@ func main() {
 	}
 	fmt.Printf("ranked %d pages over %d rankers (rel err %.1e, %.1f loops/ranker)\n",
 		graph.NumPages(), k, res.RelErr, res.LoopsAtConvergence)
+	fmt.Printf("rankers published %d snapshot versions; current staleness %d rounds\n",
+		store.Version(), store.MaxStaleness())
 
-	// 2. Build the term-partitioned index over the distributed ranks.
+	// 2. The query tier: term-partitioned per-shard indexes over the
+	// published snapshots, merged per query with a bounded heap.
 	ov, err := engine.BuildOverlay(engine.Pastry, k)
 	if err != nil {
 		log.Fatal(err)
@@ -44,35 +62,42 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	fe, err := serve.NewFrontend(graph, ov, assign, store, serve.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := fe.NewQuerier()
+
+	// 3. Query. MinVersion: 1 demands ranked (not merely initialized)
+	// snapshots; a too-new MinVersion would fail with ErrStaleIndex.
+	var resp search.Response
+	for _, terms := range [][]int32{{0}, {1, 3}, {0, 2, 5}} {
+		names := make([]string, len(terms))
+		for i, t := range terms {
+			names[i] = search.TermName(t)
+		}
+		req := search.Request{Terms: terms, K: 3, From: 0, MinVersion: 1}
+		if err := q.Serve(req, &resp); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nquery %v (version %d, %d rounds stale, %d shards, %d lookup hops from ranker 0):\n",
+			names, resp.Version, resp.Staleness, resp.Cost.Responses, resp.Cost.LookupHops)
+		for _, r := range resp.Postings {
+			fmt.Printf("  %-40s rank %.4f\n", graph.URL(r.Page), r.Score)
+		}
+		if len(resp.Postings) == 0 {
+			fmt.Println("  (no page contains all terms)")
+		}
+	}
+
+	// The static single-node index serves the same Request/Response API
+	// — the serving tier's answers match it shard-merge for scan.
 	ix, err := search.Build(graph, res.Final, ov, assign, search.DefaultConfig())
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("indexed %d postings (%d crossed ranker boundaries to reach their term owner)\n",
+	fmt.Printf("\nstatic index: %d postings (%d crossed ranker boundaries to reach their term owner)\n",
 		ix.PostingsTotal, ix.PostingsMoved)
-
-	// 3. Query.
-	for _, q := range [][]int32{{0}, {1, 3}, {0, 2, 5}} {
-		names := make([]string, len(q))
-		for i, t := range q {
-			names[i] = search.TermName(t)
-		}
-		hops, owners, err := ix.QueryCost(0, q)
-		if err != nil {
-			log.Fatal(err)
-		}
-		results, err := ix.Query(q, 3)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("\nquery %v (%d owners, %d lookup hops from ranker 0):\n", names, owners, hops)
-		for _, r := range results {
-			fmt.Printf("  %-40s rank %.4f\n", graph.URL(r.Page), r.Score)
-		}
-		if len(results) == 0 {
-			fmt.Println("  (no page contains all terms)")
-		}
-	}
 
 	// Term ownership is a pure function of the overlay, so any ranker
 	// resolves the same owner for a term.
@@ -80,6 +105,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nterm %q lives on ranker %d (ID %s)\n",
+	fmt.Printf("term %q lives on ranker %d (ID %s)\n",
 		search.TermName(0), owner, ov.NodeID(int(owner)))
 }

@@ -188,6 +188,23 @@ func Seed(fs *flag.FlagSet) *uint64 {
 	return fs.Uint64("seed", 1, "deterministic seed")
 }
 
+// ServeAddr registers the shared -serve flag: the query tier's HTTP
+// listen address (empty = serving off).
+func ServeAddr(fs *flag.FlagSet) *string {
+	return fs.String("serve", "", "serve the query API on addr:port (empty = off)")
+}
+
+// QPS registers the shared -qps flag: the load generator's target
+// query rate (0 = unthrottled).
+func QPS(fs *flag.FlagSet) *int {
+	return fs.Int("qps", 0, "target queries per second for the load generator (0 = unthrottled)")
+}
+
+// TopK registers the shared -topk flag: results returned per query.
+func TopK(fs *flag.FlagSet) *int {
+	return fs.Int("topk", 10, "results per query")
+}
+
 // Deprecations keeps renamed flags alive for one release: old
 // spellings register through it, and Warn prints a pointer at the new
 // spelling for each one the command line actually set.

@@ -137,8 +137,12 @@ func TestSharedSpellings(t *testing.T) {
 	Reliable(fs)
 	Transport(fs)
 	Seed(fs)
+	ServeAddr(fs)
+	QPS(fs)
+	TopK(fs)
 	for name, def := range map[string]string{
 		"alg": "dpr1", "codec": "gob", "fault": "", "reliable": "", "transport": "direct", "seed": "1",
+		"serve": "", "qps": "0", "topk": "10",
 	} {
 		f := fs.Lookup(name)
 		if f == nil {

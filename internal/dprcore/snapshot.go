@@ -109,6 +109,59 @@ func appendChunk(buf []byte, c transport.ScoreChunk) []byte {
 	return buf
 }
 
+// EncodeRankSnapshot appends a bare rank vector encoded in the loop
+// snapshot format (empty X table, no pending chunks) and returns the
+// extended slice. The serving tier's publish seam (internal/serve)
+// accepts it interchangeably with real loop snapshots, so ranks that
+// never went through a Loop — centralized references, experiment
+// fixtures — can flow through the same Checkpointer plumbing.
+func EncodeRankSnapshot(buf []byte, group int, round int64, r []float64) []byte {
+	buf = append(buf, snapMagic...)
+	buf = append(buf, snapVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(group))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(round))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r)))
+	for _, v := range r {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, 0) // latest-chunk table
+	buf = binary.LittleEndian.AppendUint32(buf, 0) // pending-chunk table
+	return buf
+}
+
+// DecodeSnapshotRanks decodes the header and rank vector of an encoded
+// loop snapshot without touching the chunk tables — the read side of
+// the publish seam. The ranks are appended to dst (pass dst[:0] to
+// reuse a scratch buffer).
+func DecodeSnapshotRanks(data []byte, dst []float64) (group int, round int64, r []float64, err error) {
+	rd := &snapReader{data: data}
+	magic := rd.take(len(snapMagic))
+	if rd.err != nil || string(magic) != snapMagic {
+		return 0, 0, nil, fmt.Errorf("dprcore: not a snapshot")
+	}
+	ver := rd.take(1)
+	if rd.err != nil || ver[0] != snapVersion {
+		return 0, 0, nil, fmt.Errorf("dprcore: unsupported snapshot version")
+	}
+	group = int(rd.u32())
+	round = int64(rd.u64())
+	n := int(rd.u32())
+	if rd.err == nil && n > len(rd.data)/8 {
+		rd.err = fmt.Errorf("dprcore: snapshot rank length %d exceeds data", n)
+	}
+	if rd.err != nil {
+		return 0, 0, nil, rd.err
+	}
+	r = dst
+	for i := 0; i < n; i++ {
+		r = append(r, math.Float64frombits(rd.u64()))
+	}
+	if rd.err != nil {
+		return 0, 0, nil, rd.err
+	}
+	return group, round, r, nil
+}
+
 // snapReader walks an encoded snapshot, remembering the first decode
 // failure so call sites check once.
 type snapReader struct {

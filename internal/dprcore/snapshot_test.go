@@ -57,6 +57,65 @@ func TestSnapshotDeterministicEncoding(t *testing.T) {
 	}
 }
 
+func TestEncodeRankSnapshotRoundtrip(t *testing.T) {
+	ranks := []float64{0.5, 0.25, 0.125, 0.0625}
+	enc := EncodeRankSnapshot(nil, 7, 42, ranks)
+	group, round, got, err := DecodeSnapshotRanks(enc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if group != 7 || round != 42 {
+		t.Fatalf("header = (%d, %d), want (7, 42)", group, round)
+	}
+	if len(got) != len(ranks) {
+		t.Fatalf("decoded %d ranks, want %d", len(got), len(ranks))
+	}
+	for i, v := range ranks {
+		if got[i] != v {
+			t.Fatalf("r[%d] = %v, want %v", i, got[i], v)
+		}
+	}
+	// A bare rank snapshot must decode through the same reader a real
+	// loop snapshot does — scratch reuse appends into dst[:0].
+	scratch := make([]float64, 2, 8)
+	_, _, got2, err := DecodeSnapshotRanks(enc, scratch[:0])
+	if err != nil || len(got2) != len(ranks) {
+		t.Fatalf("scratch decode: len %d err %v", len(got2), err)
+	}
+}
+
+func TestDecodeSnapshotRanksFromLoopSnapshot(t *testing.T) {
+	l := snapLoop(t, &recordSender{})
+	snap := l.Snapshot()
+	group, round, r, err := DecodeSnapshotRanks(snap, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if group != l.Group().Index || round != l.Loops() {
+		t.Fatalf("header = (%d, %d), want (%d, %d)", group, round, l.Group().Index, l.Loops())
+	}
+	for i, v := range l.Ranks() {
+		if r[i] != v {
+			t.Fatalf("r[%d] = %v, want %v", i, r[i], v)
+		}
+	}
+}
+
+func TestDecodeSnapshotRanksRejectsCorrupt(t *testing.T) {
+	enc := EncodeRankSnapshot(nil, 0, 1, []float64{1, 2, 3})
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		enc[:len(enc)-20], // truncated rank vector
+		append([]byte("DPRS\x02"), enc[5:]...), // bad version
+	}
+	for i, data := range cases {
+		if _, _, _, err := DecodeSnapshotRanks(data, nil); err == nil {
+			t.Fatalf("case %d: corrupt snapshot decoded without error", i)
+		}
+	}
+}
+
 func TestSnapshotIncludesPendingChunks(t *testing.T) {
 	// A loop whose sender is a ReliableSender snapshots the unacked
 	// outbox, and Restore re-sends it through the (new) sender chain.

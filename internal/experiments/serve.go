@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"fmt"
+
+	"p2prank/internal/dprcore"
+	"p2prank/internal/engine"
+	"p2prank/internal/metrics"
+	"p2prank/internal/pagerank"
+	"p2prank/internal/partition"
+	"p2prank/internal/search"
+	"p2prank/internal/serve"
+	"p2prank/internal/vecmath"
+	"p2prank/internal/xrand"
+)
+
+// ServeBench is the deterministic half of the serving experiment: a
+// ranked crawl sharded over K rankers, snapshots published through the
+// real checkpoint seam (EncodeRankSnapshot → Publisher.Save), and a
+// pre-drawn query workload. The wall-clock half — actually timing the
+// query storm — lives in cmd/dprsim: this package is in the
+// nowallclock analyzer's scope, like the rest of the simulation path.
+type ServeBench struct {
+	K     int
+	Pages int
+
+	fe     *serve.Frontend
+	store  *serve.Store
+	pub    *serve.Publisher
+	assign *partition.Assignment
+	ranks  vecmath.Vec
+
+	queries []search.Request
+	terms   []int32 // backing array for all query term slices
+	round   int64
+	encBuf  []byte
+	scores  []float64
+}
+
+// ServeWorkload returns the crawl for a K-ranker serving bench: the
+// scale-sweep ratio of 20 pages per ranker, hash-partitioned so every
+// ranker serves a shard.
+func ServeWorkload(k int, seed uint64) Workload {
+	return ScaleWorkload(k, seed)
+}
+
+// NewServeBench ranks the workload centrally (the serving tier is
+// downstream of ranking; how the ranks were computed is irrelevant to
+// query cost), builds the overlay and hash partition, publishes every
+// shard at round 1 through the checkpoint seam, and pre-draws queries:
+// 1–3 terms each, term popularity skewed quartically toward the low
+// vocabulary ids so the cache has something to hit.
+func NewServeBench(w Workload, k, queries int) (*ServeBench, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("experiments: serve k = %d, must be positive", k)
+	}
+	if queries <= 0 {
+		return nil, fmt.Errorf("experiments: serve queries = %d, must be positive", queries)
+	}
+	w.defaults()
+	g, err := w.Generate()
+	if err != nil {
+		return nil, err
+	}
+	res, err := pagerank.Open(g, pagerank.Defaults())
+	if err != nil {
+		return nil, err
+	}
+	ov, err := engine.BuildOverlay(engine.Pastry, k)
+	if err != nil {
+		return nil, err
+	}
+	assign, err := partition.Assign(g, ov, partition.ByPage, w.Seed)
+	if err != nil {
+		return nil, err
+	}
+	store, err := serve.NewStore(k)
+	if err != nil {
+		return nil, err
+	}
+	text := search.DefaultConfig()
+	// Keep per-term posting lists (and so shards-per-query) roughly
+	// constant as the crawl scales.
+	if v := w.Pages / 40; v > text.Vocabulary {
+		text.Vocabulary = v
+	}
+	b := &ServeBench{
+		K:      k,
+		Pages:  w.Pages,
+		store:  store,
+		pub:    serve.NewPublisher(store, nil),
+		assign: assign,
+		ranks:  res.Ranks,
+	}
+	if err := b.Republish(); err != nil {
+		return nil, err
+	}
+	fe, err := serve.NewFrontend(g, ov, assign, store, serve.Config{Text: text})
+	if err != nil {
+		return nil, err
+	}
+	b.fe = fe
+
+	rng := xrand.New(w.Seed ^ 0x5e12e)
+	b.terms = make([]int32, 0, queries*2)
+	b.queries = make([]search.Request, queries)
+	vocab := int(text.Vocabulary)
+	for i := range b.queries {
+		n := 1 + rng.Intn(3)
+		start := len(b.terms)
+		for len(b.terms)-start < n {
+			f := rng.Float64()
+			f *= f
+			t := int32(f * f * float64(vocab)) // quartic skew toward low ids
+			dup := false
+			for _, prev := range b.terms[start:] {
+				if prev == t {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				b.terms = append(b.terms, t)
+			}
+		}
+		b.queries[i] = search.Request{Terms: b.terms[start:len(b.terms):len(b.terms)], K: 10}
+	}
+	return b, nil
+}
+
+// Frontend returns the query tier.
+func (b *ServeBench) Frontend() *serve.Frontend { return b.fe }
+
+// Store returns the snapshot store.
+func (b *ServeBench) Store() *serve.Store { return b.store }
+
+// Queries returns the pre-drawn workload; callers must not mutate it.
+func (b *ServeBench) Queries() []search.Request { return b.queries }
+
+// Tick advances every shard's staleness clock by one round, standing in
+// for the rankers' ComputeEnd hooks.
+func (b *ServeBench) Tick() {
+	for s := 0; s < b.K; s++ {
+		b.store.Advance(s)
+	}
+}
+
+// Republish pushes every shard's rank slice at the next round through
+// the DPRS checkpoint encoding — the same bytes a ranker's
+// Checkpoint.Sink would carry — resetting staleness and minting K new
+// versions.
+func (b *ServeBench) Republish() error {
+	b.round++
+	for s := 0; s < b.K; s++ {
+		b.scores = b.scores[:0]
+		for _, p := range b.assign.Pages[s] {
+			b.scores = append(b.scores, b.ranks[p])
+		}
+		b.encBuf = dprcore.EncodeRankSnapshot(b.encBuf[:0], s, b.round, b.scores)
+		if err := b.pub.Save(s, b.round, b.encBuf); err != nil {
+			return fmt.Errorf("experiments: republish shard %d: %w", s, err)
+		}
+	}
+	return nil
+}
+
+// ServeRow is one K of the serving sweep. The deterministic fields
+// come from Finish; WallSeconds, AchievedQPS, and the latency
+// percentiles are filled by the caller (cmd/dprsim) from its own
+// timing samples.
+type ServeRow struct {
+	K       int
+	Pages   int
+	Queries int64
+	// Results is the total postings returned; a zero total would mean
+	// the sweep measured empty intersections.
+	Results int64
+	// CacheHits and CacheMisses are the frontend cache's counters.
+	CacheHits   int64
+	CacheMisses int64
+	// MeanShards and MeanHops are per-query averages from the Cost
+	// accounting: partial-result fan-out and overlay distance.
+	MeanShards float64
+	MeanHops   float64
+	// MaxStaleness is the worst served staleness observed.
+	MaxStaleness int64
+
+	// Caller-measured (see type comment).
+	WallSeconds float64
+	AchievedQPS float64
+	P50Micros   float64
+	P99Micros   float64
+}
+
+// Finish folds the bench's own counters plus the caller's per-query
+// cost totals into a row.
+func (b *ServeBench) Finish(queries, results, shards, hops int64, maxStaleness int64) ServeRow {
+	hits, misses := b.fe.CacheStats()
+	row := ServeRow{
+		K:            b.K,
+		Pages:        b.Pages,
+		Queries:      queries,
+		Results:      results,
+		CacheHits:    hits,
+		CacheMisses:  misses,
+		MaxStaleness: maxStaleness,
+	}
+	if queries > 0 {
+		row.MeanShards = float64(shards) / float64(queries)
+		row.MeanHops = float64(hops) / float64(queries)
+	}
+	return row
+}
+
+// LatencyMicros converts a seconds sample set to the two headline
+// percentiles in microseconds.
+func LatencyMicros(latSeconds []float64) (p50, p99 float64) {
+	return metrics.Percentile(latSeconds, 50) * 1e6, metrics.Percentile(latSeconds, 99) * 1e6
+}
+
+// RenderServe formats the serving sweep.
+func RenderServe(rows []ServeRow) string {
+	t := metrics.NewTable("K", "pages", "queries", "hit rate", "shards/q",
+		"hops/q", "max stale", "QPS", "p50", "p99", "wall")
+	for _, r := range rows {
+		total := r.CacheHits + r.CacheMisses
+		hitRate := 0.0
+		if total > 0 {
+			hitRate = float64(r.CacheHits) / float64(total)
+		}
+		t.AddRow(r.K, r.Pages, r.Queries,
+			fmt.Sprintf("%.0f%%", 100*hitRate),
+			fmt.Sprintf("%.1f", r.MeanShards),
+			fmt.Sprintf("%.1f", r.MeanHops),
+			r.MaxStaleness,
+			fmt.Sprintf("%.0f", r.AchievedQPS),
+			fmt.Sprintf("%.0fµs", r.P50Micros),
+			fmt.Sprintf("%.0fµs", r.P99Micros),
+			fmt.Sprintf("%.1fs", r.WallSeconds))
+	}
+	return t.String()
+}

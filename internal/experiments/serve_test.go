@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"p2prank/internal/search"
+)
+
+func TestServeBenchDeterministicAndServable(t *testing.T) {
+	w := ServeWorkload(16, 7)
+	b, err := NewServeBench(w, 16, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.K != 16 || b.Pages != 320 {
+		t.Fatalf("bench sized K=%d pages=%d", b.K, b.Pages)
+	}
+	if len(b.Queries()) != 200 {
+		t.Fatalf("got %d queries", len(b.Queries()))
+	}
+	for i, q := range b.Queries() {
+		if len(q.Terms) < 1 || len(q.Terms) > 3 {
+			t.Fatalf("query %d has %d terms", i, len(q.Terms))
+		}
+	}
+
+	// Same seed, same workload: the query plan must be identical.
+	b2, err := NewServeBench(w, 16, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b.Queries() {
+		a, c := b.Queries()[i], b2.Queries()[i]
+		if len(a.Terms) != len(c.Terms) {
+			t.Fatalf("query %d nondeterministic", i)
+		}
+		for j := range a.Terms {
+			if a.Terms[j] != c.Terms[j] {
+				t.Fatalf("query %d term %d: %d vs %d", i, j, a.Terms[j], c.Terms[j])
+			}
+		}
+	}
+
+	// Run the workload; track cost totals like cmd/dprsim does.
+	q := b.Frontend().NewQuerier()
+	var resp search.Response
+	var results, shards, hops, maxStale int64
+	for _, req := range b.Queries() {
+		if err := q.Serve(req, &resp); err != nil {
+			t.Fatalf("query %v: %v", req.Terms, err)
+		}
+		results += int64(len(resp.Postings))
+		shards += int64(resp.Cost.Responses)
+		hops += int64(resp.Cost.LookupHops)
+		if resp.Staleness > maxStale {
+			maxStale = resp.Staleness
+		}
+	}
+	if results == 0 {
+		t.Fatal("workload produced no results at all")
+	}
+
+	// Staleness machinery: three ticks then a republish.
+	b.Tick()
+	b.Tick()
+	b.Tick()
+	if s := b.Store().MaxStaleness(); s != 3 {
+		t.Fatalf("staleness after 3 ticks = %d", s)
+	}
+	v := b.Store().Version()
+	if err := b.Republish(); err != nil {
+		t.Fatal(err)
+	}
+	if s := b.Store().MaxStaleness(); s != 0 {
+		t.Fatalf("staleness after republish = %d", s)
+	}
+	if nv := b.Store().Version(); nv != v+16 {
+		t.Fatalf("republish minted %d versions, want 16", nv-v)
+	}
+
+	row := b.Finish(int64(len(b.Queries())), results, shards, hops, maxStale)
+	row.WallSeconds = 0.5
+	row.AchievedQPS = 400
+	row.P50Micros, row.P99Micros = LatencyMicros([]float64{100e-6, 200e-6, 300e-6})
+	if row.MeanShards <= 0 || row.Results != results {
+		t.Fatalf("row not folded: %+v", row)
+	}
+	out := RenderServe([]ServeRow{row})
+	for _, want := range []string{"hit rate", "shards/q", "max stale", "p99", "16"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestServeBenchValidation(t *testing.T) {
+	if _, err := NewServeBench(ServeWorkload(4, 1), 0, 10); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := NewServeBench(ServeWorkload(4, 1), 4, 0); err == nil {
+		t.Fatal("queries=0 accepted")
+	}
+}

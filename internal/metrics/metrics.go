@@ -7,6 +7,8 @@ package metrics
 import (
 	"fmt"
 	"io"
+	"math"
+	"sort"
 	"strings"
 )
 
@@ -28,6 +30,28 @@ func (s *Series) Add(t, v float64) {
 
 // Len returns the number of points.
 func (s *Series) Len() int { return len(s.Times) }
+
+// Percentile returns the p-th percentile (0–100) of samples by
+// nearest-rank on a sorted copy; the input is not modified. Zero
+// samples yield 0.
+func Percentile(samples []float64, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
 
 // Last returns the final value, or 0 for an empty series.
 func (s *Series) Last() float64 {

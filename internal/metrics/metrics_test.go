@@ -82,3 +82,24 @@ func TestTableShortRow(t *testing.T) {
 		t.Fatalf("short row missing:\n%s", out)
 	}
 }
+
+func TestPercentile(t *testing.T) {
+	samples := []float64{5, 1, 4, 2, 3}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {20, 1}, {50, 3}, {99, 5}, {100, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(samples, c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if samples[0] != 5 {
+		t.Fatal("Percentile mutated its input")
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("Percentile(nil) = %v", got)
+	}
+}

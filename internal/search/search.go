@@ -19,6 +19,7 @@ package search
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"p2prank/internal/nodeid"
 	"p2prank/internal/overlay"
@@ -45,6 +46,15 @@ func DefaultConfig() Config {
 	return Config{Vocabulary: 5000, TermsPerPage: 12, Skew: 1.0}
 }
 
+// WithDefaults returns the config with zero fields filled in, or an
+// error for out-of-range values — the exported spelling of the
+// validation Build applies, for packages (internal/serve) that build
+// their own structures from the same text model.
+func (c Config) WithDefaults() (Config, error) {
+	err := c.validate()
+	return c, err
+}
+
 func (c *Config) validate() error {
 	if c.Vocabulary == 0 {
 		c.Vocabulary = 5000
@@ -69,8 +79,30 @@ func (c *Config) validate() error {
 	return nil
 }
 
+// AppendTermName appends term t's canonical name ("term%05d") to dst
+// and returns the extended slice — the allocation-free spelling for
+// the query path. Negative terms (never produced by the text model)
+// render without zero padding.
+//
+//p2plint:hotpath
+func AppendTermName(dst []byte, t int32) []byte {
+	dst = append(dst, "term"...)
+	if t < 0 {
+		return strconv.AppendInt(dst, int64(t), 10)
+	}
+	for pow := int32(10000); pow >= 10; pow /= 10 {
+		if t < pow {
+			dst = append(dst, '0')
+		}
+	}
+	return strconv.AppendInt(dst, int64(t), 10)
+}
+
 // TermName renders term t as its canonical string.
-func TermName(t int32) string { return fmt.Sprintf("term%05d", t) }
+func TermName(t int32) string {
+	var buf [16]byte
+	return string(AppendTermName(buf[:0], t))
+}
 
 // TermsOf returns page p's distinct terms, ascending. The draw is a
 // pure function of the page's URL (stable across recrawls) and cfg.
@@ -173,7 +205,7 @@ func Build(g webgraph.Store, ranks vecmath.Vec, ov overlay.Network, assign *part
 // TermOwner returns the ranker storing term t's posting list.
 func (ix *Index) TermOwner(t int32) (int32, error) {
 	if t < 0 || int(t) >= ix.cfg.Vocabulary {
-		return 0, fmt.Errorf("search: term %d outside vocabulary %d", t, ix.cfg.Vocabulary)
+		return 0, fmt.Errorf("%w: term %d, vocabulary %d", ErrUnknownTerm, t, ix.cfg.Vocabulary)
 	}
 	return ix.termOwner[t], nil
 }
@@ -182,80 +214,7 @@ func (ix *Index) TermOwner(t int32) (int32, error) {
 // index storage and must not be modified.
 func (ix *Index) PostingList(t int32) ([]Posting, error) {
 	if t < 0 || int(t) >= ix.cfg.Vocabulary {
-		return nil, fmt.Errorf("search: term %d outside vocabulary %d", t, ix.cfg.Vocabulary)
+		return nil, fmt.Errorf("%w: term %d, vocabulary %d", ErrUnknownTerm, t, ix.cfg.Vocabulary)
 	}
 	return ix.postings[t], nil
-}
-
-// Query returns the top-k pages containing ALL the given terms, ordered
-// by rank. It intersects posting lists smallest-first, the standard
-// conjunctive-query plan.
-func (ix *Index) Query(terms []int32, k int) ([]Posting, error) {
-	if len(terms) == 0 {
-		return nil, fmt.Errorf("search: empty query")
-	}
-	if k <= 0 {
-		return nil, fmt.Errorf("search: k = %d, must be positive", k)
-	}
-	lists := make([][]Posting, len(terms))
-	for i, t := range terms {
-		ps, err := ix.PostingList(t)
-		if err != nil {
-			return nil, err
-		}
-		lists[i] = ps
-	}
-	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
-	if len(lists[0]) == 0 {
-		return nil, nil
-	}
-	// Membership sets for all but the smallest list.
-	member := make([]map[int32]bool, len(lists)-1)
-	for i, ps := range lists[1:] {
-		m := make(map[int32]bool, len(ps))
-		for _, e := range ps {
-			m[e.Page] = true
-		}
-		member[i] = m
-	}
-	var out []Posting
-	for _, e := range lists[0] { // already best-first
-		inAll := true
-		for _, m := range member {
-			if !m[e.Page] {
-				inAll = false
-				break
-			}
-		}
-		if inAll {
-			out = append(out, e)
-			if len(out) == k {
-				break
-			}
-		}
-	}
-	return out, nil
-}
-
-// QueryCost estimates the overlay traffic of resolving a query from
-// the given ranker: the lookup hops to each distinct term owner plus
-// one response per owner.
-func (ix *Index) QueryCost(from int, terms []int32) (lookupHops, responses int, err error) {
-	owners := make(map[int32]bool)
-	for _, t := range terms {
-		o, err := ix.TermOwner(t)
-		if err != nil {
-			return 0, 0, err
-		}
-		owners[o] = true
-	}
-	for o := range owners {
-		h, err := overlay.Hops(ix.ov, from, ix.ov.NodeID(int(o)))
-		if err != nil {
-			return 0, 0, err
-		}
-		lookupHops += h
-		responses++
-	}
-	return lookupHops, responses, nil
 }

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
@@ -159,11 +160,12 @@ func TestQueryMatchesBruteForce(t *testing.T) {
 	cfg.Vocabulary = 500
 	cfg.TermsPerPage = 8
 	queries := [][]int32{{0}, {1, 2}, {0, 1, 2}, {5, 17}}
+	var resp Response
 	for _, q := range queries {
-		got, err := f.ix.Query(q, 10)
-		if err != nil {
+		if err := f.ix.Serve(Request{Terms: q, K: 10}, &resp); err != nil {
 			t.Fatal(err)
 		}
+		got := resp.Postings
 		// Brute force: pages containing all query terms, by rank.
 		var want []Posting
 		for p := 0; p < f.g.NumPages(); p++ {
@@ -217,33 +219,104 @@ func sortPostings(ps []Posting) {
 func TestQueryEmptyIntersection(t *testing.T) {
 	f := newFixture(t, 500, 8)
 	// A long conjunction of rare terms is almost surely empty.
-	res, err := f.ix.Query([]int32{480, 481, 482, 483, 484}, 5)
-	if err != nil {
+	var resp Response
+	if err := f.ix.Serve(Request{Terms: []int32{480, 481, 482, 483, 484}, K: 5}, &resp); err != nil {
 		t.Fatal(err)
 	}
-	if len(res) != 0 {
+	if len(resp.Postings) != 0 {
 		// Not impossible, but then every result must contain all terms
 		// — covered by TestQueryMatchesBruteForce. Accept.
-		t.Logf("rare conjunction nonempty: %d results", len(res))
+		t.Logf("rare conjunction nonempty: %d results", len(resp.Postings))
 	}
 }
 
 func TestQueryValidation(t *testing.T) {
 	f := newFixture(t, 300, 4)
-	if _, err := f.ix.Query(nil, 5); err == nil {
+	var resp Response
+	if err := f.ix.Serve(Request{K: 5}, &resp); err == nil {
 		t.Error("empty query accepted")
 	}
-	if _, err := f.ix.Query([]int32{0}, 0); err == nil {
+	if err := f.ix.Serve(Request{Terms: []int32{0}}, &resp); err == nil {
 		t.Error("k=0 accepted")
 	}
-	if _, err := f.ix.Query([]int32{9999}, 5); err == nil {
-		t.Error("out-of-vocabulary term accepted")
+	if err := f.ix.Serve(Request{Terms: []int32{9999}, K: 5}, &resp); !errors.Is(err, ErrUnknownTerm) {
+		t.Errorf("out-of-vocabulary term: err = %v, want ErrUnknownTerm", err)
 	}
-	if _, err := f.ix.PostingList(-1); err == nil {
-		t.Error("negative term accepted")
+	if _, err := f.ix.PostingList(-1); !errors.Is(err, ErrUnknownTerm) {
+		t.Errorf("negative term: err = %v, want ErrUnknownTerm", err)
 	}
-	if _, err := f.ix.TermOwner(9999); err == nil {
-		t.Error("out-of-range TermOwner accepted")
+	if _, err := f.ix.TermOwner(9999); !errors.Is(err, ErrUnknownTerm) {
+		t.Errorf("out-of-range TermOwner: err = %v, want ErrUnknownTerm", err)
+	}
+}
+
+func TestServeVersionContract(t *testing.T) {
+	f := newFixture(t, 300, 4)
+	var resp Response
+	if err := f.ix.Serve(Request{Terms: []int32{0}, K: 3}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Version != StaticVersion || resp.Staleness != 0 {
+		t.Fatalf("static index served version %d staleness %d", resp.Version, resp.Staleness)
+	}
+	if resp.Cost.Responses != 1 || resp.Cost.LookupHops < 0 {
+		t.Fatalf("single-term cost = %+v", resp.Cost)
+	}
+	// A static index has exactly one version; demanding a newer one
+	// must fail with the typed sentinel.
+	err := f.ix.Serve(Request{Terms: []int32{0}, K: 3, MinVersion: StaticVersion + 1}, &resp)
+	if !errors.Is(err, ErrStaleIndex) {
+		t.Fatalf("MinVersion beyond static: err = %v, want ErrStaleIndex", err)
+	}
+	if err := f.ix.Serve(Request{Terms: []int32{0}, K: 3, MinVersion: StaticVersion}, &resp); err != nil {
+		t.Fatalf("MinVersion == StaticVersion rejected: %v", err)
+	}
+}
+
+func TestResponseReuseNoGrowth(t *testing.T) {
+	f := newFixture(t, 500, 4)
+	var resp Response
+	if err := f.ix.Serve(Request{Terms: []int32{0}, K: 10}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	first := resp.Postings
+	if err := f.ix.Serve(Request{Terms: []int32{1}, K: 10}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Postings) > 0 && len(first) > 0 && &resp.Postings[0] != &first[0] {
+		t.Fatal("reused Response reallocated Postings despite sufficient capacity")
+	}
+}
+
+// TestDeprecatedShims pins the one-release compatibility contract:
+// Query/QueryCost keep answering, routed through Serve.
+func TestDeprecatedShims(t *testing.T) {
+	f := newFixture(t, 500, 8)
+	got, err := f.ix.Query([]int32{0, 1}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := f.ix.Serve(Request{Terms: []int32{0, 1}, K: 5}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(resp.Postings) {
+		t.Fatalf("shim returned %d results, Serve %d", len(got), len(resp.Postings))
+	}
+	for i := range got {
+		if got[i] != resp.Postings[i] {
+			t.Fatalf("shim result %d: %+v != %+v", i, got[i], resp.Postings[i])
+		}
+	}
+	hops, responses, err := f.ix.QueryCost(0, []int32{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ix.Serve(Request{Terms: []int32{0, 1}, K: 1, From: 0}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if hops != resp.Cost.LookupHops || responses != resp.Cost.Responses {
+		t.Fatalf("shim cost (%d, %d) != Serve cost %+v", hops, responses, resp.Cost)
 	}
 }
 
@@ -292,32 +365,59 @@ func TestPostingsMovedAccounting(t *testing.T) {
 
 func TestQueryCost(t *testing.T) {
 	f := newFixture(t, 1000, 16)
-	hops, resp, err := f.ix.QueryCost(0, []int32{0, 1, 2})
-	if err != nil {
+	var resp Response
+	if err := f.ix.Serve(Request{Terms: []int32{0, 1, 2}, K: 1, From: 0}, &resp); err != nil {
 		t.Fatal(err)
 	}
-	if resp < 1 || resp > 3 {
-		t.Fatalf("responses = %d", resp)
+	if resp.Cost.Responses < 1 || resp.Cost.Responses > 3 {
+		t.Fatalf("responses = %d", resp.Cost.Responses)
 	}
-	if hops < 0 {
-		t.Fatalf("hops = %d", hops)
+	if resp.Cost.LookupHops < 0 {
+		t.Fatalf("hops = %d", resp.Cost.LookupHops)
 	}
-	if _, _, err := f.ix.QueryCost(0, []int32{99999}); err == nil {
-		t.Error("bad term accepted")
+	if _, _, err := f.ix.QueryCost(0, []int32{99999}); !errors.Is(err, ErrUnknownTerm) {
+		t.Errorf("bad term: err = %v, want ErrUnknownTerm", err)
 	}
 }
 
 func TestTermName(t *testing.T) {
-	if TermName(7) != "term00007" {
-		t.Fatalf("TermName = %q", TermName(7))
+	cases := []struct {
+		t    int32
+		want string
+	}{
+		{0, "term00000"},
+		{7, "term00007"},
+		{42, "term00042"},
+		{999, "term00999"},
+		{12345, "term12345"},
+		{123456, "term123456"}, // beyond 5 digits: all digits kept, like %05d
+	}
+	for _, c := range cases {
+		if got := TermName(c.t); got != c.want {
+			t.Errorf("TermName(%d) = %q, want %q", c.t, got, c.want)
+		}
+		if got := string(AppendTermName(nil, c.t)); got != c.want {
+			t.Errorf("AppendTermName(%d) = %q, want %q", c.t, got, c.want)
+		}
+	}
+}
+
+func TestAppendTermNameNoAlloc(t *testing.T) {
+	buf := make([]byte, 0, 32)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = AppendTermName(buf[:0], 12345)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendTermName allocates %v per call", allocs)
 	}
 }
 
 func BenchmarkQuery(b *testing.B) {
 	f := newFixture(b, 5000, 16)
+	var resp Response
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := f.ix.Query([]int32{0, 1}, 10); err != nil {
+		if err := f.ix.Serve(Request{Terms: []int32{0, 1}, K: 10}, &resp); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,363 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"p2prank/internal/overlay"
+	"p2prank/internal/partition"
+	"p2prank/internal/search"
+	"p2prank/internal/webgraph"
+)
+
+// DefaultCacheEntries bounds the (terms, version) response cache when
+// Config.CacheEntries is zero.
+const DefaultCacheEntries = 1024
+
+// Config parameterizes the query front end.
+type Config struct {
+	// Text is the synthetic text model the shard indexes are built
+	// from — the same model the static search.Index uses.
+	Text search.Config
+	// CacheEntries bounds the merged-response cache: 0 means
+	// DefaultCacheEntries, negative disables caching.
+	CacheEntries int
+}
+
+// shardIndex is one shard's inverted index: the terms present on the
+// shard's pages, CSR-packed posting lists of ascending local page
+// indices, and the local→global page mapping. Scores are NOT stored
+// here — they come from the Store's current snapshot at query time,
+// which is what makes serving versioned.
+type shardIndex struct {
+	// pages maps local index → global page id (the group's Pages
+	// order, which is also the order snapshot Scores are indexed in).
+	pages []int32
+	// terms present on this shard, ascending.
+	terms []int32
+	// off[i]:off[i+1] brackets terms[i]'s locals; len = len(terms)+1.
+	off []int32
+	// locals are ascending local page indices per term.
+	locals []int32
+}
+
+// postingsOf returns the shard-local posting range of term t, or an
+// empty slice if the shard has no pages containing t.
+//
+//p2plint:hotpath
+func (sh *shardIndex) postingsOf(t int32) []int32 {
+	lo, hi := 0, len(sh.terms)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sh.terms[mid] < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(sh.terms) || sh.terms[lo] != t {
+		return nil
+	}
+	return sh.locals[sh.off[lo]:sh.off[lo+1]]
+}
+
+// Frontend is the distributed-top-k query tier: it knows which shards
+// hold which terms, fans a query out to the shards that can match it,
+// scores each shard's local intersection against that shard's current
+// snapshot, and merges the partials with a bounded heap. Build it
+// once; serve queries through per-goroutine Queriers.
+type Frontend struct {
+	text  search.Config
+	ov    overlay.Network
+	store *Store
+
+	shards []shardIndex
+	// termShards[t] lists the shards holding at least one page with
+	// term t, ascending — the query planner's fan-out map.
+	termShards [][]int32
+
+	cache *queryCache
+
+	// routeMu serializes lazy overlay route lookups: queriers memoize
+	// hop counts per (origin, shard) and only route on cold entries.
+	routeMu sync.Mutex
+}
+
+// NewFrontend builds the shard indexes from the crawl, the page
+// partition, and the text model. The store provides scores at query
+// time; assign must cover the graph and match the store's shard count.
+func NewFrontend(g webgraph.Store, ov overlay.Network, assign *partition.Assignment, store *Store, cfg Config) (*Frontend, error) {
+	text, err := cfg.Text.WithDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if assign == nil {
+		return nil, fmt.Errorf("serve: frontend needs a page assignment")
+	}
+	if len(assign.GroupOf) != g.NumPages() {
+		return nil, fmt.Errorf("serve: assignment covers %d pages, want %d", len(assign.GroupOf), g.NumPages())
+	}
+	if assign.K != store.NumShards() {
+		return nil, fmt.Errorf("serve: assignment has %d shards, store %d", assign.K, store.NumShards())
+	}
+	f := &Frontend{
+		text:       text,
+		ov:         ov,
+		store:      store,
+		shards:     make([]shardIndex, assign.K),
+		termShards: make([][]int32, text.Vocabulary),
+	}
+	for s := range f.shards {
+		f.shards[s].pages = assign.Pages[s]
+	}
+	// Gather (term, local) pairs per shard, then sort and CSR-pack.
+	type pair struct{ term, local int32 }
+	perShard := make([][]pair, assign.K)
+	for p := 0; p < g.NumPages(); p++ {
+		terms, err := search.TermsOf(g, int32(p), text)
+		if err != nil {
+			return nil, err
+		}
+		s := assign.GroupOf[p]
+		for _, t := range terms {
+			perShard[s] = append(perShard[s], pair{term: t, local: assign.LocalIdx[p]})
+		}
+	}
+	for s := range perShard {
+		ps := perShard[s]
+		sort.Slice(ps, func(i, j int) bool {
+			if ps[i].term != ps[j].term {
+				return ps[i].term < ps[j].term
+			}
+			return ps[i].local < ps[j].local
+		})
+		sh := &f.shards[s]
+		sh.locals = make([]int32, len(ps))
+		for i, pr := range ps {
+			sh.locals[i] = pr.local
+			if i == 0 || pr.term != ps[i-1].term {
+				sh.terms = append(sh.terms, pr.term)
+				sh.off = append(sh.off, int32(i))
+			}
+		}
+		sh.off = append(sh.off, int32(len(ps)))
+		for _, t := range sh.terms {
+			f.termShards[t] = append(f.termShards[t], int32(s))
+		}
+	}
+	if cfg.CacheEntries >= 0 {
+		n := cfg.CacheEntries
+		if n == 0 {
+			n = DefaultCacheEntries
+		}
+		f.cache = newQueryCache(n)
+	}
+	return f, nil
+}
+
+// Store returns the snapshot store queries score against.
+func (f *Frontend) Store() *Store { return f.store }
+
+// CacheStats returns cumulative cache hits and misses (zero when
+// caching is disabled).
+func (f *Frontend) CacheStats() (hits, misses int64) {
+	if f.cache == nil {
+		return 0, 0
+	}
+	return f.cache.stats()
+}
+
+// Querier is a per-goroutine handle on the Frontend: it owns the
+// scratch buffers (candidate sets, intersection buffers, the merge
+// heap, hop memos) that make the steady-state read path allocation
+// free. A Querier must not be shared between goroutines; the Frontend
+// and Store it reads are safe for any number of concurrent Queriers.
+type Querier struct {
+	f    *Frontend
+	heap topK
+	cand []int32
+	candB []int32
+	inter []int32
+	interB []int32
+	// hopRows memoizes overlay hop counts per query origin: one dense
+	// per-shard row per distinct Request.From, -1 = not routed yet.
+	hopRows map[int][]int32
+}
+
+// NewQuerier creates an independent query handle.
+func (f *Frontend) NewQuerier() *Querier {
+	return &Querier{f: f, hopRows: make(map[int][]int32)}
+}
+
+// Serve implements search.Server: distributed conjunctive top-k over
+// the current snapshots. The response's Version is the oldest snapshot
+// version consulted, its Staleness the worst rounds-behind over the
+// consulted shards, and its Cost the overlay lookup hops from
+// req.From to each consulted shard plus one response message each.
+// Results go into resp.Postings[:0]; with a warm Querier and a reused
+// Response the steady-state path performs zero allocations.
+//
+//p2plint:hotpath
+func (q *Querier) Serve(req search.Request, resp *search.Response) error {
+	f := q.f
+	resp.Postings = resp.Postings[:0]
+	resp.Version = 0
+	resp.Staleness = 0
+	resp.Cost = search.Cost{}
+	if err := req.Validate(f.text.Vocabulary); err != nil {
+		return err
+	}
+	storeV := f.store.Version()
+	if req.MinVersion > storeV {
+		return fmt.Errorf("%w: store at version %d, want >= %d", search.ErrStaleIndex, storeV, req.MinVersion)
+	}
+	if f.cache != nil && f.cache.get(req.Terms, req.K, req.From, storeV, resp) {
+		if resp.Version < req.MinVersion {
+			return fmt.Errorf("%w: served version %d, want >= %d", search.ErrStaleIndex, resp.Version, req.MinVersion)
+		}
+		return nil
+	}
+
+	cand := q.planShards(req.Terms)
+	q.heap.reset(req.K)
+	minVersion := int64(0)
+	maxStale := int64(0)
+	for _, s := range cand {
+		snap := f.store.Snapshot(int(s))
+		if snap == nil {
+			return fmt.Errorf("%w: shard %d has published no snapshot", search.ErrStaleIndex, s)
+		}
+		if snap.Version < req.MinVersion {
+			return fmt.Errorf("%w: shard %d at version %d, want >= %d", search.ErrStaleIndex, s, snap.Version, req.MinVersion)
+		}
+		if minVersion == 0 || snap.Version < minVersion {
+			minVersion = snap.Version
+		}
+		if st := f.store.Staleness(int(s)); st > maxStale {
+			maxStale = st
+		}
+		q.scanShard(s, snap, req.Terms)
+		h, err := q.hops(req.From, s)
+		if err != nil {
+			return err
+		}
+		resp.Cost.LookupHops += h
+		resp.Cost.Responses++
+	}
+	if minVersion == 0 {
+		// No shard can match the conjunction: the answer is empty at
+		// the store's current version.
+		minVersion = storeV
+	}
+	resp.Version = minVersion
+	resp.Staleness = maxStale
+	resp.Postings = q.heap.drain(resp.Postings)
+	if f.cache != nil {
+		f.cache.put(req.Terms, req.K, req.From, storeV, resp)
+	}
+	return nil
+}
+
+// planShards intersects the per-term shard lists (smallest first) into
+// the set of shards that hold at least one page with EVERY query term
+// — only those can contribute to a conjunctive match.
+//
+//p2plint:hotpath
+func (q *Querier) planShards(terms []int32) []int32 {
+	f := q.f
+	// Start from the rarest term's shard list.
+	best := 0
+	for i := 1; i < len(terms); i++ {
+		if len(f.termShards[terms[i]]) < len(f.termShards[terms[best]]) {
+			best = i
+		}
+	}
+	cur := f.termShards[terms[best]]
+	if len(terms) == 1 {
+		return cur
+	}
+	// Double-buffered progressive intersection: cur always lives in
+	// the buffer we are NOT about to write.
+	a, b := q.cand, q.candB
+	for i, t := range terms {
+		if i == best {
+			continue
+		}
+		a = intersect32(a[:0], cur, f.termShards[t])
+		cur = a
+		a, b = b, a
+		if len(cur) == 0 {
+			break
+		}
+	}
+	q.cand, q.candB = a, b
+	return cur
+}
+
+// intersect32 merges two ascending lists into dst (append semantics).
+//
+//p2plint:hotpath
+func intersect32(dst, a, b []int32) []int32 {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
+// scanShard intersects the query terms' posting lists within one shard
+// and offers every surviving page, scored from the shard's snapshot,
+// to the merge heap.
+//
+//p2plint:hotpath
+func (q *Querier) scanShard(s int32, snap *ShardSnapshot, terms []int32) {
+	sh := &q.f.shards[s]
+	cur := sh.postingsOf(terms[0])
+	for i := 1; i < len(terms) && len(cur) > 0; i++ {
+		next := sh.postingsOf(terms[i])
+		dst := q.inter[:0]
+		dst = intersect32(dst, cur, next)
+		q.inter, q.interB = q.interB, dst
+		cur = dst
+	}
+	for _, local := range cur {
+		q.heap.consider(search.Posting{Page: sh.pages[local], Score: snap.Scores[local]})
+	}
+}
+
+// hops returns the memoized overlay hop count from the query origin to
+// a shard, routing on first use.
+//
+//p2plint:hotpath
+func (q *Querier) hops(from int, shard int32) (int, error) {
+	row := q.hopRows[from]
+	if row == nil {
+		//p2plint:allow hotalloc -- one hop row per query origin, reused across all queries
+		row = make([]int32, len(q.f.shards))
+		for i := range row {
+			row[i] = -1
+		}
+		q.hopRows[from] = row
+	}
+	if h := row[shard]; h >= 0 {
+		return int(h), nil
+	}
+	q.f.routeMu.Lock()
+	h, err := overlay.Hops(q.f.ov, from, q.f.ov.NodeID(int(shard)))
+	q.f.routeMu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	row[shard] = int32(h)
+	return h, nil
+}

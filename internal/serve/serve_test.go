@@ -1,0 +1,388 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"p2prank/internal/dprcore"
+	"p2prank/internal/nodeid"
+	"p2prank/internal/overlay"
+	"p2prank/internal/pagerank"
+	"p2prank/internal/partition"
+	"p2prank/internal/pastry"
+	"p2prank/internal/search"
+	"p2prank/internal/serve"
+	"p2prank/internal/telemetry"
+	"p2prank/internal/vecmath"
+	"p2prank/internal/webgraph"
+)
+
+type fixture struct {
+	g      *webgraph.Graph
+	ranks  vecmath.Vec
+	ov     overlay.Network
+	assign *partition.Assignment
+	store  *serve.Store
+	fe     *serve.Frontend
+	text   search.Config
+}
+
+// newFixture ranks a deterministic crawl, shards it over k rankers,
+// publishes every shard's rank slice as a version-1-per-shard
+// snapshot, and builds the query frontend on top.
+func newFixture(t testing.TB, pages, k, cacheEntries int) *fixture {
+	t.Helper()
+	cfg := webgraph.DefaultGenConfig(pages)
+	cfg.Seed = 3
+	g, err := webgraph.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pagerank.Open(g, pagerank.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]nodeid.ID, k)
+	for i := range ids {
+		ids[i] = nodeid.Hash(fmt.Sprintf("ranker-%d", i))
+	}
+	ov, err := pastry.New(ids, pastry.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, err := partition.Assign(g, ov, partition.BySite, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := serve.NewStore(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishAll(t, store, assign, res.Ranks, 1)
+	text := search.DefaultConfig()
+	text.Vocabulary = 500
+	text.TermsPerPage = 8
+	fe, err := serve.NewFrontend(g, ov, assign, store, serve.Config{Text: text, CacheEntries: cacheEntries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{g: g, ranks: res.Ranks, ov: ov, assign: assign, store: store, fe: fe, text: text}
+}
+
+// publishAll pushes each shard's local slice of the global rank vector
+// into the store at the given round.
+func publishAll(t testing.TB, store *serve.Store, assign *partition.Assignment, ranks vecmath.Vec, round int64) {
+	t.Helper()
+	for s := 0; s < assign.K; s++ {
+		local := make([]float64, len(assign.Pages[s]))
+		for i, p := range assign.Pages[s] {
+			local[i] = ranks[p]
+		}
+		if _, err := store.Publish(s, round, local); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestFrontendMatchesStaticIndex is the distributed-top-k correctness
+// anchor: with every shard publishing the same rank vector the static
+// index was built from, the merged per-shard partials must equal the
+// static index's global answer, ties included.
+func TestFrontendMatchesStaticIndex(t *testing.T) {
+	f := newFixture(t, 1500, 8, -1)
+	ix, err := search.Build(f.g, f.ranks, f.ov, f.assign, f.text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := f.fe.NewQuerier()
+	var got, want search.Response
+	queries := [][]int32{{0}, {1, 2}, {0, 1, 2}, {5, 17}, {480, 481, 482}, {3}}
+	for _, terms := range queries {
+		req := search.Request{Terms: terms, K: 10, From: 0}
+		if err := q.Serve(req, &got); err != nil {
+			t.Fatalf("query %v: %v", terms, err)
+		}
+		if err := ix.Serve(req, &want); err != nil {
+			t.Fatalf("static query %v: %v", terms, err)
+		}
+		if len(got.Postings) != len(want.Postings) {
+			t.Fatalf("query %v: %d results, static index %d", terms, len(got.Postings), len(want.Postings))
+		}
+		for i := range got.Postings {
+			if got.Postings[i] != want.Postings[i] {
+				t.Fatalf("query %v result %d: %+v, static %+v", terms, i, got.Postings[i], want.Postings[i])
+			}
+		}
+	}
+}
+
+func TestServeVersionAndStaleness(t *testing.T) {
+	f := newFixture(t, 800, 8, -1)
+	q := f.fe.NewQuerier()
+	var resp search.Response
+	req := search.Request{Terms: []int32{0}, K: 5}
+	if err := q.Serve(req, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Version < 1 || resp.Version > int64(f.store.NumShards()) {
+		t.Fatalf("initial version %d outside first publish wave", resp.Version)
+	}
+	if resp.Staleness != 0 {
+		t.Fatalf("fresh snapshots served with staleness %d", resp.Staleness)
+	}
+	// Three committed-but-unpublished rounds on every shard: any
+	// consulted shard now reports 3 rounds behind.
+	for s := 0; s < f.store.NumShards(); s++ {
+		for i := 0; i < 3; i++ {
+			f.store.Advance(s)
+		}
+	}
+	if err := q.Serve(req, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Staleness != 3 {
+		t.Fatalf("staleness = %d after 3 unpublished rounds, want 3", resp.Staleness)
+	}
+	// Republishing resets staleness and advances every version.
+	before := resp.Version
+	publishAll(t, f.store, f.assign, f.ranks, 4)
+	if err := q.Serve(req, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Staleness != 0 {
+		t.Fatalf("staleness = %d after republish, want 0", resp.Staleness)
+	}
+	if resp.Version <= before {
+		t.Fatalf("version %d did not advance past %d after republish", resp.Version, before)
+	}
+	// MinVersion beyond the store is a typed staleness error;
+	// MinVersion at the served version succeeds.
+	req.MinVersion = f.store.Version() + 1
+	if err := q.Serve(req, &resp); !errors.Is(err, search.ErrStaleIndex) {
+		t.Fatalf("future MinVersion: err = %v, want ErrStaleIndex", err)
+	}
+	req.MinVersion = resp.Version
+	if err := q.Serve(req, &resp); err != nil {
+		t.Fatalf("satisfiable MinVersion rejected: %v", err)
+	}
+}
+
+func TestServeUnpublishedStoreIsStale(t *testing.T) {
+	f := newFixture(t, 500, 4, -1)
+	empty, err := serve.NewStore(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := serve.NewFrontend(f.g, f.ov, f.assign, empty, serve.Config{Text: f.text, CacheEntries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp search.Response
+	err = fe.NewQuerier().Serve(search.Request{Terms: []int32{0}, K: 3}, &resp)
+	if !errors.Is(err, search.ErrStaleIndex) {
+		t.Fatalf("query before any publish: err = %v, want ErrStaleIndex", err)
+	}
+}
+
+func TestServeValidation(t *testing.T) {
+	f := newFixture(t, 300, 4, -1)
+	q := f.fe.NewQuerier()
+	var resp search.Response
+	if err := q.Serve(search.Request{K: 3}, &resp); err == nil {
+		t.Error("empty query accepted")
+	}
+	if err := q.Serve(search.Request{Terms: []int32{0}}, &resp); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if err := q.Serve(search.Request{Terms: []int32{9999}, K: 3}, &resp); !errors.Is(err, search.ErrUnknownTerm) {
+		t.Errorf("out-of-vocabulary term: err = %v, want ErrUnknownTerm", err)
+	}
+}
+
+func TestCacheHitsAndInvalidation(t *testing.T) {
+	f := newFixture(t, 800, 8, 64)
+	q := f.fe.NewQuerier()
+	var first, second search.Response
+	req := search.Request{Terms: []int32{0, 1}, K: 10}
+	if err := q.Serve(req, &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Serve(req, &second); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := f.fe.CacheStats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("cache stats = %d hits / %d misses, want 1/1", hits, misses)
+	}
+	if len(first.Postings) != len(second.Postings) {
+		t.Fatalf("cached response differs: %d vs %d postings", len(first.Postings), len(second.Postings))
+	}
+	for i := range first.Postings {
+		if first.Postings[i] != second.Postings[i] {
+			t.Fatalf("cached posting %d: %+v vs %+v", i, first.Postings[i], second.Postings[i])
+		}
+	}
+	if first.Version != second.Version || first.Staleness != second.Staleness || first.Cost != second.Cost {
+		t.Fatal("cached response metadata differs from computed one")
+	}
+	// A publish mints a new store version, so the same query recomputes.
+	publishAll(t, f.store, f.assign, f.ranks, 2)
+	if err := q.Serve(req, &second); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses2 := f.fe.CacheStats(); misses2 != 2 {
+		t.Fatalf("misses = %d after version bump, want 2 (cache must invalidate)", misses2)
+	}
+	if second.Version <= first.Version {
+		t.Fatalf("post-publish version %d not newer than %d", second.Version, first.Version)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	f := newFixture(t, 300, 4, -1)
+	q := f.fe.NewQuerier()
+	var resp search.Response
+	req := search.Request{Terms: []int32{0}, K: 5}
+	for i := 0; i < 3; i++ {
+		if err := q.Serve(req, &resp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits, misses := f.fe.CacheStats(); hits != 0 || misses != 0 {
+		t.Fatalf("disabled cache recorded %d hits / %d misses", hits, misses)
+	}
+}
+
+// TestPublisherSeam drives the dprcore Checkpointer path: DPRS bytes
+// in, published snapshot out, original bytes teed to the next sink.
+func TestPublisherSeam(t *testing.T) {
+	store, err := serve.NewStore(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := dprcore.NewMemCheckpointer()
+	pub := serve.NewPublisher(store, mem)
+	scores := []float64{0.5, 0.25, 0.125}
+	data := dprcore.EncodeRankSnapshot(nil, 2, 7, scores)
+	if err := pub.Save(2, 7, data); err != nil {
+		t.Fatal(err)
+	}
+	snap := store.Snapshot(2)
+	if snap == nil || snap.Round != 7 || snap.Version != 1 {
+		t.Fatalf("published snapshot = %+v", snap)
+	}
+	for i, v := range scores {
+		if snap.Scores[i] != v {
+			t.Fatalf("score[%d] = %v, want %v", i, snap.Scores[i], v)
+		}
+	}
+	if _, round, ok := mem.Load(2); !ok || round != 7 {
+		t.Fatalf("tee sink: ok=%v round=%d", ok, round)
+	}
+	// A snapshot belonging to a different group must be refused.
+	if err := pub.Save(1, 7, data); err == nil {
+		t.Fatal("group-mismatched snapshot accepted")
+	}
+	if err := pub.Save(3, 1, []byte("garbage")); err == nil {
+		t.Fatal("corrupt snapshot accepted")
+	}
+}
+
+func TestTrackerStalenessAccounting(t *testing.T) {
+	store, err := serve.NewStore(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Publish(0, 0, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	tr := serve.NewTracker(store, nil)
+	for round := int64(1); round <= 3; round++ {
+		tr.ComputeEnd(0, round, telemetry.ComputeStats{})
+	}
+	if st := store.Staleness(0); st != 3 {
+		t.Fatalf("staleness = %d after 3 rounds, want 3", st)
+	}
+	if tr.MaxObservedStaleness() != 3 {
+		t.Fatalf("max observed = %d, want 3", tr.MaxObservedStaleness())
+	}
+	if _, err := store.Publish(0, 3, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if st := store.Staleness(0); st != 0 {
+		t.Fatalf("staleness = %d after publish, want 0", st)
+	}
+	if tr.MaxObservedStaleness() != 3 {
+		t.Fatal("max observed staleness must be monotone")
+	}
+	// Rankers beyond the serving tier are ignored, not a panic.
+	tr.ComputeEnd(99, 1, telemetry.ComputeStats{})
+}
+
+func TestHTTPHandler(t *testing.T) {
+	f := newFixture(t, 500, 4, 0)
+	srv := httptest.NewServer(serve.NewHandler(f.fe, 5, nil).Mux())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/search?terms=0,1&k=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var body struct {
+		Version   int64 `json:"version"`
+		Staleness int64 `json:"staleness"`
+		Postings  []struct {
+			Page  int32   `json:"page"`
+			Score float64 `json:"score"`
+		} `json:"postings"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Version < 1 {
+		t.Fatalf("served version %d", body.Version)
+	}
+	if len(body.Postings) == 0 || len(body.Postings) > 3 {
+		t.Fatalf("got %d postings for k=3", len(body.Postings))
+	}
+
+	if resp, err = http.Get(srv.URL + "/search?terms=abc"); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed terms: status = %d, want 400", resp.StatusCode)
+	}
+
+	if resp, err = http.Get(srv.URL + "/search?terms=0&minv=999999"); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unsatisfiable minv: status = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestStoreValidation(t *testing.T) {
+	if _, err := serve.NewStore(0); err == nil {
+		t.Error("zero-shard store accepted")
+	}
+	store, err := serve.NewStore(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Publish(5, 1, nil); err == nil {
+		t.Error("out-of-range publish accepted")
+	}
+	if v := store.Version(); v != 0 {
+		t.Errorf("fresh store at version %d", v)
+	}
+}

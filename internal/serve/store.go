@@ -1,0 +1,140 @@
+// Package serve is the query-serving tier: rankers publish versioned,
+// immutable rank snapshots into a Store, and a query front end answers
+// conjunctive top-k searches by merging per-shard partial results over
+// the overlay — the read path the ROADMAP's "millions of users" north
+// star needs, with served-rank staleness as a first-class quantity.
+//
+// The serving contract is snapshot-based, not live-vector reads: a
+// ranker's in-progress R changes every round, so queries read the last
+// published snapshot instead. Publication rides the PR 5 checkpoint
+// seam — a Publisher decodes the same DPRS-encoded snapshots the
+// Checkpointer interface carries — so the checkpoint cadence IS the
+// staleness bound: a shard is never more than Checkpoint.Every
+// committed rounds behind what queries see.
+package serve
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Telemetry receives serving-side events. The live collector
+// (telemetry.LiveCollector) implements it; nil disables reporting.
+type Telemetry interface {
+	// QueryServed records one answered query: its latency in seconds
+	// and the staleness (rounds behind live) of the served ranks.
+	QueryServed(latencySeconds float64, staleness int64)
+	// SnapshotPublished records a shard publishing a new snapshot.
+	SnapshotPublished(shard int, version, round int64)
+}
+
+// ShardSnapshot is one shard's published rank state. Immutable after
+// publication: readers hold the pointer, never the slot, so a
+// concurrent publish can never tear a version out from under a query.
+type ShardSnapshot struct {
+	// Shard is the owning ranker/group index.
+	Shard int
+	// Version is the store-global publish sequence number — strictly
+	// monotone across all publishes, so it orders snapshots even when
+	// a cold restart resets a ranker's round counter.
+	Version int64
+	// Round is the committed loop round the scores were taken at.
+	Round int64
+	// Scores are the shard's local-page-indexed ranks (the group's
+	// Pages order). Readers must not modify them.
+	Scores []float64
+}
+
+type shardSlot struct {
+	snap atomic.Pointer[ShardSnapshot]
+	// ticks counts committed rounds since the last publish — the
+	// shard's current staleness in rounds.
+	ticks atomic.Int64
+}
+
+// Store holds the newest published snapshot per shard behind atomic
+// pointers. Queries on any goroutine read consistent per-shard state
+// without locks; publishes to the same shard must be serialized (they
+// come from one ranker's commit context), publishes to different
+// shards may run concurrently.
+type Store struct {
+	version atomic.Int64
+	shards  []shardSlot
+	tel     Telemetry
+}
+
+// NewStore builds a store for the given shard count with nothing
+// published yet.
+func NewStore(shards int) (*Store, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("serve: store needs a positive shard count, got %d", shards)
+	}
+	return &Store{shards: make([]shardSlot, shards)}, nil
+}
+
+// SetTelemetry installs the event sink. Call before concurrent use.
+func (s *Store) SetTelemetry(t Telemetry) { s.tel = t }
+
+// NumShards returns the shard count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// Version returns the global publish counter: the version the next
+// publish will mint minus nothing — 0 means nothing published yet.
+func (s *Store) Version() int64 { return s.version.Load() }
+
+// Publish installs a new snapshot for shard: scores are copied (the
+// caller's buffer is typically reused), a fresh global version is
+// minted, and the shard's staleness ticks reset to zero. Returns the
+// minted version.
+func (s *Store) Publish(shard int, round int64, scores []float64) (int64, error) {
+	if shard < 0 || shard >= len(s.shards) {
+		return 0, fmt.Errorf("serve: publish to shard %d of %d", shard, len(s.shards))
+	}
+	cp := make([]float64, len(scores))
+	copy(cp, scores)
+	v := s.version.Add(1)
+	slot := &s.shards[shard]
+	slot.snap.Store(&ShardSnapshot{Shard: shard, Version: v, Round: round, Scores: cp})
+	slot.ticks.Store(0)
+	if s.tel != nil {
+		s.tel.SnapshotPublished(shard, v, round)
+	}
+	return v, nil
+}
+
+// Snapshot returns shard's newest published snapshot, or nil if the
+// shard has never published.
+//
+//p2plint:hotpath
+func (s *Store) Snapshot(shard int) *ShardSnapshot {
+	return s.shards[shard].snap.Load()
+}
+
+// Advance records one committed-but-unpublished round for shard and
+// returns the shard's new staleness in rounds. Out-of-range shards
+// (rankers beyond the serving tier) are ignored.
+func (s *Store) Advance(shard int) int64 {
+	if shard < 0 || shard >= len(s.shards) {
+		return 0
+	}
+	return s.shards[shard].ticks.Add(1)
+}
+
+// Staleness returns how many committed rounds behind the live
+// computation shard's published snapshot is.
+//
+//p2plint:hotpath
+func (s *Store) Staleness(shard int) int64 {
+	return s.shards[shard].ticks.Load()
+}
+
+// MaxStaleness returns the worst per-shard staleness right now.
+func (s *Store) MaxStaleness() int64 {
+	var max int64
+	for i := range s.shards {
+		if t := s.shards[i].ticks.Load(); t > max {
+			max = t
+		}
+	}
+	return max
+}

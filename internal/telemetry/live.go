@@ -13,6 +13,12 @@ import (
 // the first bucket).
 var innerIterBuckets = [...]int64{1, 2, 4, 8, 16, 32, 64, 128}
 
+// queryLatencyBuckets are the histogram boundaries (seconds) for
+// serving-tier query latency: 50µs up to 100ms.
+var queryLatencyBuckets = [...]float64{
+	50e-6, 100e-6, 250e-6, 500e-6, 1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3,
+}
+
 // TraceEvent is one entry of the live collector's per-round JSONL
 // trace. T is the runtime clock minus the collector's first-event time
 // (nanoseconds live); zero-valued fields are omitted from the JSON.
@@ -62,6 +68,14 @@ type LiveCollector struct {
 	histoBucket [len(innerIterBuckets) + 1]int64
 	histoSum    int64
 	histoCount  int64
+
+	queryBucket   [len(queryLatencyBuckets) + 1]int64
+	querySum      float64
+	queryCount    int64
+	stalenessLast int64
+	stalenessMax  int64
+	snapPublishes int64
+	snapVersion   int64
 
 	ring     []TraceEvent
 	ringNext int
@@ -224,6 +238,50 @@ func (c *LiveCollector) Milestone(m Milestone) {
 	c.trace(TraceEvent{T: c.now(), Ranker: -1, Event: "milestone", RelErr: m.RelErr})
 }
 
+// QueryServed records one serving-tier query: wall-clock latency in
+// seconds plus the staleness (rounds behind) of the served ranks. It
+// implements the serving layer's Telemetry sink.
+func (c *LiveCollector) QueryServed(latencySeconds float64, staleness int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	placed := false
+	for i, le := range queryLatencyBuckets {
+		if latencySeconds <= le {
+			c.queryBucket[i]++
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		c.queryBucket[len(queryLatencyBuckets)]++ // +Inf
+	}
+	c.querySum += latencySeconds
+	c.queryCount++
+	c.stalenessLast = staleness
+	if staleness > c.stalenessMax {
+		c.stalenessMax = staleness
+	}
+}
+
+// SnapshotPublished records a rank-snapshot swap in the serving store.
+func (c *LiveCollector) SnapshotPublished(shard int, version, round int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.snapPublishes++
+	if version > c.snapVersion {
+		c.snapVersion = version
+	}
+	c.trace(TraceEvent{T: c.now(), Ranker: shard, Event: "publish", Round: round})
+}
+
+// QueriesServed returns the query count — the serve smoke tests' "load
+// generator ran" probe, without a scrape.
+func (c *LiveCollector) QueriesServed() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.queryCount
+}
+
 // Rounds returns the total committed loop count across rankers — the
 // smoke tests' "round counters advance" probe, without a scrape.
 func (c *LiveCollector) Rounds() int64 {
@@ -324,6 +382,41 @@ func (c *LiveCollector) WriteMetrics(w io.Writer) error {
 	b = strconv.AppendInt(b, c.histoSum, 10)
 	b = append(b, "\np2prank_inner_iterations_count "...)
 	b = strconv.AppendInt(b, c.histoCount, 10)
+	b = append(b, '\n')
+
+	b = append(b, "# HELP p2prank_queries_total Serving-tier queries answered.\n# TYPE p2prank_queries_total counter\np2prank_queries_total "...)
+	b = strconv.AppendInt(b, c.queryCount, 10)
+	b = append(b, '\n')
+
+	b = append(b, "# HELP p2prank_query_latency_seconds Serving-tier query latency.\n# TYPE p2prank_query_latency_seconds histogram\n"...)
+	var qcum int64
+	for i, le := range queryLatencyBuckets {
+		qcum += c.queryBucket[i]
+		b = append(b, "p2prank_query_latency_seconds_bucket{le=\""...)
+		b = strconv.AppendFloat(b, le, 'g', -1, 64)
+		b = append(b, "\"} "...)
+		b = strconv.AppendInt(b, qcum, 10)
+		b = append(b, '\n')
+	}
+	qcum += c.queryBucket[len(queryLatencyBuckets)]
+	b = append(b, "p2prank_query_latency_seconds_bucket{le=\"+Inf\"} "...)
+	b = strconv.AppendInt(b, qcum, 10)
+	b = append(b, "\np2prank_query_latency_seconds_sum "...)
+	b = strconv.AppendFloat(b, c.querySum, 'e', -1, 64)
+	b = append(b, "\np2prank_query_latency_seconds_count "...)
+	b = strconv.AppendInt(b, c.queryCount, 10)
+	b = append(b, '\n')
+
+	b = append(b, "# HELP p2prank_served_staleness Rounds behind on the last served query.\n# TYPE p2prank_served_staleness gauge\np2prank_served_staleness "...)
+	b = strconv.AppendInt(b, c.stalenessLast, 10)
+	b = append(b, "\n# HELP p2prank_served_staleness_max Worst staleness served so far.\n# TYPE p2prank_served_staleness_max gauge\np2prank_served_staleness_max "...)
+	b = strconv.AppendInt(b, c.stalenessMax, 10)
+	b = append(b, '\n')
+
+	b = append(b, "# HELP p2prank_snapshot_publishes_total Rank snapshots swapped into the serving store.\n# TYPE p2prank_snapshot_publishes_total counter\np2prank_snapshot_publishes_total "...)
+	b = strconv.AppendInt(b, c.snapPublishes, 10)
+	b = append(b, "\n# HELP p2prank_snapshot_version Newest published snapshot version.\n# TYPE p2prank_snapshot_version gauge\np2prank_snapshot_version "...)
+	b = strconv.AppendInt(b, c.snapVersion, 10)
 	b = append(b, '\n')
 
 	_, err := w.Write(b)

@@ -106,6 +106,41 @@ func TestLiveCollectorMetricsText(t *testing.T) {
 	}
 }
 
+func TestLiveCollectorServingMetrics(t *testing.T) {
+	c := NewLiveCollector(2)
+	c.QueryServed(30e-6, 2)  // below the first bucket
+	c.QueryServed(700e-6, 5) // lands in le="0.001"
+	c.QueryServed(1.5, 1)    // beyond the last bucket: +Inf only
+	c.SnapshotPublished(0, 1, 3)
+	c.SnapshotPublished(1, 2, 3)
+
+	var buf bytes.Buffer
+	if err := c.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`p2prank_queries_total 3`,
+		`p2prank_query_latency_seconds_bucket{le="5e-05"} 1`,
+		`p2prank_query_latency_seconds_bucket{le="0.001"} 2`,
+		`p2prank_query_latency_seconds_bucket{le="0.1"} 2`,
+		`p2prank_query_latency_seconds_bucket{le="+Inf"} 3`,
+		`p2prank_query_latency_seconds_count 3`,
+		`p2prank_served_staleness 1`,
+		`p2prank_served_staleness_max 5`,
+		`p2prank_snapshot_publishes_total 2`,
+		`p2prank_snapshot_version 2`,
+		"# TYPE p2prank_query_latency_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q\n%s", want, out)
+		}
+	}
+	if c.QueriesServed() != 3 {
+		t.Fatalf("QueriesServed() = %d", c.QueriesServed())
+	}
+}
+
 func TestLiveCollectorTraceRingWraps(t *testing.T) {
 	c := NewLiveCollector(1)
 	c.SetTraceCap(3)
