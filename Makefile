@@ -30,11 +30,14 @@ race:
 		./internal/engine/... ./internal/par/... ./internal/telemetry/... ./internal/serve/...
 
 # Failure-path suite under the race detector: crash/restart churn in
-# both runtimes, checkpointed recovery, the supervisor, and the
-# reliable ack/retry/backoff layer (see DESIGN.md §11).
+# both runtimes, checkpointed recovery, the supervisor, the reliable
+# ack/retry/backoff layer, and the partition/straggler fault lattice
+# (see DESIGN.md §11 and §17) — plus the end-to-end serve-under-
+# partition smoke (dprnode -serve through a healing cut).
 chaos:
-	$(GO) test -race -count=1 -run 'Churn|KillRestart|Supervisor|Snapshot|Checkpoint|Reliable' \
+	$(GO) test -race -count=1 -run 'Churn|KillRestart|Supervisor|Snapshot|Checkpoint|Reliable|Partition|Straggler' \
 		./internal/dprcore/... ./internal/engine/... ./internal/netpeer/...
+	$(GO) test -run TestServeChaosPartitionDprnode -v ./internal/clitest/
 
 # End-to-end observability check: boot a 3-ranker dprnode cluster with
 # -obs, scrape /metrics while it runs, and require the round counters
@@ -70,5 +73,5 @@ scale-smoke:
 bench-gate:
 	$(GO) run ./cmd/benchgate
 
-verify: build vet lint test race obs-smoke serve-smoke bench-gate
+verify: build vet lint test race chaos obs-smoke serve-smoke bench-gate
 	@echo "verify: all checks passed"

@@ -98,6 +98,15 @@ func main() {
 		// to nothing. Interpret small meandelay values as milliseconds.
 		fault.MeanDelay *= float64(time.Millisecond)
 	}
+	if fault.PartitionFrac > 0 && fault.PartitionTo < float64(time.Millisecond) {
+		// Partition windows get the same bridge; the -pto default
+		// (MaxFloat64, "never heals") is already past the threshold.
+		fault.PartitionFrom *= float64(time.Millisecond)
+		fault.PartitionTo *= float64(time.Millisecond)
+	}
+	if fault.StraggleFrac > 0 && fault.StraggleFactor > 0 && fault.StraggleFactor < float64(time.Millisecond) {
+		fault.StraggleFactor *= float64(time.Millisecond)
+	}
 	reliable, err := cliflags.ParseReliable(*relSpec)
 	if err != nil {
 		fatal(err)
@@ -171,6 +180,7 @@ func runDemo(pages, k int, params dprcore.Params, target float64, seed uint64, i
 	}
 	fmt.Printf("demo: %d pages, %d rankers (%v, %s transmission), real TCP on localhost\n",
 		pages, k, params.Alg, mode)
+	epoch := time.Now() // ≈ the peers' fault-injector epochs (set at construction)
 	cl, err := netpeer.StartCluster(g, netpeer.ClusterConfig{
 		Params: params,
 		K:      k, MeanWait: 20 * time.Millisecond, Seed: seed,
@@ -182,7 +192,7 @@ func runDemo(pages, k int, params dprcore.Params, target float64, seed uint64, i
 	defer cl.Close()
 	var served *int64
 	if store != nil {
-		stopServe, counter, err := startServing(cl, g, k, store, col, srvAddr, qps, topk)
+		stopServe, counter, err := startServing(cl, g, k, store, col, srvAddr, qps, topk, params.Fault, seed, epoch)
 		if err != nil {
 			fatal(err)
 		}
@@ -226,9 +236,11 @@ func runDemo(pages, k int, params dprcore.Params, target float64, seed uint64, i
 // publisher goroutine polls each live peer's local rank vector into the
 // snapshot store, the serve.Handler answers /search on srvAddr, and an
 // optional internal load generator (-qps) drives the merged read path,
-// reporting per-query latency and staleness to the live collector. The
-// returned func stops all of it; the int64 counts load-gen queries.
-func startServing(cl *netpeer.Cluster, g webgraph.Store, k int, store *serve.Store, col *telemetry.LiveCollector, addr string, qps, topk int) (func(), *int64, error) {
+// reporting per-query latency and staleness to the live collector. When
+// -fault injects partitions or stragglers, the frontend shares the
+// peers' lattice so its fan-outs route around the cut. The returned
+// func stops all of it; the int64 counts load-gen queries.
+func startServing(cl *netpeer.Cluster, g webgraph.Store, k int, store *serve.Store, col *telemetry.LiveCollector, addr string, qps, topk int, fault dprcore.FaultConfig, seed uint64, epoch time.Time) (func(), *int64, error) {
 	var tel serve.Telemetry
 	if col != nil {
 		tel = col
@@ -240,7 +252,29 @@ func startServing(cl *netpeer.Cluster, g webgraph.Store, k int, store *serve.Sto
 	if err != nil {
 		return nil, nil, err
 	}
-	fe, err := serve.NewFrontend(g, ov, cl.Assignment, store, serve.Config{})
+	cfg := serve.Config{}
+	if fault.PartitionFrac > 0 || fault.StraggleFrac > 0 {
+		// The same seed defaulting StartCluster applies per peer, so the
+		// frontend sees the exact cut the injectors enforce.
+		if fault.Seed == 0 {
+			fault.Seed = seed
+			if fault.Seed == 0 {
+				fault.Seed = 1
+			}
+		}
+		at := 0
+		for at < k && fault.PartitionMinority(at) {
+			at++
+		}
+		health, err := serve.NewLatticeHealth(fault, at, func() float64 {
+			return float64(time.Since(epoch))
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg.Health = health
+	}
+	fe, err := serve.NewFrontend(g, ov, cl.Assignment, store, cfg)
 	if err != nil {
 		return nil, nil, err
 	}

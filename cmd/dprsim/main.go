@@ -14,6 +14,7 @@
 //	dprsim -exp faults              # convergence under injected message faults
 //	dprsim -exp churn               # convergence with rankers crashing mid-run
 //	dprsim -exp scale               # DPR1/DPR2 at N = 10³/10⁴/10⁵ with model validation
+//	dprsim -exp degrade             # degraded serving under partition/straggler faults
 //
 // Scale the workload with -pages / -sites; write curves as CSV with
 // -csv FILE.
@@ -43,7 +44,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "fig6", "experiment: fig6|fig7|fig8|transmission|traffic|bandwidth|cut|hops|faults|churn|scale")
+		exp     = flag.String("exp", "fig6", "experiment: fig6|fig7|fig8|transmission|traffic|bandwidth|cut|hops|faults|churn|scale|serve|degrade")
 		pages   = flag.Int("pages", 20000, "crawl size")
 		sites   = flag.Int("sites", 100, "site count (the paper's dataset has 100)")
 		seed    = cliflags.Seed(flag.CommandLine)
@@ -168,6 +169,14 @@ func main() {
 		}
 		fmt.Println("Serving tier: distributed top-k over published rank snapshots, 20 pages/ranker")
 		fmt.Print(experiments.RenderServe(rows))
+	case "degrade":
+		kk := pick(*k, 256)
+		rows, err := runDegrade(kk, *seed, *queries, *qps, *topk)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Degraded serving: admission + hedged fan-out under partition/straggler faults")
+		fmt.Print(experiments.RenderDegrade(rows))
 	case "cut":
 		kk := pick(*k, 32)
 		rows, err := experiments.PartitionCut(w, kk)
@@ -315,6 +324,69 @@ func runServe(counts []int, seed uint64, queries, qps, topk int, srvAddr string)
 				return nil, err
 			}
 		}
+	}
+	return rows, nil
+}
+
+// runDegrade sweeps the degraded-serving benchmark over the fault
+// lattice: partition span × straggler fraction, with the deterministic
+// outcomes (sheds, coverage, rank error, recovery) from
+// experiments.DegradeBench and the wall-clock half — per-query latency
+// under optional -qps pacing — measured here.
+func runDegrade(kk int, seed uint64, queries, qps, topk int) ([]experiments.DegradeRow, error) {
+	sweep := []struct{ part, strag float64 }{
+		{0, 0},
+		{0.1, 0},
+		{0.1, 0.25},
+		{0.3, 0},
+		{0.3, 0.25},
+	}
+	var interval time.Duration
+	if qps > 0 {
+		interval = time.Duration(float64(time.Second) / float64(qps))
+	}
+	var rows []experiments.DegradeRow
+	for _, c := range sweep {
+		fmt.Fprintf(os.Stderr, "dprsim: degrade K=%d queries=%d partition=%.0f%% stragglers=%.0f%%...\n",
+			kk, queries, 100*c.part, 100*c.strag)
+		b, err := experiments.NewDegradeBench(experiments.ServeWorkload(kk, seed), kk, queries, c.part, c.strag)
+		if err != nil {
+			return nil, err
+		}
+		var (
+			resp search.Response
+			lat  = make([]float64, 0, queries)
+		)
+		start := time.Now()
+		next := start
+		for i, req := range b.Queries() {
+			if err := b.Advance(i); err != nil {
+				return nil, err
+			}
+			if interval > 0 {
+				next = next.Add(interval)
+				if d := time.Until(next); d > 0 {
+					time.Sleep(d)
+				}
+			}
+			req.K = topk
+			t0 := time.Now()
+			serveErr := b.Serve(req, &resp)
+			if serveErr == nil {
+				lat = append(lat, time.Since(t0).Seconds())
+			}
+			if err := b.Record(i, req, &resp, serveErr); err != nil {
+				return nil, fmt.Errorf("degrade K=%d query %v: %w", kk, req.Terms, err)
+			}
+		}
+		row := b.Finish()
+		row.WallSeconds = time.Since(start).Seconds()
+		row.TargetQPS = qps
+		if row.WallSeconds > 0 {
+			row.AchievedQPS = float64(len(b.Queries())) / row.WallSeconds
+		}
+		row.P50Micros, row.P99Micros = experiments.LatencyMicros(lat)
+		rows = append(rows, row)
 	}
 	return rows, nil
 }

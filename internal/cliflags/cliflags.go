@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -69,13 +70,18 @@ func ParseCodec(name string) (transport.ChunkCodec, error) {
 // Fault registers the shared -fault flag.
 func Fault(fs *flag.FlagSet) *string {
 	return fs.String("fault", "",
-		"message faults: drop=P[,delay=P][,meandelay=D][,dup=P] (empty = none)")
+		"message faults: drop=P[,delay=P][,meandelay=D][,dup=P]"+
+			"[,partition=F,pfrom=T,pto=T][,straggle=F,sfactor=D][,fseed=N] (empty = none)")
 }
 
 // ParseFault maps a -fault spec — comma-separated key=value pairs with
-// keys drop, delay, meandelay, dup — onto a dprcore.FaultConfig. The
-// delay mean defaults to 5 time units when delays are enabled without
-// an explicit meandelay.
+// keys drop, delay, meandelay, dup, partition, pfrom, pto, straggle,
+// sfactor, fseed — onto a dprcore.FaultConfig. The delay mean defaults
+// to 5 time units when delays are enabled without an explicit
+// meandelay, and the straggler hold-back likewise defaults to 5 units;
+// a partition without an explicit pto never heals. Times are in the
+// runtime's units (virtual units in-sim; the live CLI bridges small
+// values to milliseconds, see dprnode).
 func ParseFault(spec string) (dprcore.FaultConfig, error) {
 	var fc dprcore.FaultConfig
 	if spec == "" {
@@ -99,12 +105,30 @@ func ParseFault(spec string) (dprcore.FaultConfig, error) {
 			fc.MeanDelay = v
 		case "dup":
 			fc.DupProb = v
+		case "partition":
+			fc.PartitionFrac = v
+		case "pfrom", "partition-from":
+			fc.PartitionFrom = v
+		case "pto", "partition-to":
+			fc.PartitionTo = v
+		case "straggle":
+			fc.StraggleFrac = v
+		case "sfactor", "straggle-factor":
+			fc.StraggleFactor = v
+		case "fseed", "fault-seed":
+			fc.Seed = uint64(v)
 		default:
-			return fc, fmt.Errorf("unknown -fault key %q (drop|delay|meandelay|dup)", kv[0])
+			return fc, fmt.Errorf("unknown -fault key %q (drop|delay|meandelay|dup|partition|pfrom|pto|straggle|sfactor|fseed)", kv[0])
 		}
 	}
 	if fc.DelayProb > 0 && fc.MeanDelay == 0 {
 		fc.MeanDelay = 5
+	}
+	if fc.PartitionFrac > 0 && fc.PartitionTo == 0 {
+		fc.PartitionTo = math.MaxFloat64
+	}
+	if fc.StraggleFrac > 0 && fc.StraggleFactor == 0 {
+		fc.StraggleFactor = 5
 	}
 	if err := fc.Validate(); err != nil {
 		return fc, fmt.Errorf("bad -fault %q: %w", spec, err)

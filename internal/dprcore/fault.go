@@ -27,19 +27,51 @@ type FaultConfig struct {
 	// DupProb sends the chunk twice — the receiver's staleness handling
 	// must make the duplicate harmless.
 	DupProb float64
+
+	// PartitionFrac places that fraction of nodes on the minority side
+	// of a seeded network partition. While the partition is active,
+	// chunks crossing between the two sides are blackholed in both
+	// directions; traffic within a side is untouched. Membership is a
+	// pure hash of (Seed, node), so every FaultSender in a run — the
+	// simulator's single injector or netpeer's per-peer ones — agrees on
+	// the cut without sharing state, and so the serving tier can derive
+	// shard reachability from the same function (the fault lattice).
+	PartitionFrac float64
+	// PartitionFrom / PartitionTo bound the partition window, in the
+	// runtime's time units measured from the injector's construction
+	// (virtual units in-sim, nanoseconds live). The partition heals at
+	// PartitionTo. Required when PartitionFrac > 0: To > From ≥ 0.
+	PartitionFrom float64
+	PartitionTo   float64
+
+	// StraggleFrac marks that fraction of nodes as stragglers: the same
+	// seeded nodes stay slow for the whole run (a persistent slowdown,
+	// unlike DelayProb's independent per-chunk lottery).
+	StraggleFrac float64
+	// StraggleFactor is the fixed hold-back applied to every chunk a
+	// straggler emits, in the runtime's time units. Required positive
+	// when StraggleFrac > 0.
+	StraggleFactor float64
+
+	// Seed keys partition and straggler membership. Runs that differ
+	// only in Seed cut the network differently; the drivers default it
+	// from their run seed when left zero.
+	Seed uint64
 }
 
 // Enabled reports whether the config injects any fault.
 func (c FaultConfig) Enabled() bool {
-	return c.DropProb > 0 || c.DelayProb > 0 || c.DupProb > 0
+	return c.DropProb > 0 || c.DelayProb > 0 || c.DupProb > 0 ||
+		c.PartitionFrac > 0 || c.StraggleFrac > 0
 }
 
-// Validate checks the probabilities and delay.
+// Validate checks the probabilities, delay, and fault-lattice windows.
 func (c FaultConfig) Validate() error {
 	for _, p := range []struct {
 		name string
 		v    float64
-	}{{"DropProb", c.DropProb}, {"DelayProb", c.DelayProb}, {"DupProb", c.DupProb}} {
+	}{{"DropProb", c.DropProb}, {"DelayProb", c.DelayProb}, {"DupProb", c.DupProb},
+		{"PartitionFrac", c.PartitionFrac}, {"StraggleFrac", c.StraggleFrac}} {
 		if p.v < 0 || p.v > 1 {
 			return fmt.Errorf("dprcore: fault %s %v outside [0,1]", p.name, p.v)
 		}
@@ -47,7 +79,55 @@ func (c FaultConfig) Validate() error {
 	if c.DelayProb > 0 && c.MeanDelay <= 0 {
 		return fmt.Errorf("dprcore: DelayProb %v needs positive MeanDelay, got %v", c.DelayProb, c.MeanDelay)
 	}
+	if c.PartitionFrac > 0 {
+		if c.PartitionFrom < 0 || c.PartitionTo <= c.PartitionFrom {
+			return fmt.Errorf("dprcore: partition window [%v,%v) invalid, need 0 <= From < To",
+				c.PartitionFrom, c.PartitionTo)
+		}
+	}
+	if c.StraggleFrac > 0 && c.StraggleFactor <= 0 {
+		return fmt.Errorf("dprcore: StraggleFrac %v needs positive StraggleFactor, got %v",
+			c.StraggleFrac, c.StraggleFactor)
+	}
 	return nil
+}
+
+// latticeHash01 maps (seed, node, salt) to [0,1) with a splitmix64
+// finalizer. It is the whole shared state of the fault lattice: pure,
+// so independent injectors and the serving tier agree on membership,
+// and RNG-free, so partition/straggler checks never perturb the
+// drop/delay/dup streams.
+func latticeHash01(seed uint64, node int, salt uint64) float64 {
+	x := seed ^ salt ^ uint64(node)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}
+
+const (
+	saltPartition = 0x70617274 // "part"
+	saltStraggle  = 0x736c6f77 // "slow"
+)
+
+// PartitionMinority reports whether node sits on the minority side of
+// the configured partition. False whenever PartitionFrac is zero.
+func (c FaultConfig) PartitionMinority(node int) bool {
+	return c.PartitionFrac > 0 && latticeHash01(c.Seed, node, saltPartition) < c.PartitionFrac
+}
+
+// Straggler reports whether node is one of the seeded stragglers.
+// False whenever StraggleFrac is zero.
+func (c FaultConfig) Straggler(node int) bool {
+	return c.StraggleFrac > 0 && latticeHash01(c.Seed, node, saltStraggle) < c.StraggleFrac
+}
+
+// PartitionActiveAt reports whether the partition is up at a time
+// measured from the injector's construction epoch.
+func (c FaultConfig) PartitionActiveAt(sinceEpoch float64) bool {
+	return c.PartitionFrac > 0 && sinceEpoch >= c.PartitionFrom && sinceEpoch < c.PartitionTo
 }
 
 // FaultSender wraps a Sender with deterministic message faults. Both
@@ -74,9 +154,16 @@ type FaultSender struct {
 	// drops (see transport.Stats.FaultDrops).
 	rec dropRecorder
 
-	dropped    atomic.Int64
-	delayed    atomic.Int64
-	duplicated atomic.Int64
+	// epoch is the clock reading at construction; partition windows are
+	// measured from here so the same config means the same thing on the
+	// simulator's virtual axis (built at t=0) and netpeer's wall clock.
+	epoch float64
+
+	dropped     atomic.Int64
+	delayed     atomic.Int64
+	duplicated  atomic.Int64
+	partitioned atomic.Int64
+	straggled   atomic.Int64
 }
 
 // dropRecorder is the probe a wrapped sender may implement to account
@@ -95,10 +182,13 @@ func NewFaultSender(inner Sender, clock Clock, rng RNG, cfg FaultConfig) (*Fault
 	if inner == nil || rng == nil {
 		return nil, fmt.Errorf("dprcore: nil dependency")
 	}
-	if cfg.DelayProb > 0 && clock == nil {
-		return nil, fmt.Errorf("dprcore: DelayProb %v needs a Clock", cfg.DelayProb)
+	if (cfg.DelayProb > 0 || cfg.PartitionFrac > 0 || cfg.StraggleFrac > 0) && clock == nil {
+		return nil, fmt.Errorf("dprcore: fault config %+v needs a Clock", cfg)
 	}
 	f := &FaultSender{inner: inner, clock: clock, rng: rng, cfg: cfg}
+	if clock != nil {
+		f.epoch = clock.Now()
+	}
 	if r, ok := inner.(dropRecorder); ok {
 		f.rec = r
 	}
@@ -109,8 +199,37 @@ func NewFaultSender(inner Sender, clock Clock, rng RNG, cfg FaultConfig) (*Fault
 // Call it before the first Send.
 func (f *FaultSender) Observe(o telemetry.Observer) { f.obs = o }
 
-// Send applies the configured faults to one chunk.
+// Send applies the configured faults to one chunk. Partition and
+// straggler checks run first and are RNG-free (pure lattice hashes), so
+// turning them on never shifts the drop/delay/dup draws of the streams
+// below them.
 func (f *FaultSender) Send(from int, chunk transport.ScoreChunk) error {
+	if f.cfg.PartitionFrac > 0 && f.cfg.PartitionActiveAt(f.clock.Now()-f.epoch) &&
+		f.cfg.PartitionMinority(from) != f.cfg.PartitionMinority(int(chunk.DstGroup)) {
+		f.partitioned.Add(1)
+		if f.rec != nil {
+			f.rec.RecordFaultDrop(from)
+		}
+		if f.obs != nil {
+			f.obs.FaultInjected(from, telemetry.FaultPartition)
+		}
+		return nil
+	}
+	if f.cfg.StraggleFrac > 0 && f.cfg.Straggler(from) {
+		f.straggled.Add(1)
+		if f.obs != nil {
+			f.obs.FaultInjected(from, telemetry.FaultStraggle)
+		}
+		f.clock.After(f.cfg.StraggleFactor, func() {
+			// Same contract as the delay path: a held-back chunk that
+			// fails to send is simply lost.
+			if err := f.inner.Send(from, chunk); err != nil {
+				return
+			}
+			_ = f.inner.Flush(from) // best-effort: loss is tolerated
+		})
+		return nil
+	}
 	if f.cfg.DropProb > 0 && f.rng.Float64() < f.cfg.DropProb {
 		f.dropped.Add(1)
 		if f.rec != nil {
@@ -161,3 +280,9 @@ func (f *FaultSender) Delayed() int64 { return f.delayed.Load() }
 
 // Duplicated returns how many chunks were duplicated.
 func (f *FaultSender) Duplicated() int64 { return f.duplicated.Load() }
+
+// Partitioned returns how many chunks the partition blackholed.
+func (f *FaultSender) Partitioned() int64 { return f.partitioned.Load() }
+
+// Straggled returns how many chunks straggler nodes held back.
+func (f *FaultSender) Straggled() int64 { return f.straggled.Load() }

@@ -184,3 +184,223 @@ func TestFaultSenderPropagatesInnerError(t *testing.T) {
 		t.Fatalf("err = %v, want inner error", err)
 	}
 }
+
+// countRNG counts draws so the lattice paths can be proven RNG-free.
+type countRNG struct {
+	constRNG
+	draws int
+}
+
+func (r *countRNG) Float64() float64 { r.draws++; return r.constRNG.Float64() }
+
+func TestFaultConfigValidateLattice(t *testing.T) {
+	for name, cfg := range map[string]FaultConfig{
+		"partition no window":       {PartitionFrac: 0.3},
+		"partition inverted window": {PartitionFrac: 0.3, PartitionFrom: 5, PartitionTo: 5},
+		"partition negative from":   {PartitionFrac: 0.3, PartitionFrom: -1, PartitionTo: 5},
+		"partition frac > 1":        {PartitionFrac: 1.5, PartitionTo: 5},
+		"straggle no factor":        {StraggleFrac: 0.2},
+		"straggle negative factor":  {StraggleFrac: 0.2, StraggleFactor: -1},
+		"straggle frac > 1":         {StraggleFrac: 2, StraggleFactor: 1},
+	} {
+		if cfg.Validate() == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	ok := FaultConfig{PartitionFrac: 0.3, PartitionTo: 10, StraggleFrac: 0.2, StraggleFactor: 3}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid lattice config rejected: %v", err)
+	}
+	if !ok.Enabled() {
+		t.Error("lattice-only config reports disabled")
+	}
+	if _, err := NewFaultSender(&recordSender{}, nil, constRNG{}, ok); err == nil {
+		t.Error("lattice config without clock accepted")
+	}
+}
+
+// latticePair finds one minority and one majority node for a config.
+func latticePair(t *testing.T, cfg FaultConfig) (minority, majority int) {
+	t.Helper()
+	minority, majority = -1, -1
+	for n := 0; n < 256 && (minority < 0 || majority < 0); n++ {
+		if cfg.PartitionMinority(n) {
+			if minority < 0 {
+				minority = n
+			}
+		} else if majority < 0 {
+			majority = n
+		}
+	}
+	if minority < 0 || majority < 0 {
+		t.Fatalf("no cut found in 256 nodes for frac %v", cfg.PartitionFrac)
+	}
+	return minority, majority
+}
+
+func TestFaultSenderPartitionBlackholesAndHeals(t *testing.T) {
+	cfg := FaultConfig{PartitionFrac: 0.4, PartitionFrom: 2, PartitionTo: 10, Seed: 7}
+	mi, ma := latticePair(t, cfg)
+	inner := &recordSender{}
+	clk := &fakeClock{}
+	rng := &countRNG{}
+	fs, err := NewFaultSender(inner, clk, rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross := chunk(int32(mi), int32(ma), 1, 1.0)
+	// Before the window opens: crossing traffic flows.
+	if err := fs.Send(mi, cross); err != nil || len(inner.sends) != 1 {
+		t.Fatalf("pre-window send blocked: err=%v sends=%d", err, len(inner.sends))
+	}
+	// Window open: crossing traffic blackholed, both directions.
+	clk.advance(5)
+	if err := fs.Send(mi, cross); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Send(ma, chunk(int32(ma), int32(mi), 1, 1.0)); err != nil {
+		t.Fatal(err)
+	}
+	if len(inner.sends) != 1 || fs.Partitioned() != 2 {
+		t.Fatalf("partition leaked: %d sends, %d partitioned", len(inner.sends), fs.Partitioned())
+	}
+	// Same-side traffic is untouched during the partition.
+	mi2 := mi
+	for n := mi + 1; n < mi+512; n++ {
+		if cfg.PartitionMinority(n) {
+			mi2 = n
+			break
+		}
+	}
+	if mi2 != mi {
+		if err := fs.Send(mi, chunk(int32(mi), int32(mi2), 1, 1.0)); err != nil || len(inner.sends) != 2 {
+			t.Fatalf("same-side send blocked: err=%v sends=%d", err, len(inner.sends))
+		}
+	}
+	// Healed: crossing traffic flows again.
+	clk.advance(10)
+	before := len(inner.sends)
+	if err := fs.Send(mi, cross); err != nil || len(inner.sends) != before+1 {
+		t.Fatalf("post-heal send blocked: err=%v sends=%d", err, len(inner.sends))
+	}
+	if rng.draws != 0 {
+		t.Fatalf("partition checks consumed %d RNG draws, want 0", rng.draws)
+	}
+}
+
+func TestFaultSenderPartitionEpochRelative(t *testing.T) {
+	cfg := FaultConfig{PartitionFrac: 0.4, PartitionFrom: 0, PartitionTo: 10, Seed: 7}
+	mi, ma := latticePair(t, cfg)
+	inner := &recordSender{}
+	clk := &fakeClock{now: 1e6} // injector built late: window is relative, not absolute
+	fs, err := NewFaultSender(inner, clk, constRNG{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Send(mi, chunk(int32(mi), int32(ma), 1, 1.0)); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Partitioned() != 1 {
+		t.Fatalf("window not epoch-relative: partitioned=%d", fs.Partitioned())
+	}
+	clk.advance(1e6 + 10)
+	if err := fs.Send(mi, chunk(int32(mi), int32(ma), 2, 1.0)); err != nil {
+		t.Fatal(err)
+	}
+	if len(inner.sends) != 1 {
+		t.Fatal("partition did not heal 10 units after the epoch")
+	}
+}
+
+func TestFaultSenderStragglerHoldsBack(t *testing.T) {
+	cfg := FaultConfig{StraggleFrac: 0.3, StraggleFactor: 8, Seed: 3}
+	slow, fast := -1, -1
+	for n := 0; n < 256 && (slow < 0 || fast < 0); n++ {
+		if cfg.Straggler(n) {
+			if slow < 0 {
+				slow = n
+			}
+		} else if fast < 0 {
+			fast = n
+		}
+	}
+	if slow < 0 || fast < 0 {
+		t.Fatal("no straggler split found")
+	}
+	inner := &recordSender{}
+	clk := &fakeClock{}
+	rng := &countRNG{}
+	fs, err := NewFaultSender(inner, clk, rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The straggler's chunk is held for exactly StraggleFactor units.
+	if err := fs.Send(slow, chunk(int32(slow), int32(fast), 1, 1.0)); err != nil {
+		t.Fatal(err)
+	}
+	if len(inner.sends) != 0 || fs.Straggled() != 1 {
+		t.Fatalf("straggler chunk not held: %d sends, %d straggled", len(inner.sends), fs.Straggled())
+	}
+	clk.advance(7.9)
+	if len(inner.sends) != 0 {
+		t.Fatal("straggler chunk released early")
+	}
+	clk.advance(8)
+	if len(inner.sends) != 1 || inner.flushes != 1 {
+		t.Fatalf("straggler chunk not released: %d sends, %d flushes", len(inner.sends), inner.flushes)
+	}
+	// A healthy node's chunk goes straight through.
+	if err := fs.Send(fast, chunk(int32(fast), int32(slow), 1, 1.0)); err != nil {
+		t.Fatal(err)
+	}
+	if len(inner.sends) != 2 || fs.Straggled() != 1 {
+		t.Fatalf("healthy node straggled: %d sends, %d straggled", len(inner.sends), fs.Straggled())
+	}
+	if rng.draws != 0 {
+		t.Fatalf("straggle checks consumed %d RNG draws, want 0", rng.draws)
+	}
+}
+
+func TestLatticeMembershipPureAndProportional(t *testing.T) {
+	cfg := FaultConfig{PartitionFrac: 0.3, PartitionTo: 10, StraggleFrac: 0.2, StraggleFactor: 1, Seed: 42}
+	// Pure: a config differing only in non-lattice fields cuts the same.
+	other := cfg
+	other.DropProb = 0.5
+	other.MeanDelay = 9
+	minority, stragglers := 0, 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if cfg.PartitionMinority(i) != other.PartitionMinority(i) || cfg.Straggler(i) != other.Straggler(i) {
+			t.Fatalf("membership depends on non-lattice fields at node %d", i)
+		}
+		if cfg.PartitionMinority(i) {
+			minority++
+		}
+		if cfg.Straggler(i) {
+			stragglers++
+		}
+	}
+	if frac := float64(minority) / n; frac < 0.25 || frac > 0.35 {
+		t.Errorf("minority fraction %v, want ≈0.3", frac)
+	}
+	if frac := float64(stragglers) / n; frac < 0.15 || frac > 0.25 {
+		t.Errorf("straggler fraction %v, want ≈0.2", frac)
+	}
+	// A different seed cuts differently somewhere.
+	reseeded := cfg
+	reseeded.Seed = 43
+	same := true
+	for i := 0; i < 256 && same; i++ {
+		if cfg.PartitionMinority(i) != reseeded.PartitionMinority(i) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("reseeding did not move the cut")
+	}
+	// Zero-frac configs have no members and no active window.
+	var zero FaultConfig
+	if zero.PartitionMinority(1) || zero.Straggler(1) || zero.PartitionActiveAt(3) {
+		t.Error("zero config has lattice members")
+	}
+}

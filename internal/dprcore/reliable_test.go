@@ -261,3 +261,98 @@ func BenchmarkReliableSend(b *testing.B) {
 		rel.Ack(0, 1, c.Round)
 	}
 }
+
+// TestReliableBreakerPartitionOpenProbeCloseAcrossHeal walks the
+// breaker's full state machine against the partition fault rather than
+// a silent null sender: the reliable layer sits above a FaultSender
+// whose partition blackholes the cut, so every state transition is
+// driven by the same injected fault the degraded-serving stack models.
+//
+//	open:      blackholed chunk exhausts MaxAttempts, circuit trips
+//	half-open: first send after Cooldown probes the peer; mid-partition
+//	           the probe is blackholed too and the circuit re-trips
+//	closed:    post-heal the probe lands, the ack closes the circuit
+func TestReliableBreakerPartitionOpenProbeCloseAcrossHeal(t *testing.T) {
+	fcfg := FaultConfig{PartitionFrac: 0.4, PartitionFrom: 0, PartitionTo: 200, Seed: 7}
+	mi, ma := latticePair(t, fcfg)
+	inner := &recordSender{}
+	clk := &fakeClock{}
+	faults, err := NewFaultSender(inner, clk, constRNG{}, fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := NewReliableSender(faults, clk, constRNG{f: 0.5, e: 1},
+		ReliableConfig{Timeout: 10, Backoff: 1.001, MaxAttempts: 2, Cooldown: 100, Jitter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Open: the chunk and both retries cross the cut and vanish.
+	if err := rel.Send(ma, chunk(int32(ma), int32(mi), 1, 1.0)); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(10)
+	clk.advance(21)
+	clk.advance(32) // attempts exhausted at the third expiry
+	if st := rel.Stats(); st.BreakerTrips != 1 || st.Retries != 2 {
+		t.Fatalf("stats %+v, want 1 trip after 2 retries", st)
+	}
+	if !rel.Broken(mi) {
+		t.Fatal("Broken(minority) = false with the partition swallowing every attempt")
+	}
+	if len(inner.sends) != 0 {
+		t.Fatalf("%d chunks crossed an active partition", len(inner.sends))
+	}
+
+	// Still open: the next round's send is suppressed, not retried.
+	if err := rel.Send(ma, chunk(int32(ma), int32(mi), 2, 2.0)); err != nil {
+		t.Fatal(err)
+	}
+	if st := rel.Stats(); st.Suppressed != 1 {
+		t.Fatalf("Suppressed = %d, want 1", st.Suppressed)
+	}
+
+	// Half-open mid-partition: the cooldown (ends ~t=132) expires while
+	// the cut is still up, so the probe is blackholed and the circuit
+	// trips again.
+	clk.advance(140)
+	if rel.Broken(mi) {
+		t.Fatal("circuit still reported open after the cooldown elapsed")
+	}
+	if err := rel.Send(ma, chunk(int32(ma), int32(mi), 3, 3.0)); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(150)
+	clk.advance(161)
+	clk.advance(172)
+	if st := rel.Stats(); st.BreakerTrips != 2 {
+		t.Fatalf("stats %+v, want the mid-partition probe to re-trip", st)
+	}
+	if !rel.Broken(mi) || len(inner.sends) != 0 {
+		t.Fatalf("mid-partition probe escaped: broken=%v sends=%d", rel.Broken(mi), len(inner.sends))
+	}
+
+	// Closed: past the heal (t=200) and the second cooldown (~t=272),
+	// the probe lands on the wire and the ack closes the circuit.
+	clk.advance(280)
+	if err := rel.Send(ma, chunk(int32(ma), int32(mi), 4, 4.0)); err != nil {
+		t.Fatal(err)
+	}
+	if len(inner.sends) != 1 || inner.sends[0].Round != 4 {
+		t.Fatalf("post-heal probe did not reach the wire: %d sends", len(inner.sends))
+	}
+	rel.Ack(ma, int32(mi), 4)
+	if rel.Broken(mi) {
+		t.Fatal("ack left the circuit open")
+	}
+	clk.advance(2000)
+	if len(inner.sends) != 1 {
+		t.Fatalf("retransmitted after the closing ack (%d sends)", len(inner.sends))
+	}
+	if st := rel.Stats(); st.Acks != 1 {
+		t.Fatalf("stats %+v, want the closing ack counted", st)
+	}
+	if got := faults.Partitioned(); got < 6 {
+		t.Fatalf("Partitioned() = %d, want every pre-heal attempt blackholed", got)
+	}
+}

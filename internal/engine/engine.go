@@ -275,6 +275,11 @@ type FaultStats struct {
 	Delayed int64
 	// Duplicated is the number of chunks sent twice.
 	Duplicated int64
+	// Partitioned is the number of chunks blackholed by an active
+	// network partition.
+	Partitioned int64
+	// Straggled is the number of chunks straggler nodes held back.
+	Straggled int64
 }
 
 // cluster is the assembled machinery of one run.
@@ -349,6 +354,12 @@ func build(cfg Config) (*cluster, error) {
 	var sender dprcore.Sender = fab
 	var faults *dprcore.FaultSender
 	if cfg.Fault.Enabled() {
+		// The fault-lattice seed defaults to the run seed so partition
+		// and straggler membership re-cut with -seed like everything
+		// else; an explicit Fault.Seed pins the cut independently.
+		if cfg.Fault.Seed == 0 {
+			cfg.Fault.Seed = cfg.Seed
+		}
 		// The fault stream is forked only when faults are on, so a
 		// disabled config draws nothing and runs stay bit-identical.
 		// The simulator is the Clock: delays land on virtual time.
@@ -646,9 +657,11 @@ func run(cfg Config, initial vecmath.Vec) (*Result, error) {
 	res.Events = cl.sim.Processed()
 	if cl.faults != nil {
 		res.FaultStats = FaultStats{
-			Dropped:    cl.faults.Dropped(),
-			Delayed:    cl.faults.Delayed(),
-			Duplicated: cl.faults.Duplicated(),
+			Dropped:     cl.faults.Dropped(),
+			Delayed:     cl.faults.Delayed(),
+			Duplicated:  cl.faults.Duplicated(),
+			Partitioned: cl.faults.Partitioned(),
+			Straggled:   cl.faults.Straggled(),
 		}
 	}
 	if cl.rel != nil {

@@ -1,0 +1,306 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"p2prank/internal/dprcore"
+	"p2prank/internal/metrics"
+	"p2prank/internal/search"
+	"p2prank/internal/serve"
+)
+
+// DegradeBench is the deterministic half of the degraded-serving
+// experiment: the ServeBench crawl and query plan, served through a
+// SECOND frontend whose shard health comes from the fault lattice and
+// whose admission controller sheds on staleness. The bench's "clock"
+// is the query index — the partition window, staleness ticks, and
+// publish cadence are all expressed in queries, so every outcome
+// (which queries shed, which degrade, their coverage and rank error)
+// is reproducible. The wall-clock half — latency percentiles and QPS
+// pacing — lives in cmd/dprsim, like the serve experiment.
+//
+// The storm's schedule, for Q queries:
+//
+//	tick (every Q/16 queries): every shard's staleness +1
+//	publish (every Q/8, offset Q/16): republish all shards, staleness 0
+//	partition window [Q/4, Q/2): PartitionFrac of the shards become
+//	    unreachable AND publishing is suspended — the rankers behind
+//	    the cut cannot make progress, so staleness climbs past the
+//	    admission bound and the frontend starts shedding
+//	heal at Q/2: shards reachable again, but the first post-heal
+//	    publish only lands at 9Q/16 — the gap is the recovery time the
+//	    row reports
+//
+// Stragglers (StraggleFrac of the shards) are slow for the whole storm:
+// every query touching one hedges to the replica snapshot.
+type DegradeBench struct {
+	*ServeBench
+
+	PartitionFrac float64
+	StraggleFrac  float64
+
+	deg  *serve.Frontend
+	dq   *serve.Querier
+	base *serve.Querier
+
+	qi      atomic.Int64 // health clock: index of the query being served
+	winFrom int
+	winTo   int
+
+	answered    int64
+	shed        int64
+	unavailable int64
+	degraded    int64
+	coverageSum float64
+	rankErrSum  float64
+	rankErrN    int64
+	recovery    int64 // queries from heal to first full-coverage answer; -1 until seen
+
+	full search.Response // scratch for the ground-truth serve
+}
+
+// degradeStalenessBound is the admission staleness bound, in rounds:
+// the bench publishes every second tick, so the checkpoint-cadence
+// guarantee is 2·Every−1 = 3 rounds. Staleness beyond that means the
+// publishers have stalled and load should be refused.
+const degradeStalenessBound = 3
+
+// NewDegradeBench builds the degraded tier next to the baseline one.
+// partFrac is the fraction of shards cut off during the partition
+// window, stragFrac the fraction hedging all storm long.
+func NewDegradeBench(w Workload, k, queries int, partFrac, stragFrac float64) (*DegradeBench, error) {
+	if queries < 32 {
+		return nil, fmt.Errorf("experiments: degrade needs >= 32 queries for its schedule, got %d", queries)
+	}
+	sb, err := NewServeBench(w, k, queries)
+	if err != nil {
+		return nil, err
+	}
+	b := &DegradeBench{
+		ServeBench:    sb,
+		PartitionFrac: partFrac,
+		StraggleFrac:  stragFrac,
+		winFrom:       queries / 4,
+		winTo:         queries / 2,
+		recovery:      -1,
+	}
+
+	// The health source is the same fault lattice the injectors cut
+	// from, on the query-index axis. The frontend sits on a majority
+	// node, so the minority side is what drops out of its fan-outs.
+	fcfg := dprcore.FaultConfig{
+		PartitionFrac: partFrac,
+		PartitionFrom: float64(b.winFrom),
+		PartitionTo:   float64(b.winTo),
+		StraggleFrac:  stragFrac,
+		Seed:          w.Seed,
+	}
+	if stragFrac > 0 {
+		fcfg.StraggleFactor = 1
+	}
+	at := 0
+	for at < k && fcfg.PartitionMinority(at) {
+		at++
+	}
+	health, err := serve.NewLatticeHealth(fcfg, at, func() float64 { return float64(b.qi.Load()) })
+	if err != nil {
+		return nil, err
+	}
+	deg, err := serve.NewFrontend(sb.graph, sb.ov, sb.assign, sb.store, serve.Config{
+		Text:      sb.text,
+		Health:    health,
+		Admission: serve.Admission{StalenessBound: degradeStalenessBound},
+	})
+	if err != nil {
+		return nil, err
+	}
+	b.deg = deg
+	b.dq = deg.NewQuerier()
+
+	// Ground truth: a health-free, cache-free frontend over the same
+	// snapshots. Degraded answers are scored against what the full
+	// fan-out would have returned at the same instant.
+	base, err := serve.NewFrontend(sb.graph, sb.ov, sb.assign, sb.store, serve.Config{
+		Text: sb.text, CacheEntries: -1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	b.base = base.NewQuerier()
+	return b, nil
+}
+
+// Advance runs the schedule up to query i: it must be called before
+// serving query i, in order.
+func (b *DegradeBench) Advance(i int) error {
+	b.qi.Store(int64(i))
+	q := len(b.queries)
+	if tick := q / 16; tick > 0 && i > 0 && i%tick == 0 {
+		b.Tick()
+	}
+	pub := q / 8
+	frozen := b.PartitionFrac > 0 && i >= b.winFrom && i < b.winTo
+	if pub > 0 && i%pub == pub/2 && !frozen {
+		return b.Republish()
+	}
+	return nil
+}
+
+// Serve answers one query through the degraded tier. The caller times
+// this call and nothing else.
+func (b *DegradeBench) Serve(req search.Request, resp *search.Response) error {
+	return b.dq.Serve(req, resp)
+}
+
+// Record classifies query i's outcome: sheds are counted (and their
+// error swallowed), degraded answers are scored against the
+// ground-truth fan-out, and the first full-coverage answer after the
+// heal pins the recovery time. Any other error is the bench's caller's
+// problem.
+func (b *DegradeBench) Record(i int, req search.Request, resp *search.Response, err error) error {
+	if err != nil {
+		if errors.Is(err, search.ErrOverloaded) {
+			b.shed++
+			return nil
+		}
+		// A query whose every planned shard is behind the cut has
+		// nothing to serve from: zero coverage is an error, not a
+		// partial answer.
+		if errors.Is(err, search.ErrStaleIndex) && i >= b.winFrom && i < b.winTo {
+			b.unavailable++
+			return nil
+		}
+		return err
+	}
+	b.answered++
+	if resp.Degraded {
+		b.degraded++
+		b.coverageSum += resp.Coverage
+		if e, ok := b.rankErr(req, resp); ok {
+			b.rankErrSum += e
+			b.rankErrN++
+		}
+	}
+	if b.recovery < 0 && i >= b.winTo && !resp.Degraded && resp.Coverage == 1 {
+		b.recovery = int64(i - b.winTo)
+	}
+	return nil
+}
+
+// rankErr is the recall loss of a degraded answer: the fraction of the
+// ground-truth top-k pages the partial fan-out failed to return.
+// Queries whose ground truth is empty carry no signal and are skipped.
+func (b *DegradeBench) rankErr(req search.Request, resp *search.Response) (float64, bool) {
+	if err := b.base.Serve(req, &b.full); err != nil {
+		return 0, false
+	}
+	if len(b.full.Postings) == 0 {
+		return 0, false
+	}
+	got := make(map[int32]bool, len(resp.Postings))
+	for _, p := range resp.Postings {
+		got[p.Page] = true
+	}
+	hit := 0
+	for _, p := range b.full.Postings {
+		if got[p.Page] {
+			hit++
+		}
+	}
+	return 1 - float64(hit)/float64(len(b.full.Postings)), true
+}
+
+// DegradeRow is one (partition span, straggler fraction) cell of the
+// degrade sweep. The wall-clock fields are the caller's.
+type DegradeRow struct {
+	K       int
+	Pages   int
+	Queries int64
+
+	PartitionFrac float64
+	StraggleFrac  float64
+
+	// Answered, Shed, and Unavailable partition the storm; ShedRate =
+	// Shed/Queries. Unavailable counts queries whose every planned
+	// shard was behind the cut (zero possible coverage).
+	Answered    int64
+	Shed        int64
+	Unavailable int64
+	// Degraded counts partial-coverage answers; MeanCoverage averages
+	// their reported shard coverage.
+	Degraded     int64
+	MeanCoverage float64
+	// RankErr is the mean recall loss of degraded answers against the
+	// full fan-out at the same instant.
+	RankErr float64
+	// Hedged counts replica reads for slow shards.
+	Hedged int64
+	// RecoveryQueries is how many queries after the heal the frontend
+	// took to serve its first full-coverage answer again (-1 if never).
+	RecoveryQueries int64
+
+	// Caller-measured.
+	TargetQPS   int
+	AchievedQPS float64
+	P50Micros   float64
+	P99Micros   float64
+	WallSeconds float64
+}
+
+// Finish folds the bench's accumulators into a row.
+func (b *DegradeBench) Finish() DegradeRow {
+	st := b.deg.DegradeStats()
+	row := DegradeRow{
+		K:               b.K,
+		Pages:           b.Pages,
+		Queries:         int64(len(b.queries)),
+		PartitionFrac:   b.PartitionFrac,
+		StraggleFrac:    b.StraggleFrac,
+		Answered:        b.answered,
+		Shed:            b.shed,
+		Unavailable:     b.unavailable,
+		Degraded:        b.degraded,
+		Hedged:          st.Hedged,
+		RecoveryQueries: b.recovery,
+	}
+	if b.degraded > 0 {
+		row.MeanCoverage = b.coverageSum / float64(b.degraded)
+	}
+	if b.rankErrN > 0 {
+		row.RankErr = b.rankErrSum / float64(b.rankErrN)
+	}
+	return row
+}
+
+// RenderDegrade formats the degrade sweep.
+func RenderDegrade(rows []DegradeRow) string {
+	t := metrics.NewTable("K", "part", "strag", "answered", "shed", "unavail",
+		"degraded", "coverage", "rank err", "hedged", "recovery", "QPS", "p50", "p99")
+	for _, r := range rows {
+		shedRate := 0.0
+		if r.Queries > 0 {
+			shedRate = float64(r.Shed) / float64(r.Queries)
+		}
+		recovery := "-"
+		if r.RecoveryQueries >= 0 {
+			recovery = fmt.Sprintf("%dq", r.RecoveryQueries)
+		}
+		t.AddRow(r.K,
+			fmt.Sprintf("%.0f%%", 100*r.PartitionFrac),
+			fmt.Sprintf("%.0f%%", 100*r.StraggleFrac),
+			r.Answered,
+			fmt.Sprintf("%d (%.0f%%)", r.Shed, 100*shedRate),
+			r.Unavailable,
+			r.Degraded,
+			fmt.Sprintf("%.2f", r.MeanCoverage),
+			fmt.Sprintf("%.3f", r.RankErr),
+			r.Hedged,
+			recovery,
+			fmt.Sprintf("%.0f", r.AchievedQPS),
+			fmt.Sprintf("%.0fµs", r.P50Micros),
+			fmt.Sprintf("%.0fµs", r.P99Micros))
+	}
+	return t.String()
+}

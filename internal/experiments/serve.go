@@ -6,11 +6,13 @@ import (
 	"p2prank/internal/dprcore"
 	"p2prank/internal/engine"
 	"p2prank/internal/metrics"
+	"p2prank/internal/overlay"
 	"p2prank/internal/pagerank"
 	"p2prank/internal/partition"
 	"p2prank/internal/search"
 	"p2prank/internal/serve"
 	"p2prank/internal/vecmath"
+	"p2prank/internal/webgraph"
 	"p2prank/internal/xrand"
 )
 
@@ -29,6 +31,9 @@ type ServeBench struct {
 	pub    *serve.Publisher
 	assign *partition.Assignment
 	ranks  vecmath.Vec
+	graph  webgraph.Store
+	ov     overlay.Network
+	text   search.Config
 
 	queries []search.Request
 	terms   []int32 // backing array for all query term slices
@@ -91,6 +96,9 @@ func NewServeBench(w Workload, k, queries int) (*ServeBench, error) {
 		pub:    serve.NewPublisher(store, nil),
 		assign: assign,
 		ranks:  res.Ranks,
+		graph:  g,
+		ov:     ov,
+		text:   text,
 	}
 	if err := b.Republish(); err != nil {
 		return nil, err

@@ -26,9 +26,11 @@ func TestNoWallClockFlagsSimPackages(t *testing.T) {
 func TestNoWallClockFlagsDprcore(t *testing.T) {
 	// The loop core is sim-path: time enters only through its Clock
 	// interface, randomness only through its RNG interface. The fixture
-	// covers both the plain loop shortcuts (clock.go) and the recovery
-	// layer's — retry deadlines, backoff jitter, supervisor probes
-	// (retry.go) — so both analyzers run over the package together.
+	// covers the plain loop shortcuts (clock.go), the recovery layer's
+	// — retry deadlines, backoff jitter, supervisor probes (retry.go) —
+	// and the fault lattice's — wall-clock partition windows, global-
+	// rand straggler draws (fault.go) — so both analyzers run over the
+	// package together.
 	linttest.RunAll(t, "testdata",
 		[]*lint.Analyzer{lint.NoWallClock, lint.NoRand},
 		"p2prank/internal/dprcore")

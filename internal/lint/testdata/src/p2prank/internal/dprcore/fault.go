@@ -1,0 +1,41 @@
+// Fixture: the fault lattice — partition windows, straggler
+// membership, injected hold-backs — must be a pure function of the
+// seed plus the injected Clock, or fingerprints stop being
+// reproducible. This is the shortcut version a hurried injector would
+// write: epochs from the host clock, membership from global rand.
+package dprcore
+
+import (
+	"math/rand" // want `import of "math/rand" is forbidden outside internal/xrand`
+	"time"
+)
+
+// PartitionActive is the forbidden window check: the partition's
+// position in the run read off the wall clock instead of the layer's
+// Clock, so two identical runs disagree about who was cut off when.
+func PartitionActive(epoch time.Time, from, to float64) bool {
+	since := float64(time.Since(epoch)) // want `time.Since reads the wall clock`
+	return since >= from && since < to
+}
+
+// PickStragglers is the forbidden membership draw: global randomness
+// instead of a seeded hash, so the straggler set changes every run and
+// with every unrelated consumer of the global stream.
+func PickStragglers(n int, frac float64) []bool {
+	slow := make([]bool, n)
+	for i := range slow {
+		slow[i] = rand.Float64() < frac
+	}
+	return slow
+}
+
+// LatticeMember shows the legal shape: membership as pure integer
+// mixing of the seed and the node id, no clock or rand consulted —
+// the same node lands on the same side of the cut in every run.
+func LatticeMember(seed, node uint64, frac float64) bool {
+	x := seed ^ node*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	return float64(x>>11)/float64(1<<53) < frac
+}

@@ -233,6 +233,12 @@ func (cl *Cluster) newPeer(i int) (*Peer, error) {
 		Codec:    cl.cfg.Codec,
 		Overlay:  cl.ov,
 	}
+	// Peer seeds differ per node, but the fault lattice (partition and
+	// straggler membership) must be cut identically by every injector
+	// in the cluster — key it off the cluster seed, not the peer's.
+	if pcfg.Fault.Enabled() && pcfg.Fault.Seed == 0 {
+		pcfg.Fault.Seed = cl.cfg.Seed
+	}
 	return Listen("127.0.0.1:0", pcfg)
 }
 

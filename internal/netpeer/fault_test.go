@@ -27,8 +27,7 @@ func TestClusterConvergesUnderFaultDrops(t *testing.T) {
 	}
 	var dropped int64
 	for _, p := range cl.Peers {
-		d, _, _ := p.FaultStats()
-		dropped += d
+		dropped += p.FaultStats().Dropped
 	}
 	if dropped == 0 {
 		t.Fatal("no chunks dropped across the cluster")
@@ -57,9 +56,9 @@ func TestClusterConvergesUnderDelayAndDup(t *testing.T) {
 	}
 	var delayed, duplicated int64
 	for _, p := range cl.Peers {
-		_, dl, du := p.FaultStats()
-		delayed += dl
-		duplicated += du
+		s := p.FaultStats()
+		delayed += s.Delayed
+		duplicated += s.Duplicated
 	}
 	if delayed == 0 || duplicated == 0 {
 		t.Fatalf("fault injector idle: delayed=%d duplicated=%d", delayed, duplicated)

@@ -229,7 +229,11 @@ func Listen(addr string, cfg Config) (*Peer, error) {
 	var sender dprcore.Sender = p.out
 	if cfg.Fault.Enabled() {
 		// Faults draw from their own stream, keyed off the peer seed, so
-		// enabling them never changes the loop's randomness.
+		// enabling them never changes the loop's randomness. The
+		// fault-lattice seed must NOT default from the peer seed: peer
+		// seeds differ per node, and every injector in the cluster has
+		// to agree on partition/straggler membership. Callers set
+		// Fault.Seed cluster-wide (cluster.Start does).
 		frng := xrand.New(cfg.Seed ^ 0x6c62272e07bb0142)
 		fs, err := dprcore.NewFaultSender(p.out, wallClock{}, frng, cfg.Fault)
 		if err != nil {
@@ -314,13 +318,26 @@ func (p *Peer) ChunksSent() int64 { return p.sent.Load() }
 // behalf of others (indirect transmission only).
 func (p *Peer) ChunksRelayed() int64 { return p.relayed.Load() }
 
+// FaultCounts are one peer's injected-fault totals by kind.
+type FaultCounts struct {
+	Dropped, Delayed, Duplicated int64
+	Partitioned, Straggled       int64
+}
+
 // FaultStats returns how many chunks the peer's fault injector
-// dropped, delayed, and duplicated (all zero when faults are off).
-func (p *Peer) FaultStats() (dropped, delayed, duplicated int64) {
+// dropped, delayed, duplicated, blackholed across a partition, or
+// straggled (all zero when faults are off).
+func (p *Peer) FaultStats() FaultCounts {
 	if p.faults == nil {
-		return 0, 0, 0
+		return FaultCounts{}
 	}
-	return p.faults.Dropped(), p.faults.Delayed(), p.faults.Duplicated()
+	return FaultCounts{
+		Dropped:     p.faults.Dropped(),
+		Delayed:     p.faults.Delayed(),
+		Duplicated:  p.faults.Duplicated(),
+		Partitioned: p.faults.Partitioned(),
+		Straggled:   p.faults.Straggled(),
+	}
 }
 
 // ReliableStats returns the reliable layer's counters (all zero when

@@ -1,0 +1,104 @@
+package netpeer
+
+import (
+	"testing"
+	"time"
+
+	"p2prank/internal/dprcore"
+	"p2prank/internal/webgraph"
+)
+
+// TestClusterReliableBreakerAcrossPartitionHeal is the live half of the
+// breaker/partition acceptance: a four-peer cluster runs with reliable
+// delivery while a seeded partition (cluster seed 1 cuts peer 1 onto
+// the minority side) blackholes cross-cut frames for the first 1.2s of
+// wall time. Chunks crossing the cut blow through MaxAttempts, so the
+// senders' circuits toward the far side must open (BreakerTrips,
+// Broken observed true); after the heal the post-cooldown probes land,
+// acks close every circuit, and the cluster converges to the
+// fault-free tolerance.
+func TestClusterReliableBreakerAcrossPartitionHeal(t *testing.T) {
+	gc := webgraph.DefaultGenConfig(1200)
+	gc.Sites = 20 // spread cross-group traffic over every peer pair
+	gc.Seed = 17
+	g, err := webgraph.Generate(gc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 4
+	partitionTo := float64(1200 * time.Millisecond)
+	cl, err := StartCluster(g, ClusterConfig{
+		Params: dprcore.Params{
+			Alg: dprcore.DPR1,
+			Fault: dprcore.FaultConfig{
+				PartitionFrac: 0.3, PartitionFrom: 0, PartitionTo: partitionTo,
+			},
+			// Trip fast relative to the window: a blackholed chunk is
+			// given up after ~24ms, and the 200ms cooldown re-probes
+			// (and re-trips) several times before the heal.
+			Reliable: dprcore.ReliableConfig{
+				Timeout:     float64(8 * time.Millisecond),
+				MaxAttempts: 2,
+				Cooldown:    float64(200 * time.Millisecond),
+			},
+		},
+		K: k, MeanWait: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// The cluster seed (default 1) keys the lattice: peer 1 is the
+	// minority. Sanity-check the cut before waiting on it.
+	cut := dprcore.FaultConfig{PartitionFrac: 0.3, PartitionFrom: 0, PartitionTo: partitionTo, Seed: 1}
+	if !cut.PartitionMinority(1) {
+		t.Fatal("expected peer 1 on the minority side of the seed-1 cut")
+	}
+
+	// Open: watch for a circuit across the cut (either direction) while
+	// the partition is up. Broken() self-clears once the cooldown
+	// lapses, so also require the monotonic trip counter.
+	sawBroken := false
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var trips int64
+		for i := 0; i < k; i++ {
+			trips += cl.Peer(i).ReliableStats().BreakerTrips
+			for j := 0; j < k; j++ {
+				if i != j && cut.PartitionMinority(i) != cut.PartitionMinority(j) && cl.Peer(i).Broken(j) {
+					sawBroken = true
+				}
+			}
+		}
+		if trips > 0 && sawBroken {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no circuit opened across the cut in 10s (trips=%d sawBroken=%v)", trips, sawBroken)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Closed: after the heal the probes get acked and the cluster
+	// reaches the fault-free fixed point.
+	if err := cl.WaitConverged(1e-6, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var acks, partitioned int64
+	for i := 0; i < k; i++ {
+		acks += cl.Peer(i).ReliableStats().Acks
+		partitioned += cl.Peer(i).FaultStats().Partitioned
+		for j := 0; j < k; j++ {
+			if i != j && cl.Peer(i).Broken(j) {
+				t.Fatalf("peer %d's circuit to %d still open after convergence", i, j)
+			}
+		}
+	}
+	if acks == 0 {
+		t.Fatal("no acks after the heal — circuits never closed by traffic")
+	}
+	if partitioned == 0 {
+		t.Fatal("partition window blackholed nothing")
+	}
+}

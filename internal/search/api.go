@@ -25,7 +25,27 @@ var (
 	// request's MinVersion — the served ranks are older than the
 	// caller demands (or no snapshot has been published yet).
 	ErrStaleIndex = errors.New("search: served ranks older than requested MinVersion")
+	// ErrOverloaded reports that admission control shed the query: the
+	// server is over its in-flight limit or its served ranks have
+	// drifted past the staleness bound. Retry after the hint carried by
+	// the wrapping OverloadError.
+	ErrOverloaded = errors.New("search: overloaded, query shed by admission control")
 )
+
+// OverloadError is the typed shed error: it matches ErrOverloaded under
+// errors.Is and carries the server's retry hint.
+type OverloadError struct {
+	// RetryAfter is the suggested wait before retrying, in seconds.
+	RetryAfter float64
+}
+
+// Error implements error.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("%v (retry after %.3gs)", ErrOverloaded, e.RetryAfter)
+}
+
+// Unwrap makes errors.Is(err, ErrOverloaded) match.
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }
 
 // StaticVersion is the version a freshly built static Index serves:
 // its rank vector is frozen at build time, so there is exactly one.
@@ -87,6 +107,21 @@ type Response struct {
 	Staleness int64
 	// Cost is the overlay traffic this query accounted for.
 	Cost Cost
+	// Coverage is the fraction of the shards the query planner wanted
+	// that actually contributed partial results: 1 on a healthy fan-out,
+	// lower when partitions or deadlines forced a partial merge. A
+	// static Index always serves full coverage.
+	Coverage float64
+	// Degraded reports a partial answer: at least one planned shard was
+	// skipped, so Postings may miss matches that shard held. Paired
+	// with Coverage it lets callers decide whether a degraded answer is
+	// good enough instead of the server deciding for them with an error.
+	Degraded bool
+	// Hedged counts shard reads that missed their deadline on the
+	// primary snapshot and were answered from the replica (previous
+	// published) snapshot instead. Hedged shards still count as covered;
+	// their extra rounds-behind show up in Staleness.
+	Hedged int
 }
 
 // Server answers search requests — implemented by the static Index and
@@ -104,6 +139,9 @@ func (ix *Index) Serve(req Request, resp *Response) error {
 	resp.Version = StaticVersion
 	resp.Staleness = 0
 	resp.Cost = Cost{}
+	resp.Coverage = 1
+	resp.Degraded = false
+	resp.Hedged = 0
 	if err := req.Validate(ix.cfg.Vocabulary); err != nil {
 		return err
 	}
@@ -169,32 +207,4 @@ func (ix *Index) queryCost(from int, terms []int32) (Cost, error) {
 		c.Responses++
 	}
 	return c, nil
-}
-
-// Query returns the top-k pages containing ALL the given terms, ordered
-// by rank.
-//
-// Deprecated: Query predates versioned serving and will be removed next
-// release. Use Serve with a Request — it adds version/staleness fields
-// and hop-cost accounting in one call.
-func (ix *Index) Query(terms []int32, k int) ([]Posting, error) {
-	var resp Response
-	if err := ix.Serve(Request{Terms: terms, K: k}, &resp); err != nil {
-		return nil, err
-	}
-	return resp.Postings, nil
-}
-
-// QueryCost estimates the overlay traffic of resolving a query from
-// the given ranker.
-//
-// Deprecated: QueryCost predates versioned serving and will be removed
-// next release. Use Serve — Response.Cost carries the same numbers
-// alongside the results.
-func (ix *Index) QueryCost(from int, terms []int32) (lookupHops, responses int, err error) {
-	var resp Response
-	if err := ix.Serve(Request{Terms: terms, K: 1, From: from}, &resp); err != nil {
-		return 0, 0, err
-	}
-	return resp.Cost.LookupHops, resp.Cost.Responses, nil
 }

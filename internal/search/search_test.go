@@ -288,35 +288,17 @@ func TestResponseReuseNoGrowth(t *testing.T) {
 	}
 }
 
-// TestDeprecatedShims pins the one-release compatibility contract:
-// Query/QueryCost keep answering, routed through Serve.
-func TestDeprecatedShims(t *testing.T) {
+// TestStaticServeFullCoverage pins the static index's degraded-serving
+// contract: a frozen rank vector always answers with full coverage.
+func TestStaticServeFullCoverage(t *testing.T) {
 	f := newFixture(t, 500, 8)
-	got, err := f.ix.Query([]int32{0, 1}, 5)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var resp Response
+	resp := Response{Coverage: 0.25, Degraded: true, Hedged: 3} // stale garbage a reused Response might carry
 	if err := f.ix.Serve(Request{Terms: []int32{0, 1}, K: 5}, &resp); err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != len(resp.Postings) {
-		t.Fatalf("shim returned %d results, Serve %d", len(got), len(resp.Postings))
-	}
-	for i := range got {
-		if got[i] != resp.Postings[i] {
-			t.Fatalf("shim result %d: %+v != %+v", i, got[i], resp.Postings[i])
-		}
-	}
-	hops, responses, err := f.ix.QueryCost(0, []int32{0, 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := f.ix.Serve(Request{Terms: []int32{0, 1}, K: 1, From: 0}, &resp); err != nil {
-		t.Fatal(err)
-	}
-	if hops != resp.Cost.LookupHops || responses != resp.Cost.Responses {
-		t.Fatalf("shim cost (%d, %d) != Serve cost %+v", hops, responses, resp.Cost)
+	if resp.Coverage != 1 || resp.Degraded || resp.Hedged != 0 {
+		t.Fatalf("static serve reported coverage %v degraded %v hedged %d",
+			resp.Coverage, resp.Degraded, resp.Hedged)
 	}
 }
 
@@ -375,7 +357,7 @@ func TestQueryCost(t *testing.T) {
 	if resp.Cost.LookupHops < 0 {
 		t.Fatalf("hops = %d", resp.Cost.LookupHops)
 	}
-	if _, _, err := f.ix.QueryCost(0, []int32{99999}); !errors.Is(err, ErrUnknownTerm) {
+	if err := f.ix.Serve(Request{Terms: []int32{99999}, K: 1, From: 0}, &resp); !errors.Is(err, ErrUnknownTerm) {
 		t.Errorf("bad term: err = %v, want ErrUnknownTerm", err)
 	}
 }

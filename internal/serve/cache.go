@@ -73,14 +73,21 @@ func eqTerms(a, b []int32) bool {
 }
 
 // get copies a cached response into resp. A hit allocates nothing once
-// resp.Postings has capacity.
+// resp.Postings has capacity. minVersion is the caller's freshness
+// floor: an entry whose served version is below it is NOT a hit — the
+// bound is checked here, before anything is copied out, so a caller
+// demanding fresher ranks than the cached answer falls through to the
+// compute path instead of being handed data it explicitly refused.
 //
 //p2plint:hotpath
-func (c *queryCache) get(terms []int32, k, from int, storeV int64, resp *search.Response) bool {
+func (c *queryCache) get(terms []int32, k, from int, minVersion, storeV int64, resp *search.Response) bool {
 	key := cacheKey(terms, k, from, storeV)
 	c.mu.Lock()
 	for e := c.m[key]; e != nil; e = e.next {
 		if e.storeV == storeV && e.k == k && e.from == from && eqTerms(e.terms, terms) {
+			if e.version < minVersion {
+				break // cached answer too old for this caller
+			}
 			resp.Postings = append(resp.Postings[:0], e.postings...)
 			resp.Version = e.version
 			resp.Staleness = e.staleness

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"p2prank/internal/overlay"
 	"p2prank/internal/partition"
@@ -23,6 +24,13 @@ type Config struct {
 	// CacheEntries bounds the merged-response cache: 0 means
 	// DefaultCacheEntries, negative disables caching.
 	CacheEntries int
+	// Health, when set, reports per-shard reachability: unreachable
+	// shards are skipped (partial merge, coverage reported), slow
+	// shards are hedged to the replica snapshot. Nil assumes every
+	// shard healthy.
+	Health Health
+	// Admission bounds accepted load; the zero value admits everything.
+	Admission Admission
 }
 
 // shardIndex is one shard's inverted index: the terms present on the
@@ -78,6 +86,17 @@ type Frontend struct {
 	termShards [][]int32
 
 	cache *queryCache
+
+	health Health
+	adm    Admission
+	// overloadErr is the prebuilt shed error, so refusing a query under
+	// overload allocates nothing either.
+	overloadErr error
+
+	inflight atomic.Int64
+	shed     atomic.Int64
+	hedged   atomic.Int64
+	degraded atomic.Int64
 
 	// routeMu serializes lazy overlay route lookups: queriers memoize
 	// hop counts per (origin, shard) and only route on cold entries.
@@ -153,6 +172,15 @@ func NewFrontend(g webgraph.Store, ov overlay.Network, assign *partition.Assignm
 		}
 		f.cache = newQueryCache(n)
 	}
+	if err := cfg.Admission.validate(); err != nil {
+		return nil, err
+	}
+	f.health = cfg.Health
+	f.adm = cfg.Admission
+	if f.adm.RetryAfterSeconds == 0 {
+		f.adm.RetryAfterSeconds = 1
+	}
+	f.overloadErr = &search.OverloadError{RetryAfter: f.adm.RetryAfterSeconds}
 	return f, nil
 }
 
@@ -166,6 +194,44 @@ func (f *Frontend) CacheStats() (hits, misses int64) {
 		return 0, 0
 	}
 	return f.cache.stats()
+}
+
+// DegradeStats are the frontend's cumulative robustness counters.
+type DegradeStats struct {
+	// Shed is how many queries admission control refused.
+	Shed int64
+	// Hedged is how many shard reads fell back to the replica snapshot.
+	Hedged int64
+	// Degraded is how many queries were answered with partial coverage.
+	Degraded int64
+}
+
+// DegradeStats returns the robustness counters.
+func (f *Frontend) DegradeStats() DegradeStats {
+	return DegradeStats{
+		Shed:     f.shed.Load(),
+		Hedged:   f.hedged.Load(),
+		Degraded: f.degraded.Load(),
+	}
+}
+
+// reachableStaleness is the admission controller's staleness signal:
+// the worst rounds-behind over the shards the fan-out can still reach.
+// Unreachable shards are excluded — their gap is lost coverage, not a
+// reason to refuse the queries the healthy side can answer.
+//
+//p2plint:hotpath
+func (f *Frontend) reachableStaleness() int64 {
+	var max int64
+	for i := range f.shards {
+		if f.health != nil && f.health.ShardState(i) == ShardUnreachable {
+			continue
+		}
+		if t := f.store.Staleness(i); t > max {
+			max = t
+		}
+	}
+	return max
 }
 
 // Querier is a per-goroutine handle on the Frontend: it owns the
@@ -198,6 +264,13 @@ func (f *Frontend) NewQuerier() *Querier {
 // Results go into resp.Postings[:0]; with a warm Querier and a reused
 // Response the steady-state path performs zero allocations.
 //
+// Degraded mode (Config.Health set): unreachable shards are skipped
+// and the lost coverage reported in resp.Coverage/Degraded instead of
+// failing the query; slow shards are hedged to the replica snapshot
+// with the extra rounds-behind folded into resp.Staleness. Admission
+// (Config.Admission) sheds with ErrOverloaded before any per-query
+// work. Both paths stay allocation free.
+//
 //p2plint:hotpath
 func (q *Querier) Serve(req search.Request, resp *search.Response) error {
 	f := q.f
@@ -205,17 +278,31 @@ func (q *Querier) Serve(req search.Request, resp *search.Response) error {
 	resp.Version = 0
 	resp.Staleness = 0
 	resp.Cost = search.Cost{}
+	resp.Coverage = 1
+	resp.Degraded = false
+	resp.Hedged = 0
 	if err := req.Validate(f.text.Vocabulary); err != nil {
 		return err
+	}
+	if f.adm.enabled() {
+		if f.adm.MaxInflight > 0 {
+			if n := f.inflight.Add(1); n > f.adm.MaxInflight {
+				f.inflight.Add(-1)
+				f.shed.Add(1)
+				return f.overloadErr
+			}
+			defer f.inflight.Add(-1)
+		}
+		if f.adm.StalenessBound > 0 && f.reachableStaleness() > f.adm.StalenessBound {
+			f.shed.Add(1)
+			return f.overloadErr
+		}
 	}
 	storeV := f.store.Version()
 	if req.MinVersion > storeV {
 		return fmt.Errorf("%w: store at version %d, want >= %d", search.ErrStaleIndex, storeV, req.MinVersion)
 	}
-	if f.cache != nil && f.cache.get(req.Terms, req.K, req.From, storeV, resp) {
-		if resp.Version < req.MinVersion {
-			return fmt.Errorf("%w: served version %d, want >= %d", search.ErrStaleIndex, resp.Version, req.MinVersion)
-		}
+	if f.cache != nil && f.cache.get(req.Terms, req.K, req.From, req.MinVersion, storeV, resp) {
 		return nil
 	}
 
@@ -223,10 +310,37 @@ func (q *Querier) Serve(req search.Request, resp *search.Response) error {
 	q.heap.reset(req.K)
 	minVersion := int64(0)
 	maxStale := int64(0)
+	planned, missed := 0, 0
 	for _, s := range cand {
+		planned++
+		state := ShardHealthy
+		if f.health != nil {
+			state = f.health.ShardState(int(s))
+		}
+		if state == ShardUnreachable {
+			missed++
+			continue
+		}
 		snap := f.store.Snapshot(int(s))
 		if snap == nil {
+			if f.health != nil {
+				// Degraded mode treats a never-published shard like an
+				// unreachable one: lost coverage, not a failed query.
+				missed++
+				continue
+			}
 			return fmt.Errorf("%w: shard %d has published no snapshot", search.ErrStaleIndex, s)
+		}
+		stale := f.store.Staleness(int(s))
+		if state == ShardSlow {
+			// The primary read would miss its deadline: hedge to the
+			// replica snapshot. One publish older — the gap between the
+			// two snapshots' rounds is real staleness and is accounted.
+			if prev := f.store.Replica(int(s)); prev != nil {
+				stale += snap.Round - prev.Round
+				snap = prev
+			}
+			resp.Hedged++
 		}
 		if snap.Version < req.MinVersion {
 			return fmt.Errorf("%w: shard %d at version %d, want >= %d", search.ErrStaleIndex, s, snap.Version, req.MinVersion)
@@ -234,8 +348,8 @@ func (q *Querier) Serve(req search.Request, resp *search.Response) error {
 		if minVersion == 0 || snap.Version < minVersion {
 			minVersion = snap.Version
 		}
-		if st := f.store.Staleness(int(s)); st > maxStale {
-			maxStale = st
+		if stale > maxStale {
+			maxStale = stale
 		}
 		q.scanShard(s, snap, req.Terms)
 		h, err := q.hops(req.From, s)
@@ -245,6 +359,18 @@ func (q *Querier) Serve(req search.Request, resp *search.Response) error {
 		resp.Cost.LookupHops += h
 		resp.Cost.Responses++
 	}
+	if missed > 0 {
+		if missed == planned {
+			// Nothing answered — there is no partial result to serve.
+			return fmt.Errorf("%w: all %d planned shards unreachable or unpublished", search.ErrStaleIndex, planned)
+		}
+		resp.Coverage = float64(planned-missed) / float64(planned)
+		resp.Degraded = true
+		f.degraded.Add(1)
+	}
+	if resp.Hedged > 0 {
+		f.hedged.Add(int64(resp.Hedged))
+	}
 	if minVersion == 0 {
 		// No shard can match the conjunction: the answer is empty at
 		// the store's current version.
@@ -253,7 +379,10 @@ func (q *Querier) Serve(req search.Request, resp *search.Response) error {
 	resp.Version = minVersion
 	resp.Staleness = maxStale
 	resp.Postings = q.heap.drain(resp.Postings)
-	if f.cache != nil {
+	if f.cache != nil && !resp.Degraded && resp.Hedged == 0 {
+		// Degraded and hedged answers are never cached: the cache key is
+		// (query, store version), and under faults the same version no
+		// longer implies the same response.
 		f.cache.put(req.Terms, req.K, req.From, storeV, resp)
 	}
 	return nil

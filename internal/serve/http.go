@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -60,6 +61,9 @@ type httpResponse struct {
 	Version   int64         `json:"version"`
 	Staleness int64         `json:"staleness"`
 	Cost      search.Cost   `json:"cost"`
+	Coverage  float64       `json:"coverage"`
+	Degraded  bool          `json:"degraded"`
+	Hedged    int           `json:"hedged,omitempty"`
 	Postings  []httpPosting `json:"postings"`
 }
 
@@ -79,6 +83,16 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	if serveErr != nil {
 		switch {
+		case errors.Is(serveErr, search.ErrOverloaded):
+			// Shed, not failed: tell the client when to come back. The
+			// header is whole seconds per RFC 9110, minimum 1.
+			var oe *search.OverloadError
+			retry := 1.0
+			if errors.As(serveErr, &oe) && oe.RetryAfter > retry {
+				retry = oe.RetryAfter
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(retry))))
+			http.Error(w, serveErr.Error(), http.StatusTooManyRequests)
 		case errors.Is(serveErr, search.ErrStaleIndex):
 			http.Error(w, serveErr.Error(), http.StatusServiceUnavailable)
 		case errors.Is(serveErr, search.ErrUnknownTerm):
@@ -92,6 +106,9 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		Version:   st.resp.Version,
 		Staleness: st.resp.Staleness,
 		Cost:      st.resp.Cost,
+		Coverage:  st.resp.Coverage,
+		Degraded:  st.resp.Degraded,
+		Hedged:    st.resp.Hedged,
 		Postings:  make([]httpPosting, len(st.resp.Postings)),
 	}
 	for i, p := range st.resp.Postings {

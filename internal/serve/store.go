@@ -47,6 +47,10 @@ type ShardSnapshot struct {
 
 type shardSlot struct {
 	snap atomic.Pointer[ShardSnapshot]
+	// prev is the replica: the snapshot the last publish displaced.
+	// Hedged reads fall back to it when the primary misses its
+	// deadline — one publish older, but immediately available.
+	prev atomic.Pointer[ShardSnapshot]
 	// ticks counts committed rounds since the last publish — the
 	// shard's current staleness in rounds.
 	ticks atomic.Int64
@@ -94,6 +98,9 @@ func (s *Store) Publish(shard int, round int64, scores []float64) (int64, error)
 	copy(cp, scores)
 	v := s.version.Add(1)
 	slot := &s.shards[shard]
+	if old := slot.snap.Load(); old != nil {
+		slot.prev.Store(old)
+	}
 	slot.snap.Store(&ShardSnapshot{Shard: shard, Version: v, Round: round, Scores: cp})
 	slot.ticks.Store(0)
 	if s.tel != nil {
@@ -108,6 +115,14 @@ func (s *Store) Publish(shard int, round int64, scores []float64) (int64, error)
 //p2plint:hotpath
 func (s *Store) Snapshot(shard int) *ShardSnapshot {
 	return s.shards[shard].snap.Load()
+}
+
+// Replica returns shard's previous published snapshot — the hedged
+// read's fallback — or nil before the second publish.
+//
+//p2plint:hotpath
+func (s *Store) Replica(shard int) *ShardSnapshot {
+	return s.shards[shard].prev.Load()
 }
 
 // Advance records one committed-but-unpublished round for shard and

@@ -88,8 +88,14 @@ const (
 	FaultDelay
 	// FaultDup is a chunk sent twice.
 	FaultDup
+	// FaultPartition is a chunk blackholed because sender and receiver
+	// sit on opposite sides of an active network partition.
+	FaultPartition
+	// FaultStraggle is a chunk held back by a straggler node's
+	// persistent slowdown factor.
+	FaultStraggle
 
-	numFaultKinds = 3
+	numFaultKinds = 5
 )
 
 // String returns the fault label used in metrics and traces.
@@ -101,6 +107,10 @@ func (k FaultKind) String() string {
 		return "delay"
 	case FaultDup:
 		return "dup"
+	case FaultPartition:
+		return "partition"
+	case FaultStraggle:
+		return "straggle"
 	}
 	return "unknown"
 }

@@ -216,7 +216,7 @@ func TestNoopIsAllocationFree(t *testing.T) {
 }
 
 func TestFaultKindString(t *testing.T) {
-	for k, want := range map[FaultKind]string{FaultDrop: "drop", FaultDelay: "delay", FaultDup: "dup", FaultKind(9): "unknown"} {
+	for k, want := range map[FaultKind]string{FaultDrop: "drop", FaultDelay: "delay", FaultDup: "dup", FaultPartition: "partition", FaultStraggle: "straggle", FaultKind(9): "unknown"} {
 		if k.String() != want {
 			t.Fatalf("FaultKind(%d).String() = %q, want %q", k, k.String(), want)
 		}
